@@ -1,0 +1,374 @@
+package overd
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (§4: Tables 1-6, Figures 5/7/10/11, the Fig. 9 flow
+// solution and the §5/Fig. 12 adaptive scheme), plus ablation benches for
+// the design choices DESIGN.md calls out. Each benchmark runs the full
+// experiment once per iteration and prints the regenerated rows through
+// b.Logf (visible with `go test -bench . -v` or in bench output).
+//
+// Environment knobs:
+//
+//	OVERD_BENCH_SCALE  gridpoint budget multiplier (default 1 = paper size)
+//	OVERD_BENCH_STEPS  measured timesteps per run  (default 3)
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func benchOptions(b *testing.B) Options {
+	opt := Options{Scale: 1, Steps: 3}
+	if v := os.Getenv("OVERD_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			opt.Scale = f
+		}
+	}
+	if v := os.Getenv("OVERD_BENCH_STEPS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			opt.Steps = n
+		}
+	}
+	b.Logf("options: scale %.3g, %d steps", opt.Scale, opt.Steps)
+	return opt
+}
+
+func logTable(b *testing.B, render func(*strings.Builder)) {
+	var sb strings.Builder
+	sb.WriteByte('\n')
+	render(&sb)
+	b.Log(sb.String())
+}
+
+// BenchmarkTable1_OscAirfoil regenerates Table 1 and Figure 5: the 2-D
+// oscillating airfoil on 6-24 nodes of the SP2 and SP.
+func BenchmarkTable1_OscAirfoil(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := RunTable1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintPerfTable(sb, t) })
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(t.Rows[0].MflopsSP2, "Mflops/node@base")
+			b.ReportMetric(last.SpeedupSP2, "speedup@max")
+			b.ReportMetric(last.PctDCF3DSP2, "%DCF@max")
+		}
+	}
+}
+
+// BenchmarkTable2_AirfoilScaleup regenerates Table 2: the airfoil scale-up
+// study holding ~5000 gridpoints per node.
+func BenchmarkTable2_AirfoilScaleup(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintTable2(sb, rows) })
+			// The paper's claim: %DCF3D grows ~2.2x from coarsened to refined.
+			b.ReportMetric(rows[len(rows)-1].PctDCF3DSP2/rows[0].PctDCF3DSP2, "%DCF-growth")
+			b.ReportMetric(rows[len(rows)-1].SecStepSP2/rows[0].SecStepSP2, "t/step-growth")
+		}
+	}
+}
+
+// BenchmarkTable3_DeltaWing regenerates Table 3 and Figure 7: the
+// descending delta wing on 7-55 nodes.
+func BenchmarkTable3_DeltaWing(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := RunTable3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintPerfTable(sb, t) })
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(last.SpeedupSP2, "speedup@max")
+			b.ReportMetric(last.PctDCF3DSP2, "%DCF@max")
+		}
+	}
+}
+
+// BenchmarkTable4_StoreSep regenerates Table 4 and Figure 10: the
+// wing/pylon/finned-store separation with static load balancing.
+func BenchmarkTable4_StoreSep(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := RunTable4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintPerfTable(sb, t) })
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(last.SpeedupSP2, "speedup@max")
+			b.ReportMetric(last.PctDCF3DSP2/t.Rows[0].PctDCF3DSP2, "%DCF-growth")
+		}
+	}
+}
+
+// BenchmarkTable5_DynamicLB regenerates Table 5 and Figure 11: static
+// versus dynamic (fo=5) load balancing on the store case.
+func BenchmarkTable5_DynamicLB(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintTable5(sb, rows) })
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.DCFSpeedupDyn, "dcf-speedup-dyn@max")
+			b.ReportMetric(last.DCFSpeedupStat, "dcf-speedup-stat@max")
+		}
+	}
+}
+
+// BenchmarkTable6_YMPUnits regenerates Table 6: wallclock speedup over the
+// single-processor Cray YMP/864 in YMP units.
+func BenchmarkTable6_YMPUnits(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, func(sb *strings.Builder) { FprintTable6(sb, rows) })
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.OverallSP2, "YMP-units@max-SP2")
+			b.ReportMetric(last.PerNodeSP, "per-node-SP@max")
+		}
+	}
+}
+
+// BenchmarkFig9_StoreFields integrates the store-separation flow and
+// reports statistics of the computed Mach field and surface pressure — the
+// quantitative series behind the paper's Fig. 9 contour plots.
+func BenchmarkFig9_StoreFields(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		c := StoreSeparation(opt.Scale)
+		res, err := Run(Config{
+			Case: c, Nodes: 16, Machine: SP2(), Steps: opt.Steps,
+			Fo: math.Inf(1),
+			Sample: &SampleSpec{
+				FieldGrid: 13, FieldK: -1, SurfaceGrid: 0,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			maxMach, super, n := 0.0, 0, 0
+			for _, s := range res.Field {
+				if s.IBlank != 1 {
+					continue
+				}
+				n++
+				if s.Mach > maxMach {
+					maxMach = s.Mach
+				}
+				if s.Mach > 1 {
+					super++
+				}
+			}
+			minCp, maxCp := math.Inf(1), math.Inf(-1)
+			for _, s := range res.Surface {
+				minCp = math.Min(minCp, s.Cp)
+				maxCp = math.Max(maxCp, s.Cp)
+			}
+			b.Logf("Fig 9 series: %d field samples, max Mach %.3f, supersonic fraction %.3f; surface Cp in [%.3f, %.3f] over %d wall points",
+				n, maxMach, float64(super)/float64(n), minCp, maxCp, len(res.Surface))
+			b.ReportMetric(maxMach, "max-Mach")
+			b.ReportMetric(float64(super)/float64(n), "supersonic-frac")
+		}
+	}
+}
+
+// BenchmarkFig12_AdaptiveScheme exercises the §5 adaptive Cartesian scheme
+// (the Fig. 12 scenario): proximity-based generation, group-parallel flow
+// advance, and an error-driven adapt cycle; the reported series is the
+// brick-per-level histogram before and after adaptation.
+func BenchmarkFig12_AdaptiveScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		body := Box{Min: Vec3{X: -1.1, Y: -0.45, Z: -0.8}, Max: Vec3{X: 1.1, Y: 0.35, Z: 0.8}}
+		cfg := AdaptiveConfig{
+			Domain:     Box{Min: Vec3{X: -8, Y: -8, Z: -8}, Max: Vec3{X: 8, Y: 8, Z: 8}},
+			H0:         1.0,
+			BrickCells: 6,
+			MaxLevel:   3,
+		}
+		sys := GenerateAdaptive(cfg, ProximityIndicator(body, cfg.MaxLevel))
+		ru, err := NewAdaptiveRunner(sys, 8, Freestream{Mach: 0.6}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ru.Run(SP2(), 2, 0.05); err != nil {
+			b.Fatal(err)
+		}
+		ru.ImposeDisturbance(Box{Min: Vec3{X: 1.1, Y: -1, Z: -1}, Max: Vec3{X: 5, Y: 1, Z: 1}}, 0.35)
+		sys2 := sys.Adapt(ru.ErrorIndicator(ProximityIndicator(body, cfg.MaxLevel), 0.05))
+		if i == 0 {
+			b.Logf("Fig 12 series: initial bricks/level %v (total %d); after adapt cycle %v (total %d)",
+				sys.LevelCounts(), len(sys.Bricks), sys2.LevelCounts(), len(sys2.Bricks))
+			b.ReportMetric(float64(len(sys.Bricks)), "bricks-initial")
+			b.ReportMetric(float64(len(sys2.Bricks)), "bricks-adapted")
+		}
+	}
+}
+
+// ---- Ablation benches for DESIGN.md's called-out design choices. ----
+
+// BenchmarkAblation_NthLevelRestart compares the connectivity cost with and
+// without nth-level restart (§2.2's "considerable reduction in the time
+// spent in the connectivity solution").
+func BenchmarkAblation_NthLevelRestart(b *testing.B) {
+	opt := benchOptions(b)
+	run := func(disable bool) float64 {
+		c := OscillatingAirfoil(math.Min(opt.Scale, 0.3))
+		c.Overset.DisableRestart = disable
+		res, err := Run(Config{Case: c, Nodes: 12, Machine: SP2(),
+			Steps: opt.Steps + 2, Fo: math.Inf(1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ConnectTime / float64(len(res.Steps))
+	}
+	for i := 0; i < b.N; i++ {
+		withRestart := run(false)
+		scratch := run(true)
+		if i == 0 {
+			b.Logf("connectivity s/step: restart %.4f, from-scratch %.4f (x%.2f)",
+				withRestart, scratch, scratch/withRestart)
+			b.ReportMetric(scratch/withRestart, "scratch/restart-ratio")
+		}
+	}
+}
+
+// BenchmarkAblation_FoSweep sweeps the dynamic load-balance factor fo on
+// the store case, tracing the paper's flow-versus-connectivity tradeoff
+// ("the 'best' value of fo is problem dependent").
+func BenchmarkAblation_FoSweep(b *testing.B) {
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		for _, fo := range []float64{2, 3, 5, math.Inf(1)} {
+			c := StoreSeparation(opt.Scale)
+			res, err := Run(Config{Case: c, Nodes: 52, Machine: SP2(),
+				Steps: 8, Fo: fo, CheckInterval: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("fo=%-4v: %%DCF %.0f%%  flow %.2fs  connect %.2fs  total %.2fs  repartitions %d  Np=%v",
+					fo, res.PctConnect(), res.FlowTime, res.ConnectTime,
+					res.TotalTime, res.Rebalances, res.Np)
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_Subdivision compares the prime-factor minimal-surface
+// subdivision (Fig. 4) with naive 1-D slabs on the delta wing at 8 nodes,
+// where the cubic background's four subdomains split 2x2x1 against 4 thin
+// slabs. (On high-aspect 2-D grids, or when a grid's processor count is
+// prime, the two rules legitimately coincide.)
+func BenchmarkAblation_Subdivision(b *testing.B) {
+	opt := benchOptions(b)
+	run := func(slabs bool) float64 {
+		c := DescendingDeltaWing(math.Min(opt.Scale, 0.5))
+		res, err := Run(Config{Case: c, Nodes: 8, Machine: SP2(),
+			Steps: opt.Steps, Fo: math.Inf(1), SlabDecomp: slabs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.FlowTime
+	}
+	for i := 0; i < b.N; i++ {
+		pf := run(false)
+		slab := run(true)
+		if i == 0 {
+			c := DescendingDeltaWing(math.Min(opt.Scale, 0.5))
+			sp, err := DecompositionSurface(c, 8, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss, err := DecompositionSurface(c, 8, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("flow time: prime-factor %.3fs, slabs %.3fs (time penalty x%.3f); subdomain surface: %d vs %d points (x%.3f)",
+				pf, slab, slab/pf, sp, ss, float64(ss)/float64(sp))
+			b.ReportMetric(slab/pf, "slab-time-penalty")
+			b.ReportMetric(float64(ss)/float64(sp), "slab-surface-ratio")
+		}
+	}
+}
+
+// BenchmarkAblation_Grouping compares Algorithm 3 with round-robin
+// assignment for the §5 adaptive scheme's many small grids.
+func BenchmarkAblation_Grouping(b *testing.B) {
+	body := Box{Min: Vec3{X: -1, Y: -0.5, Z: -0.8}, Max: Vec3{X: 1, Y: 0.4, Z: 0.8}}
+	cfg := AdaptiveConfig{
+		Domain:     Box{Min: Vec3{X: -8, Y: -8, Z: -8}, Max: Vec3{X: 8, Y: 8, Z: 8}},
+		H0:         1.0,
+		BrickCells: 6,
+		MaxLevel:   2,
+	}
+	sys := GenerateAdaptive(cfg, ProximityIndicator(body, cfg.MaxLevel))
+	run := func(grouping bool) (cut int, cross int, t float64) {
+		ru, err := NewAdaptiveRunner(sys, 4, Freestream{Mach: 0.6}, grouping)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := ru.Run(SP2(), 2, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ru.CutEdges, stats[1].BytesCross, stats[1].Time
+	}
+	for i := 0; i < b.N; i++ {
+		gc, gx, gt := run(true)
+		rc, rx, rt := run(false)
+		if i == 0 {
+			b.Logf("Algorithm 3: %d cut edges, %d B cross-node, %.4f s/step", gc, gx, gt)
+			b.Logf("round-robin: %d cut edges, %d B cross-node, %.4f s/step", rc, rx, rt)
+			b.ReportMetric(float64(rx)/float64(gx), "traffic-ratio")
+		}
+	}
+}
+
+// BenchmarkAblation_HoleMap compares hole cutting through the Cartesian
+// hole-map acceleration against direct analytic cutter queries.
+func BenchmarkAblation_HoleMap(b *testing.B) {
+	opt := benchOptions(b)
+	run := func(res int) float64 {
+		c := OscillatingAirfoil(math.Min(opt.Scale, 0.3))
+		c.Overset.HoleMapRes = res
+		r, err := Run(Config{Case: c, Nodes: 6, Machine: SP2(),
+			Steps: opt.Steps, Fo: math.Inf(1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.ConnectTime
+	}
+	for i := 0; i < b.N; i++ {
+		mapped := run(32)
+		direct := run(0)
+		if i == 0 {
+			b.Logf("connectivity time: hole map %.4fs, direct cutters %.4fs (x%.2f)",
+				mapped, direct, direct/mapped)
+			b.ReportMetric(direct/mapped, "direct/map-ratio")
+		}
+	}
+}

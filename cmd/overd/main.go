@@ -1,0 +1,146 @@
+// Command overd runs one of the paper's moving-body overset cases on a
+// simulated machine and reports the paper-style performance statistics.
+//
+// Usage:
+//
+//	overd -case airfoil|deltawing|storesep [-nodes n] [-machine SP2|SP]
+//	      [-steps n] [-scale f] [-fo f] [-dump] [-field out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"overd"
+	"overd/internal/plot3d"
+)
+
+func main() {
+	caseName := flag.String("case", "airfoil", "airfoil, deltawing or storesep")
+	nodes := flag.Int("nodes", 12, "simulated processor count")
+	machineName := flag.String("machine", "SP2", "SP2 or SP")
+	steps := flag.Int("steps", 5, "timesteps")
+	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
+	fo := flag.Float64("fo", math.Inf(1), "dynamic load-balance factor (Algorithm 2); +Inf disables")
+	checkEvery := flag.Int("check", 5, "steps between dynamic-balance checks")
+	dump := flag.Bool("dump", false, "print the grid system and static partition, then exit")
+	fieldOut := flag.String("field", "", "write a field CSV of the given grid id after the run (format gridID:file.csv)")
+	xyzOut := flag.String("xyz", "", "write the grid system as a PLOT3D XYZ file after the run (suffix .g for ASCII, .gb for binary)")
+	flag.Parse()
+
+	var c *overd.Case
+	switch *caseName {
+	case "airfoil":
+		c = overd.OscillatingAirfoil(*scale)
+	case "deltawing":
+		c = overd.DescendingDeltaWing(*scale)
+	case "storesep":
+		c = overd.StoreSeparation(*scale)
+	default:
+		log.Fatalf("unknown case %q", *caseName)
+	}
+	m, err := overd.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("case %s: %d grids, %d composite gridpoints\n",
+		c.Name, len(c.Sys.Grids), c.Sys.NPoints())
+
+	if *dump {
+		fmt.Println("\ncomponent grids:")
+		for i, g := range c.Sys.Grids {
+			kind := "curvilinear"
+			if g.Cartesian {
+				kind = "cartesian"
+			}
+			tags := ""
+			if g.Moving {
+				tags += " moving"
+			}
+			if g.Viscous {
+				tags += " viscous"
+			}
+			if g.Turbulent {
+				tags += " turbulent"
+			}
+			fmt.Printf("  %2d %-16s %4dx%3dx%3d = %7d points  %s%s\n",
+				i, g.Name, g.NI, g.NJ, g.NK, g.NPoints(), kind, tags)
+		}
+		return
+	}
+
+	cfg := overd.Config{
+		Case: c, Nodes: *nodes, Machine: m, Steps: *steps,
+		Fo: *fo, CheckInterval: *checkEvery,
+	}
+	var spec overd.SampleSpec
+	spec.FieldGrid, spec.FieldK, spec.SurfaceGrid = -1, -1, -1
+	if *fieldOut != "" {
+		var gid int
+		var file string
+		if _, err := fmt.Sscanf(*fieldOut, "%d:%s", &gid, &file); err != nil {
+			log.Fatalf("-field wants gridID:file.csv: %v", err)
+		}
+		spec.FieldGrid = gid
+		cfg.Sample = &spec
+		defer func() { writeField(file, cfg) }()
+	}
+
+	res, err := overd.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastRes = res
+
+	fmt.Printf("\nprocessors per grid (Algorithm 1): %v  (τ = %.3f)\n", res.Np, res.Tau)
+	fmt.Printf("IGBPs: %d  orphans: %d\n", res.IGBPs, res.Orphans)
+	if res.Rebalances > 0 {
+		fmt.Printf("dynamic repartitions (Algorithm 2): %d\n", res.Rebalances)
+	}
+	fmt.Printf("\nvirtual time: %.3f s over %d steps (%.3f s/step) on the %s\n",
+		res.TotalTime, len(res.Steps), res.TimePerStep(), m.Name)
+	fmt.Printf("module breakdown: flow %.3fs  motion %.3fs  connect %.3fs  balance %.3fs\n",
+		res.FlowTime, res.MotionTime, res.ConnectTime, res.BalanceTime)
+	fmt.Printf("avg Mflops/node: %.1f   %%time in DCF3D: %.1f%%\n",
+		res.MflopsPerNode(), res.PctConnect())
+
+	if *xyzOut != "" {
+		f, err := os.Create(*xyzOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		format := plot3d.ASCII
+		if strings.HasSuffix(*xyzOut, ".gb") {
+			format = plot3d.Binary
+		}
+		if err := plot3d.WriteXYZ(f, c.Sys.Grids, format); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote PLOT3D grid system (with iblank) to %s\n", *xyzOut)
+	}
+}
+
+var lastRes *overd.Result
+
+func writeField(file string, cfg overd.Config) {
+	if lastRes == nil || len(lastRes.Field) == 0 {
+		return
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "x,y,z,mach,rho,p,iblank")
+	for _, s := range lastRes.Field {
+		fmt.Fprintf(f, "%.5f,%.5f,%.5f,%.5f,%.5f,%.5f,%d\n",
+			s.X, s.Y, s.Z, s.Mach, s.Rho, s.P, s.IBlank)
+	}
+	fmt.Printf("wrote %d field samples to %s\n", len(lastRes.Field), file)
+}

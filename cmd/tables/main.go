@@ -1,0 +1,100 @@
+// Command tables regenerates the paper's evaluation tables and figure
+// series (Tables 1-6, Figures 5/7/10/11) on the simulated IBM SP2 and SP.
+//
+// Usage:
+//
+//	tables [-scale f] [-steps n] [-only 1,2,3,4,5,6] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"overd"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
+	steps := flag.Int("steps", 4, "measured timesteps per run")
+	only := flag.String("only", "1,2,3,4,5,6", "comma-separated tables to run")
+	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	figures := flag.Bool("figures", false, "render the speedup figures (Figs. 5/7/10) as text plots")
+	flag.Parse()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	opt := overd.Options{Scale: *scale, Steps: *steps, Log: logw}
+	want := map[string]bool{}
+	for _, t := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if want["1"] {
+		t, err := overd.RunTable1(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintPerfTable(os.Stdout, t)
+		if *figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 5 left
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP")  // Fig. 5 right
+		}
+		fmt.Println()
+	}
+	if want["2"] {
+		rows, err := overd.RunTable2(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["3"] {
+		t, err := overd.RunTable3(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintPerfTable(os.Stdout, t)
+		if *figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 7
+		}
+		fmt.Println()
+	}
+	if want["4"] {
+		t, err := overd.RunTable4(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintPerfTable(os.Stdout, t)
+		if *figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 10
+		}
+		fmt.Println()
+	}
+	if want["5"] {
+		rows, err := overd.RunTable5(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintTable5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["6"] {
+		rows, err := overd.RunTable6(opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintTable6(os.Stdout, rows)
+		fmt.Println()
+	}
+}

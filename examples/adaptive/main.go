@@ -1,0 +1,96 @@
+// Adaptive demonstrates the paper's §5 solution-adaption scheme on an
+// X-38-like lifting body (the Fig. 12 scenario): the off-body domain is
+// automatically partitioned into Cartesian bricks refined by proximity to
+// the near-body region, a real flow solution advances over the brick system
+// with the coarse-grain group-parallel strategy (Algorithm 3), and the
+// system is then re-adapted from a solution-error indicator, refining where
+// gradients are strong and coarsening elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"overd"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "simulated SP2 nodes (one group per node)")
+	steps := flag.Int("steps", 4, "timesteps between adapt cycles")
+	flag.Parse()
+
+	// X-38 analog: a blunt lifting body about 2 units long.
+	body := overd.Box{
+		Min: overd.Vec3{X: -1.1, Y: -0.45, Z: -0.8},
+		Max: overd.Vec3{X: 1.1, Y: 0.35, Z: 0.8},
+	}
+	cfg := overd.AdaptiveConfig{
+		Domain: overd.Box{
+			Min: overd.Vec3{X: -8, Y: -8, Z: -8},
+			Max: overd.Vec3{X: 8, Y: 8, Z: 8},
+		},
+		H0:         1.0,
+		BrickCells: 6,
+		MaxLevel:   3,
+	}
+
+	// a) Default off-body Cartesian set: refinement by proximity (Fig 12a).
+	sys := overd.GenerateAdaptive(cfg, overd.ProximityIndicator(body, cfg.MaxLevel))
+	fmt.Printf("initial off-body system: %d bricks, %d points\n",
+		len(sys.Bricks), sys.TotalPoints())
+	fmt.Printf("  bricks per level: %v\n", sys.LevelCounts())
+
+	fs := overd.Freestream{Mach: 0.6}
+	ru, err := overd.NewAdaptiveRunner(sys, *nodes, fs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Algorithm-3 grouping over %d nodes: group sizes ", *nodes)
+	for _, g := range ru.Groups {
+		fmt.Printf("%d ", len(g))
+	}
+	fmt.Printf("\n  connectivity edges cut by the grouping: %d\n", ru.CutEdges)
+
+	// Advance the flow (real implicit Euler on every brick).
+	stats, err := ru.Run(overd.SP2(), *steps, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cross, local int
+	for _, s := range stats {
+		cross += s.BytesCross
+		local += s.BytesLocal
+	}
+	fmt.Printf("\nafter %d steps: intergrid traffic %d B cross-node, %d B intra-node\n",
+		*steps, cross, local)
+	fmt.Printf("  (Cartesian connectivity is search-free: donors resolve by index arithmetic)\n")
+
+	// b) Re-adapt from the solution-error estimate (Fig 12b): refinement
+	// follows the flow, coarsening falls out of the regeneration. In the
+	// full scheme the near-body curvilinear solution feeds the off-body
+	// gradients; this standalone demo stands that in with the body's wake
+	// footprint imposed on the brick solution.
+	wake := overd.Box{
+		Min: overd.Vec3{X: 1.1, Y: -1.0, Z: -1.0},
+		Max: overd.Vec3{X: 5.0, Y: 1.0, Z: 1.0},
+	}
+	ru.ImposeDisturbance(wake, 0.35)
+	ind := ru.ErrorIndicator(overd.ProximityIndicator(body, cfg.MaxLevel), 0.05)
+	sys2 := sys.Adapt(ind)
+	fmt.Printf("\nrefined system after adapt cycle: %d bricks, %d points\n",
+		len(sys2.Bricks), sys2.TotalPoints())
+	fmt.Printf("  bricks per level: %v\n", sys2.LevelCounts())
+
+	// Transfer the solution onto the new system and keep going.
+	ru2, err := ru.Regrid(sys2, *nodes, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats2, err := ru2.Run(overd.SP2(), 2, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontinued %d steps on the adapted system (%.4f s/step virtual)\n",
+		len(stats2), stats2[len(stats2)-1].Time)
+}

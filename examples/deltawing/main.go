@@ -1,0 +1,46 @@
+// Deltawing runs the paper's §4.2 descending delta-wing case across the
+// published processor partitions and reports the Table 3 statistics,
+// demonstrating how static load balancing (Algorithm 1) assigns processor
+// groups to the four component grids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"overd"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "gridpoint budget multiplier (1 = paper's ~1M)")
+	steps := flag.Int("steps", 4, "timesteps per partition")
+	flag.Parse()
+
+	fmt.Println("descending delta wing (paper §4.2) on the simulated IBM SP2")
+	var base *overd.Result
+	for _, nodes := range []int{7, 12, 26} {
+		c := overd.DescendingDeltaWing(*scale)
+		res, err := overd.Run(overd.Config{
+			Case:    c,
+			Nodes:   nodes,
+			Machine: overd.SP2(),
+			Steps:   *steps,
+			Fo:      math.Inf(1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		fmt.Printf("\n%2d nodes: processors per grid %v (τ = %.3f)\n", nodes, res.Np, res.Tau)
+		fmt.Printf("   avg gridpoints/node %d\n", c.Sys.NPoints()/nodes)
+		fmt.Printf("   Mflops/node %.1f   speedup %.2f   %%DCF3D %.0f%%\n",
+			res.MflopsPerNode(), base.TotalTime/res.TotalTime, res.PctConnect())
+		fmt.Printf("   module times/step: flow %.3fs  motion %.3fs  connect %.3fs\n",
+			res.FlowTime/float64(*steps), res.MotionTime/float64(*steps),
+			res.ConnectTime/float64(*steps))
+	}
+}

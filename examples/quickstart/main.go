@@ -1,0 +1,45 @@
+// Quickstart: run the paper's 2-D oscillating-airfoil case on a simulated
+// 12-node IBM SP2 and print the per-step module breakdown — the smallest
+// complete use of the overd public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"overd"
+)
+
+func main() {
+	// Build the §4.1 case at 30% of the paper's gridpoint budget so the
+	// example finishes in seconds (pass 1.0 for the full 64K points).
+	c := overd.OscillatingAirfoil(0.3)
+	fmt.Printf("case %q: %d component grids, %d composite gridpoints\n",
+		c.Name, len(c.Sys.Grids), c.Sys.NPoints())
+
+	res, err := overd.Run(overd.Config{
+		Case:    c,
+		Nodes:   12,
+		Machine: overd.SP2(),
+		Steps:   8,
+		Fo:      math.Inf(1), // static load balancing only (as in Table 1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nprocessors per grid (Algorithm 1): %v   tolerance factor τ = %.3f\n",
+		res.Np, res.Tau)
+	fmt.Printf("intergrid boundary points: %d (ratio %.1fe-3)\n",
+		res.IGBPs, 1000*float64(res.IGBPs)/float64(c.Sys.NPoints()))
+
+	fmt.Println("\nstep   flow(s)  motion(s)  connect(s)  [virtual seconds on the SP2]")
+	for i, s := range res.Steps {
+		fmt.Printf("%4d   %7.4f  %9.4f  %10.4f\n", i+1, s.Flow, s.Motion, s.Connect)
+	}
+
+	fmt.Printf("\naverage Mflops/node: %.1f\n", res.MflopsPerNode())
+	fmt.Printf("%% time in connectivity (DCF3D): %.1f%%\n", res.PctConnect())
+	fmt.Printf("time per step: %.3f s\n", res.TimePerStep())
+}

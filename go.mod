@@ -1,0 +1,3 @@
+module overd
+
+go 1.22

@@ -1,0 +1,282 @@
+// Package adapt implements the solution-adaption scheme of the paper's §5:
+// the off-body portion of the domain is automatically partitioned into a
+// system of uniformly spaced Cartesian grids ("bricks") at nested
+// refinement levels. Each brick is fully described by seven parameters
+// (bounding box plus spacing); initial refinement follows proximity to the
+// near-body curvilinear grids, and the system is re-partitioned during the
+// run in response to body motion and solution-error estimates. Connectivity
+// among Cartesian components needs no donor searches, and the large number
+// of small grids exposes the coarse-grain parallelism exploited by the
+// grouping strategy (Algorithm 3, package balance).
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"overd/internal/geom"
+)
+
+// Brick is one off-body Cartesian component: an axis-aligned box with
+// uniform spacing — the "seven parameters per grid" of §5.
+type Brick struct {
+	// Box is the world-frame extent.
+	Box geom.Box
+	// H is the grid spacing (equal in all directions).
+	H float64
+	// Level is the refinement level (0 coarsest; level L has spacing
+	// H0/2^L).
+	Level int
+	// Index locates the brick in its level's lattice.
+	Index [3]int
+}
+
+// Points returns the number of grid points the brick carries (cells + 1 in
+// each direction, plus one fringe layer on every side for intergrid
+// coupling).
+func (b Brick) Points() int {
+	n := b.cellsPerSide() + 3 // +1 point, +2 fringe layers
+	return n * n * n
+}
+
+func (b Brick) cellsPerSide() int {
+	s := b.Box.Size()
+	return int(math.Round(s.X / b.H))
+}
+
+// Contains reports whether the world point lies in the brick.
+func (b Brick) Contains(p geom.Vec3) bool { return b.Box.Contains(p) }
+
+// Config controls off-body system generation.
+type Config struct {
+	// Domain is the full off-body extent to cover.
+	Domain geom.Box
+	// H0 is the level-0 (coarsest) spacing.
+	H0 float64
+	// BrickCells is the number of cells per brick side at every level
+	// (bricks at level L+1 are half the size of level-L bricks).
+	BrickCells int
+	// MaxLevel bounds refinement.
+	MaxLevel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BrickCells <= 0 {
+		c.BrickCells = 8
+	}
+	if c.MaxLevel < 0 {
+		c.MaxLevel = 0
+	}
+	if c.H0 <= 0 {
+		c.H0 = 1
+	}
+	return c
+}
+
+// brickSide returns the world-space side length of a brick at the level.
+func (c Config) brickSide(level int) float64 {
+	return float64(c.BrickCells) * c.H0 / math.Pow(2, float64(level))
+}
+
+// System is a generated off-body Cartesian grid system.
+type System struct {
+	Cfg    Config
+	Bricks []Brick
+}
+
+// Generate builds the off-body system: the domain is tiled with level-0
+// bricks, and every brick whose refinement indicator demands a deeper level
+// is recursively replaced by its eight children. The indicator returns the
+// desired level at a world position — proximity to near-body grids
+// initially, solution-error estimates during adaption (§5: "the level of
+// refinement is based on proximity to the near-body curvilinear grids",
+// then "automatically repartitioned during adaption in response to body
+// motion and estimates of solution error").
+func Generate(cfg Config, want func(p geom.Vec3) int) *System {
+	cfg = cfg.withDefaults()
+	s := &System{Cfg: cfg}
+	side := cfg.brickSide(0)
+	size := cfg.Domain.Size()
+	nx := int(math.Ceil(size.X / side))
+	ny := int(math.Ceil(size.Y / side))
+	nz := int(math.Ceil(size.Z / side))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	if nz < 1 {
+		nz = 1
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				min := geom.Vec3{
+					X: cfg.Domain.Min.X + float64(i)*side,
+					Y: cfg.Domain.Min.Y + float64(j)*side,
+					Z: cfg.Domain.Min.Z + float64(k)*side,
+				}
+				b := Brick{
+					Box:   geom.Box{Min: min, Max: min.Add(geom.Vec3{X: side, Y: side, Z: side})},
+					H:     cfg.H0,
+					Level: 0,
+					Index: [3]int{i, j, k},
+				}
+				s.refineInto(b, want)
+			}
+		}
+	}
+	return s
+}
+
+// refineInto appends b or, if the indicator wants a finer level anywhere in
+// it, its eight children recursively.
+func (s *System) refineInto(b Brick, want func(p geom.Vec3) int) {
+	if b.Level < s.Cfg.MaxLevel && s.needsRefinement(b, want) {
+		half := b.Box.Size().Scale(0.5)
+		for c := 0; c < 8; c++ {
+			min := b.Box.Min
+			idx := [3]int{b.Index[0] * 2, b.Index[1] * 2, b.Index[2] * 2}
+			if c&1 != 0 {
+				min.X += half.X
+				idx[0]++
+			}
+			if c&2 != 0 {
+				min.Y += half.Y
+				idx[1]++
+			}
+			if c&4 != 0 {
+				min.Z += half.Z
+				idx[2]++
+			}
+			child := Brick{
+				Box:   geom.Box{Min: min, Max: min.Add(half)},
+				H:     b.H / 2,
+				Level: b.Level + 1,
+				Index: idx,
+			}
+			s.refineInto(child, want)
+		}
+		return
+	}
+	s.Bricks = append(s.Bricks, b)
+}
+
+// needsRefinement samples the indicator over the brick.
+func (s *System) needsRefinement(b Brick, want func(p geom.Vec3) int) bool {
+	const n = 2
+	for k := 0; k <= n; k++ {
+		for j := 0; j <= n; j++ {
+			for i := 0; i <= n; i++ {
+				p := geom.Vec3{
+					X: b.Box.Min.X + b.Box.Size().X*float64(i)/n,
+					Y: b.Box.Min.Y + b.Box.Size().Y*float64(j)/n,
+					Z: b.Box.Min.Z + b.Box.Size().Z*float64(k)/n,
+				}
+				if want(p) > b.Level {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ProximityIndicator returns an indicator assigning the finest level inside
+// `near` (inflated near-body bounds) and decaying one level per doubling of
+// distance — the §5 initial refinement rule.
+func ProximityIndicator(near geom.Box, maxLevel int) func(geom.Vec3) int {
+	scale := near.Size().Norm() / 2
+	if scale <= 0 {
+		scale = 1
+	}
+	return func(p geom.Vec3) int {
+		if near.Contains(p) {
+			return maxLevel
+		}
+		d := distToBox(near, p)
+		lvl := maxLevel - int(math.Floor(math.Log2(1+d/scale)*2))
+		if lvl < 0 {
+			return 0
+		}
+		return lvl
+	}
+}
+
+func distToBox(b geom.Box, p geom.Vec3) float64 {
+	dx := math.Max(math.Max(b.Min.X-p.X, 0), p.X-b.Max.X)
+	dy := math.Max(math.Max(b.Min.Y-p.Y, 0), p.Y-b.Max.Y)
+	dz := math.Max(math.Max(b.Min.Z-p.Z, 0), p.Z-b.Max.Z)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// LevelCounts returns the number of bricks at each level.
+func (s *System) LevelCounts() []int {
+	maxL := 0
+	for _, b := range s.Bricks {
+		if b.Level > maxL {
+			maxL = b.Level
+		}
+	}
+	out := make([]int, maxL+1)
+	for _, b := range s.Bricks {
+		out[b.Level]++
+	}
+	return out
+}
+
+// TotalPoints returns the composite gridpoint count of the system.
+func (s *System) TotalPoints() int {
+	t := 0
+	for _, b := range s.Bricks {
+		t += b.Points()
+	}
+	return t
+}
+
+// Locate returns the index of the finest brick containing p, or -1. The
+// lookup is search-free: "the connectivity solution with Cartesian grids
+// can be determined very quickly because costly donor searches are
+// avoided."
+func (s *System) Locate(p geom.Vec3) int {
+	best := -1
+	for i, b := range s.Bricks {
+		if b.Contains(p) && (best < 0 || b.Level > s.Bricks[best].Level) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Connected reports whether bricks a and b overlap or touch (the
+// connectivity array of Algorithm 3).
+func (s *System) Connected(a, b int) bool {
+	if a == b {
+		return false
+	}
+	eps := math.Min(s.Bricks[a].H, s.Bricks[b].H) * 0.5
+	return s.Bricks[a].Box.Inflate(eps).Overlaps(s.Bricks[b].Box)
+}
+
+// Sizes returns per-brick gridpoint counts (the grouping loads).
+func (s *System) Sizes() []int {
+	out := make([]int, len(s.Bricks))
+	for i, b := range s.Bricks {
+		out[i] = b.Points()
+	}
+	return out
+}
+
+// Adapt regenerates the system for a new indicator (body moved, error
+// estimate changed): both refinement and coarsening fall out of the
+// regeneration ("facilitating both refinement and coarsening").
+func (s *System) Adapt(want func(p geom.Vec3) int) *System {
+	return Generate(s.Cfg, want)
+}
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("adapt.System{%d bricks, %d points, levels %v}",
+		len(s.Bricks), s.TotalPoints(), s.LevelCounts())
+}

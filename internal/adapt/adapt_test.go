@@ -1,0 +1,307 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"overd/internal/flow"
+	"overd/internal/geom"
+	"overd/internal/machine"
+)
+
+func testDomain() geom.Box {
+	return geom.Box{Min: geom.Vec3{X: -4, Y: -4, Z: -4}, Max: geom.Vec3{X: 4, Y: 4, Z: 4}}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 0.5, BrickCells: 4, MaxLevel: 2}
+	sys := Generate(cfg, func(geom.Vec3) int { return 0 })
+	// 8/2 = 4 bricks per side at level 0.
+	if len(sys.Bricks) != 4*4*4 {
+		t.Fatalf("got %d bricks, want 64", len(sys.Bricks))
+	}
+	counts := sys.LevelCounts()
+	if len(counts) != 1 || counts[0] != 64 {
+		t.Errorf("level counts = %v", counts)
+	}
+	// Bricks tile the domain disjointly: every probe lands in exactly one.
+	for _, p := range []geom.Vec3{{X: 0.1, Y: 0.1, Z: 0.1}, {X: -3.9, Y: 3.9, Z: 0.1}} {
+		n := 0
+		for _, b := range sys.Bricks {
+			if b.Contains(p) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("point %v inside %d bricks", p, n)
+		}
+	}
+}
+
+func TestGenerateProximityRefinement(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 0.5, BrickCells: 4, MaxLevel: 2}
+	near := geom.Box{Min: geom.Vec3{X: -0.5, Y: -0.5, Z: -0.5}, Max: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}}
+	sys := Generate(cfg, ProximityIndicator(near, 2))
+	counts := sys.LevelCounts()
+	if len(counts) != 3 {
+		t.Fatalf("levels = %v, want 3 levels", counts)
+	}
+	for l, c := range counts {
+		if c == 0 {
+			t.Errorf("level %d has no bricks: %v", l, counts)
+		}
+	}
+	// The finest brick containing the body center is level 2.
+	bi := sys.Locate(geom.Vec3{})
+	if bi < 0 || sys.Bricks[bi].Level != 2 {
+		t.Errorf("center brick level = %d", sys.Bricks[bi].Level)
+	}
+	// Far corner stays coarse.
+	bi = sys.Locate(geom.Vec3{X: 3.9, Y: 3.9, Z: 3.9})
+	if bi < 0 || sys.Bricks[bi].Level != 0 {
+		t.Errorf("corner brick level = %d", sys.Bricks[bi].Level)
+	}
+	// Spacing halves per level.
+	for _, b := range sys.Bricks {
+		want := cfg.H0 / math.Pow(2, float64(b.Level))
+		if math.Abs(b.H-want) > 1e-12 {
+			t.Fatalf("brick level %d spacing %v, want %v", b.Level, b.H, want)
+		}
+	}
+}
+
+func TestAdaptRefinesAndCoarsens(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 0.5, BrickCells: 4, MaxLevel: 2}
+	near1 := geom.Box{Min: geom.Vec3{X: -0.5, Y: -0.5, Z: -0.5}, Max: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}}
+	sys := Generate(cfg, ProximityIndicator(near1, 2))
+	// The body moves: refinement follows, old region coarsens.
+	near2 := geom.Box{Min: geom.Vec3{X: 2, Y: 2, Z: 2}, Max: geom.Vec3{X: 3, Y: 3, Z: 3}}
+	sys2 := sys.Adapt(ProximityIndicator(near2, 2))
+	// Finest region moved.
+	if bi := sys2.Locate(geom.Vec3{X: 2.5, Y: 2.5, Z: 2.5}); sys2.Bricks[bi].Level != 2 {
+		t.Error("refinement did not follow the body")
+	}
+	if bi := sys2.Locate(geom.Vec3{X: -3, Y: -3, Z: -3}); sys2.Bricks[bi].Level != 0 {
+		t.Error("far field should have coarsened")
+	}
+}
+
+func TestBrickPoints(t *testing.T) {
+	b := Brick{Box: geom.Box{Max: geom.Vec3{X: 2, Y: 2, Z: 2}}, H: 0.5}
+	// 4 cells per side -> 7^3 points with fringe.
+	if got := b.Points(); got != 343 {
+		t.Errorf("Points = %d, want 343", got)
+	}
+}
+
+func TestRunnerGroupingLocality(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 1}
+	near := geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	sys := Generate(cfg, ProximityIndicator(near, 1))
+	fs := flow.Freestream{Mach: 0.5}
+	grouped, err := NewRunner(sys, 4, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRunner(sys, 4, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.CutEdges >= rr.CutEdges {
+		t.Errorf("grouping cut %d edges, round-robin %d: locality lost",
+			grouped.CutEdges, rr.CutEdges)
+	}
+	// Every brick assigned exactly once.
+	seen := map[int]bool{}
+	for _, g := range grouped.Groups {
+		for _, b := range g {
+			if seen[b] {
+				t.Fatalf("brick %d in two groups", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != len(sys.Bricks) {
+		t.Fatalf("assigned %d of %d bricks", len(seen), len(sys.Bricks))
+	}
+}
+
+func TestRunnerFreestreamPreserved(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 1}
+	near := geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	sys := Generate(cfg, ProximityIndicator(near, 1))
+	fs := flow.Freestream{Mach: 0.5}
+	ru, err := NewRunner(sys, 3, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ru.Run(machine.SP2(), 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats len %d", len(stats))
+	}
+	for i, s := range stats {
+		if s.Time <= 0 {
+			t.Errorf("step %d time %v", i, s.Time)
+		}
+	}
+	// Uniform freestream stays uniform through inter-brick coupling.
+	qf := fs.Conserved()
+	worst := 0.0
+	for _, blk := range ru.blocks {
+		g := blk.G
+		for k := 1; k < g.NK-1; k++ {
+			for j := 1; j < g.NJ-1; j++ {
+				for i := 1; i < g.NI-1; i++ {
+					q, _ := blk.QAtGlobal(i, j, k)
+					for c := 0; c < 5; c++ {
+						if d := math.Abs(q[c] - qf[c]); d > worst {
+							worst = d
+						}
+					}
+				}
+			}
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("freestream drift %v across adaptive bricks", worst)
+	}
+}
+
+func TestRunnerGroupingBeatsRoundRobinTraffic(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 1}
+	near := geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	sys := Generate(cfg, ProximityIndicator(near, 1))
+	fs := flow.Freestream{Mach: 0.5}
+	run := func(grouping bool) int {
+		ru, err := NewRunner(sys, 4, fs, grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ru.Run(machine.SP2(), 1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats[0].BytesCross
+	}
+	grouped := run(true)
+	rr := run(false)
+	if grouped >= rr {
+		t.Errorf("grouping cross-traffic %d should beat round-robin %d", grouped, rr)
+	}
+}
+
+func TestRegridTransfersSolution(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 1}
+	near := geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	sys := Generate(cfg, ProximityIndicator(near, 1))
+	fs := flow.Freestream{Mach: 0.5}
+	ru, err := NewRunner(sys, 2, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag the solution with a recognizable non-freestream density bump.
+	for _, blk := range ru.blocks {
+		for n := 0; n < blk.NPointsLocal(); n++ {
+			q := blk.QAt(n)
+			q[0] = 2.0
+			blk.SetQ(n, q)
+		}
+	}
+	near2 := geom.Box{Min: geom.Vec3{X: 0, Y: 0, Z: 0}, Max: geom.Vec3{X: 2, Y: 2, Z: 2}}
+	sys2 := sys.Adapt(ProximityIndicator(near2, 1))
+	nr, err := ru.Regrid(sys2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transferred density survives.
+	bi := nr.Sys.Locate(geom.Vec3{X: 1, Y: 1, Z: 1})
+	blk := nr.blocks[bi]
+	q := blk.QAt(blk.LIdx(2, 2, 2))
+	if math.Abs(q[0]-2.0) > 1e-9 {
+		t.Errorf("regridded density %v, want 2.0", q[0])
+	}
+}
+
+func TestErrorIndicatorRaisesLevel(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 2}
+	near := geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	base := ProximityIndicator(near, 1)
+	sys := Generate(cfg, base)
+	ru, err := NewRunner(sys, 2, flow.Freestream{Mach: 0.5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impose a sharp density gradient in one brick.
+	target := sys.Locate(geom.Vec3{X: 3, Y: 3, Z: 3})
+	blk := ru.blocks[target]
+	for n := 0; n < blk.NPointsLocal(); n++ {
+		q := blk.QAt(n)
+		q[0] = 1 + 5*blk.XL[n]
+		blk.SetQ(n, q)
+	}
+	ind := ru.ErrorIndicator(base, 1.0)
+	p := geom.Vec3{X: 3, Y: 3, Z: 3}
+	if ind(p) <= base(p) {
+		t.Error("error indicator should request refinement where gradients are strong")
+	}
+	// Quiet regions keep the base level.
+	quiet := geom.Vec3{X: -3, Y: -3, Z: -3}
+	if ind(quiet) != base(quiet) {
+		t.Error("quiet region should keep base level")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 0}
+	sys := Generate(cfg, func(geom.Vec3) int { return 0 })
+	if sys.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestImposeDisturbance(t *testing.T) {
+	cfg := Config{Domain: testDomain(), H0: 1, BrickCells: 4, MaxLevel: 1}
+	base := func(geom.Vec3) int { return 0 }
+	sys := Generate(cfg, base)
+	fs := flow.Freestream{Mach: 0.5}
+	ru, err := NewRunner(sys, 2, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymmetric wake-like region (off lattice centers, as in Fig. 12).
+	region := geom.Box{Min: geom.Vec3{X: 0.3, Y: -0.9, Z: -0.9}, Max: geom.Vec3{X: 3.1, Y: 1.1, Z: 0.9}}
+	ru.ImposeDisturbance(region, 0.5)
+	// Points outside the region (with margin) stay at freestream density.
+	for _, blk := range ru.blocks {
+		for n := 0; n < blk.NPointsLocal(); n++ {
+			p := geom.Vec3{X: blk.XL[n], Y: blk.YL[n], Z: blk.ZL[n]}
+			if region.Inflate(1e-9).Contains(p) {
+				continue
+			}
+			if d := blk.QAt(n)[0] - 1; d > 1e-12 {
+				t.Fatalf("disturbance leaked to %v: %v", p, d)
+			}
+		}
+	}
+	// The error indicator asks for refinement somewhere in the region.
+	ind := ru.ErrorIndicator(base, 0.02)
+	raised := false
+	for _, p := range []geom.Vec3{
+		{X: 0.7, Y: 0.1, Z: 0.1}, {X: 1.3, Y: -0.3, Z: 0.3},
+		{X: 2.1, Y: 0.5, Z: -0.5}, {X: 2.9, Y: 0.1, Z: 0.1},
+	} {
+		if ind(p) > base(p) {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Error("error indicator should request refinement inside the disturbance")
+	}
+	// Quiet regions keep the base level.
+	if q := (geom.Vec3{X: -3, Y: -3, Z: -3}); ind(q) != base(q) {
+		t.Error("quiet region level changed")
+	}
+}

@@ -1,0 +1,386 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overd/internal/balance"
+	"overd/internal/flow"
+	"overd/internal/geom"
+	"overd/internal/gridgen"
+	"overd/internal/machine"
+	"overd/internal/par"
+)
+
+// Runner executes a real flow solution over an off-body Cartesian system
+// with the entirely coarse-grained strategy of §5: bricks are gathered into
+// groups by Algorithm 3, each group is assigned to one node, intergrid data
+// inside a group moves by memory copy, and only group-boundary overlaps
+// cross the network.
+type Runner struct {
+	Sys *System
+	FS  flow.Freestream
+	// Groups maps each node to its brick indices (Algorithm 3 output).
+	Groups [][]int
+	// GroupOf maps brick index to owning node.
+	GroupOf []int
+
+	// blocks holds one solver block per brick.
+	blocks []*flow.Block
+	// fringe exchange plan: per brick, its fringe points with donors.
+	recv [][]fringePt
+
+	// CutEdges counts brick connectivity pairs crossing groups.
+	CutEdges int
+}
+
+type fringePt struct {
+	i, j, k  int // receiver point in its brick grid
+	donor    int // donor brick
+	ci, cj   int // donor cell
+	ck       int
+	a, b, c  float64   // interpolation coordinates
+	donorPos geom.Vec3 // receiver position (diagnostics)
+}
+
+// NewRunner groups the system's bricks over `nodes` nodes (Algorithm 3 by
+// default; round-robin when grouping is false, the locality-blind baseline
+// for the ablation study), builds per-brick solver state, and precomputes
+// the search-free intergrid connectivity.
+func NewRunner(sys *System, nodes int, fs flow.Freestream, grouping bool) (*Runner, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("adapt: need at least one node")
+	}
+	ru := &Runner{Sys: sys, FS: fs}
+	if grouping {
+		ru.Groups = balance.Group(sys.Sizes(), sys.Connected, nodes)
+	} else {
+		ru.Groups = balance.RoundRobin(len(sys.Bricks), nodes)
+	}
+	ru.GroupOf = make([]int, len(sys.Bricks))
+	for g, members := range ru.Groups {
+		for _, b := range members {
+			ru.GroupOf[b] = g
+		}
+	}
+	ru.CutEdges = balance.CutEdges(ru.Groups, len(sys.Bricks), sys.Connected)
+
+	// Build one block per brick. Each brick grid includes one fringe layer
+	// outside the owned box on every side; all faces are overset.
+	ru.blocks = make([]*flow.Block, len(sys.Bricks))
+	for i, b := range sys.Bricks {
+		n := b.cellsPerSide() + 3
+		gb := b.Box.Inflate(b.H) // one-cell fringe margin
+		g := gridgen.CartesianBox(i, fmt.Sprintf("brick-%d-L%d", i, b.Level), n, n, n, gb)
+		ru.blocks[i] = flow.NewBlock(g, g.Full(), fs)
+	}
+
+	ru.buildConnectivity()
+	return ru, nil
+}
+
+// buildConnectivity fills the fringe receive plans: every boundary-layer
+// point of a brick interpolates from the finest other brick containing it.
+// No stencil walking is needed; donors resolve by integer arithmetic.
+func (ru *Runner) buildConnectivity() {
+	sys := ru.Sys
+	ru.recv = make([][]fringePt, len(sys.Bricks))
+	for bi := range sys.Bricks {
+		blk := ru.blocks[bi]
+		g := blk.G
+		n := g.NI
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					// Fringe = outermost layer of the (inflated) brick grid.
+					if i != 0 && i != n-1 && j != 0 && j != n-1 && k != 0 && k != n-1 {
+						continue
+					}
+					p := g.At(i, j, k)
+					di := ru.locateDonor(bi, p)
+					if di < 0 {
+						continue // domain boundary: farfield handled by BCs
+					}
+					d := sys.Bricks[di]
+					dg := ru.blocks[di].G
+					o := dg.At(0, 0, 0)
+					fx := (p.X - o.X) / d.H
+					fy := (p.Y - o.Y) / d.H
+					fz := (p.Z - o.Z) / d.H
+					ci, a := splitCellF(fx, dg.NI)
+					cj, bb := splitCellF(fy, dg.NJ)
+					ck, c := splitCellF(fz, dg.NK)
+					ru.recv[bi] = append(ru.recv[bi], fringePt{
+						i: i, j: j, k: k, donor: di,
+						ci: ci, cj: cj, ck: ck, a: a, b: bb, c: c,
+						donorPos: p,
+					})
+				}
+			}
+		}
+	}
+}
+
+func splitCellF(f float64, n int) (int, float64) {
+	i := int(math.Floor(f))
+	if i < 0 {
+		i = 0
+	}
+	if i > n-2 {
+		i = n - 2
+	}
+	return i, f - float64(i)
+}
+
+// locateDonor finds the finest brick other than self whose interior (not
+// fringe margin) contains p.
+func (ru *Runner) locateDonor(self int, p geom.Vec3) int {
+	best := -1
+	for i, b := range ru.Sys.Bricks {
+		if i == self || !b.Contains(p) {
+			continue
+		}
+		if best < 0 || b.Level > ru.Sys.Bricks[best].Level {
+			best = i
+		}
+	}
+	return best
+}
+
+// StepStats reports one adaptive step's coarse-grain behavior.
+type StepStats struct {
+	// Time is the virtual step duration (max over nodes).
+	Time float64
+	// BytesCross is the intergrid traffic that crossed group boundaries.
+	BytesCross int
+	// BytesLocal is the intergrid traffic satisfied inside groups.
+	BytesLocal int
+}
+
+// Run advances the system `steps` timesteps on the simulated machine,
+// returning per-step stats. Intra-group fringe updates are memory copies;
+// cross-group updates are messages.
+func (ru *Runner) Run(m machine.Model, steps int, dt float64) ([]StepStats, error) {
+	nodes := len(ru.Groups)
+	world := par.NewWorld(nodes, m)
+	stats := make([]StepStats, steps)
+
+	type fringeVal struct {
+		Vals    []float64
+		Indices []int
+	}
+
+	world.Run(func(r *par.Rank) {
+		r.SetPhase(par.PhaseFlow)
+		myBricks := ru.Groups[r.ID]
+		ws := 0.0
+		for _, bi := range myBricks {
+			ws += ru.blocks[bi].WorkingSetBytes()
+		}
+		r.SetWorkingSet(ws)
+
+		for step := 0; step < steps; step++ {
+			cross, local := 0, 0
+			// 1. Serve the fringe interpolation for every receiver whose
+			//    donor brick I own, grouped by receiving node.
+			perDst := map[int][]float64{}
+			perDstIdx := map[int][]int{}
+			interp := 0
+			for rb := range ru.recv {
+				for fi, fp := range ru.recv[rb] {
+					if ru.GroupOf[fp.donor] != r.ID {
+						continue
+					}
+					q, ok := ru.blocks[fp.donor].InterpolateCell(fp.ci, fp.cj, fp.ck, fp.a, fp.b, fp.c)
+					if !ok {
+						continue
+					}
+					interp++
+					dst := ru.GroupOf[rb]
+					perDst[dst] = append(perDst[dst], q[:]...)
+					perDstIdx[dst] = append(perDstIdx[dst], rb, fi)
+				}
+			}
+			r.Compute(float64(interp) * 40)
+			var dsts []int
+			for d := range perDst {
+				dsts = append(dsts, d)
+			}
+			sort.Ints(dsts)
+			for _, dst := range dsts {
+				bytes := len(perDst[dst]) * 8
+				if dst == r.ID {
+					local += bytes
+					ru.applyFringe(perDstIdx[dst], perDst[dst])
+					continue
+				}
+				cross += bytes
+				r.Send(dst, par.TagUser+2, fringeVal{Vals: perDst[dst], Indices: perDstIdx[dst]}, bytes)
+			}
+			// Receive from every group that owns donors of my bricks.
+			expect := map[int]bool{}
+			for _, bi := range myBricks {
+				for _, fp := range ru.recv[bi] {
+					if g := ru.GroupOf[fp.donor]; g != r.ID {
+						expect[g] = true
+					}
+				}
+			}
+			var froms []int
+			for f := range expect {
+				froms = append(froms, f)
+			}
+			sort.Ints(froms)
+			for _, from := range froms {
+				msg := r.Recv(from, par.TagUser+2)
+				fv := msg.Data.(fringeVal)
+				ru.applyFringe(fv.Indices, fv.Vals)
+			}
+			r.Barrier()
+
+			// 2. Advance every brick I own (latency hiding is possible by
+			//    starting interior bricks first; the coarse model charges
+			//    pure compute here).
+			for _, bi := range myBricks {
+				ru.blocks[bi].FlowStep(r, dt)
+			}
+			r.Barrier()
+			if r.ID == 0 {
+				stats[step] = StepStats{
+					Time:       r.Clock,
+					BytesCross: cross,
+					BytesLocal: local,
+				}
+			}
+			r.Barrier()
+		}
+	})
+
+	// Convert cumulative clocks into per-step durations.
+	prev := 0.0
+	for i := range stats {
+		d := stats[i].Time - prev
+		prev = stats[i].Time
+		stats[i].Time = d
+	}
+	return stats, nil
+}
+
+// applyFringe writes interpolated values into receiver bricks.
+// indices holds (brick, fringe index) pairs; vals holds 5 floats each.
+func (ru *Runner) applyFringe(indices []int, vals []float64) {
+	for n := 0; n*2 < len(indices); n++ {
+		rb, fi := indices[2*n], indices[2*n+1]
+		fp := ru.recv[rb][fi]
+		blk := ru.blocks[rb]
+		var q [5]float64
+		copy(q[:], vals[5*n:5*n+5])
+		blk.SetQ(blk.LIdx(fp.i, fp.j, fp.k), q)
+	}
+}
+
+// ImposeDisturbance adds a density perturbation of the given amplitude
+// inside a world-frame region, tapering to zero at its edges — a stand-in
+// for the near-body solution footprint when the runner is used without
+// curvilinear near-body grids.
+func (ru *Runner) ImposeDisturbance(region geom.Box, amplitude float64) {
+	c := region.Center()
+	half := region.Size().Scale(0.5)
+	for _, blk := range ru.blocks {
+		for n := 0; n < blk.NPointsLocal(); n++ {
+			p := geom.Vec3{X: blk.XL[n], Y: blk.YL[n], Z: blk.ZL[n]}
+			if !region.Contains(p) {
+				continue
+			}
+			fx := 1 - math.Abs(p.X-c.X)/half.X
+			fy := 1 - math.Abs(p.Y-c.Y)/half.Y
+			fz := 1 - math.Abs(p.Z-c.Z)/half.Z
+			q := blk.QAt(n)
+			q[0] += amplitude * fx * fy * fz
+			blk.SetQ(n, q)
+		}
+	}
+}
+
+// ErrorIndicator builds an adaption indicator from the current solution:
+// the desired level rises where the density gradient is strong. base is
+// the proximity indicator that sets the floor.
+func (ru *Runner) ErrorIndicator(base func(geom.Vec3) int, threshold float64) func(geom.Vec3) int {
+	return func(p geom.Vec3) int {
+		lvl := base(p)
+		bi := ru.Sys.Locate(p)
+		if bi < 0 {
+			return lvl
+		}
+		if ru.gradientAt(bi, p) > threshold && lvl < ru.Sys.Cfg.MaxLevel {
+			lvl++
+		}
+		return lvl
+	}
+}
+
+// gradientAt estimates |∇ρ| near p in brick bi.
+func (ru *Runner) gradientAt(bi int, p geom.Vec3) float64 {
+	blk := ru.blocks[bi]
+	g := blk.G
+	b := ru.Sys.Bricks[bi]
+	o := g.At(0, 0, 0)
+	i := clampI(int((p.X-o.X)/b.H), 1, g.NI-2)
+	j := clampI(int((p.Y-o.Y)/b.H), 1, g.NJ-2)
+	k := clampI(int((p.Z-o.Z)/b.H), 1, g.NK-2)
+	at := func(i, j, k int) float64 {
+		q, _ := blk.QAtGlobal(i, j, k)
+		return q[0]
+	}
+	gx := (at(i+1, j, k) - at(i-1, j, k)) / (2 * b.H)
+	gy := (at(i, j+1, k) - at(i, j-1, k)) / (2 * b.H)
+	gz := (at(i, j, k+1) - at(i, j, k-1)) / (2 * b.H)
+	return math.Sqrt(gx*gx + gy*gy + gz*gz)
+}
+
+// Regrid transfers the solution onto a newly adapted system: every new
+// brick point interpolates from the old system (§5's "interpolation of
+// information on the coarse systems to the refined grids as well as
+// re-distribution of data after the adapt cycle").
+func (ru *Runner) Regrid(newSys *System, nodes int, grouping bool) (*Runner, error) {
+	nr, err := NewRunner(newSys, nodes, ru.FS, grouping)
+	if err != nil {
+		return nil, err
+	}
+	for bi := range nr.Sys.Bricks {
+		blk := nr.blocks[bi]
+		g := blk.G
+		for k := 0; k < g.NK; k++ {
+			for j := 0; j < g.NJ; j++ {
+				for i := 0; i < g.NI; i++ {
+					p := g.At(i, j, k)
+					oi := ru.Sys.Locate(p)
+					if oi < 0 {
+						continue // keep freestream
+					}
+					ob := ru.Sys.Bricks[oi]
+					og := ru.blocks[oi].G
+					oo := og.At(0, 0, 0)
+					ci, a := splitCellF((p.X-oo.X)/ob.H, og.NI)
+					cj, b := splitCellF((p.Y-oo.Y)/ob.H, og.NJ)
+					ck, c := splitCellF((p.Z-oo.Z)/ob.H, og.NK)
+					if q, ok := ru.blocks[oi].InterpolateCell(ci, cj, ck, a, b, c); ok {
+						blk.SetQ(blk.LIdx(i, j, k), q)
+					}
+				}
+			}
+		}
+	}
+	return nr, nil
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

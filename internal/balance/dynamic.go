@@ -1,0 +1,107 @@
+package balance
+
+// Dynamic implements Algorithm 2, the connectivity-solution re-balancer.
+//
+// After the solution has run for a specified number of timesteps, the
+// per-processor counts of received intergrid boundary points I(p) are
+// examined. For every processor whose load factor f(p) = I(p)/Ī exceeds the
+// user-specified fo, one more processor is granted to the component grid
+// that processor is assigned to, and the static routine is re-run with the
+// grown counts enforced as minimums. fo ≈ ∞ retains the static partition
+// (flow-solver optimal); fo ≈ 1 keeps chasing connectivity balance.
+type Dynamic struct {
+	// Fo is the user-specified load-balance factor. Values <= 0 are
+	// treated as infinite (dynamic scheme disabled).
+	Fo float64
+	// CheckInterval is the number of timesteps between imbalance checks.
+	CheckInterval int
+}
+
+// Result summarizes one dynamic-balance decision.
+type Result struct {
+	// Rebalanced reports whether a new plan was produced.
+	Rebalanced bool
+	// MaxF is the maximum load factor f(p) observed.
+	MaxF float64
+	// MeanI is the global average Ī of received IGBPs per processor.
+	MeanI float64
+	// GrownGrids lists component grids granted extra processors.
+	GrownGrids []int
+}
+
+// Check applies Algorithm 2 to the observed per-rank received-IGBP counts.
+// sizes are the component gridpoint counts g(n); plan is the current
+// partition. It returns the (possibly new) plan and a decision summary.
+func (d Dynamic) Check(plan *Plan, sizes []int, receivedIGBPs []int) (*Plan, Result, error) {
+	res := Result{}
+	np := plan.NP()
+	if len(receivedIGBPs) != np {
+		return plan, res, errLenMismatch(np, len(receivedIGBPs))
+	}
+	if d.Fo <= 0 || isInf(d.Fo) {
+		return plan, res, nil
+	}
+
+	var total float64
+	for _, v := range receivedIGBPs {
+		total += float64(v)
+	}
+	mean := total / float64(np)
+	res.MeanI = mean
+	if mean <= 0 {
+		return plan, res, nil
+	}
+
+	// np(n) grows once per offending processor assigned to grid n.
+	grow := make([]int, len(sizes))
+	for p, v := range receivedIGBPs {
+		f := float64(v) / mean
+		if f > res.MaxF {
+			res.MaxF = f
+		}
+		if f > d.Fo {
+			grow[plan.Parts[p].Grid]++
+		}
+	}
+
+	minNp := make([]int, len(sizes))
+	grew := false
+	for n := range sizes {
+		minNp[n] = plan.Np[n] + grow[n]
+		if grow[n] > 0 {
+			grew = true
+			res.GrownGrids = append(res.GrownGrids, n)
+		}
+	}
+	if !grew {
+		return plan, res, nil
+	}
+	// Keep the total processor count: other grids shrink as needed. If the
+	// grown minimums no longer fit, cap them at what fits.
+	totMin := 0
+	for _, m := range minNp {
+		totMin += m
+	}
+	for i := len(sizes) - 1; totMin > np && i >= 0; i-- {
+		for totMin > np && minNp[i] > 1 {
+			minNp[i]--
+			totMin--
+		}
+	}
+	newPlan, err := StaticWithMinimums(sizes, np, minNp)
+	if err != nil {
+		return plan, res, err
+	}
+	res.Rebalanced = true
+	return newPlan, res, nil
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+type lenErr struct{ want, got int }
+
+func errLenMismatch(want, got int) error { return lenErr{want, got} }
+
+func (e lenErr) Error() string {
+	return "balance: received-IGBP slice length mismatch"
+}

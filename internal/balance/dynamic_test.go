@@ -1,0 +1,146 @@
+package balance
+
+import (
+	"math"
+	"testing"
+)
+
+func mkPlan(t *testing.T, sizes []int, np int) *Plan {
+	t.Helper()
+	plan, err := Static(sizes, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestDynamicDisabledWhenFoInfinite(t *testing.T) {
+	sizes := []int{100000, 100000}
+	plan := mkPlan(t, sizes, 4)
+	d := Dynamic{Fo: math.Inf(1)}
+	got, res, err := d.Check(plan, sizes, []int{1000, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalanced || got != plan {
+		t.Error("fo=inf must retain the static partition")
+	}
+	// fo <= 0 also disables.
+	d = Dynamic{Fo: 0}
+	_, res, _ = d.Check(plan, sizes, []int{1000, 0, 0, 0})
+	if res.Rebalanced {
+		t.Error("fo=0 should disable the dynamic scheme")
+	}
+}
+
+func TestDynamicGrowsOverloadedGrid(t *testing.T) {
+	sizes := []int{100000, 100000, 100000, 100000}
+	plan := mkPlan(t, sizes, 8)
+	if plan.Np[0] != 2 {
+		t.Fatalf("setup: Np = %v", plan.Np)
+	}
+	// Rank 0 (grid 0) receives far more IGBP search requests than average.
+	recv := make([]int, 8)
+	for i := range recv {
+		recv[i] = 100
+	}
+	recv[0] = 2000
+	d := Dynamic{Fo: 5}
+	newPlan, res, err := d.Check(plan, sizes, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebalanced {
+		t.Fatal("should rebalance: f(0) >> fo")
+	}
+	if newPlan.Np[0] <= plan.Np[0] {
+		t.Errorf("grid 0 should gain processors: %v -> %v", plan.Np, newPlan.Np)
+	}
+	if newPlan.NP() != plan.NP() {
+		t.Errorf("total processors changed: %d -> %d", plan.NP(), newPlan.NP())
+	}
+	if len(res.GrownGrids) != 1 || res.GrownGrids[0] != 0 {
+		t.Errorf("GrownGrids = %v", res.GrownGrids)
+	}
+	if res.MaxF < 5 {
+		t.Errorf("MaxF = %v, want > 5", res.MaxF)
+	}
+}
+
+func TestDynamicNoRebalanceWhenBalanced(t *testing.T) {
+	sizes := []int{100000, 100000}
+	plan := mkPlan(t, sizes, 4)
+	recv := []int{100, 110, 95, 105}
+	d := Dynamic{Fo: 5}
+	_, res, err := d.Check(plan, sizes, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalanced {
+		t.Error("balanced load must not trigger repartition")
+	}
+	if res.MaxF > 1.2 {
+		t.Errorf("MaxF = %v", res.MaxF)
+	}
+}
+
+func TestDynamicZeroTraffic(t *testing.T) {
+	sizes := []int{1000, 1000}
+	plan := mkPlan(t, sizes, 2)
+	d := Dynamic{Fo: 2}
+	_, res, err := d.Check(plan, sizes, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalanced {
+		t.Error("zero traffic must not rebalance")
+	}
+}
+
+func TestDynamicLengthMismatch(t *testing.T) {
+	sizes := []int{1000, 1000}
+	plan := mkPlan(t, sizes, 2)
+	d := Dynamic{Fo: 2}
+	if _, _, err := d.Check(plan, sizes, []int{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestDynamicRepeatedGrowthCapped(t *testing.T) {
+	// Keep demanding growth; the scheme must never exceed NP total.
+	sizes := []int{50000, 50000, 50000}
+	plan := mkPlan(t, sizes, 6)
+	d := Dynamic{Fo: 1.5}
+	for iter := 0; iter < 5; iter++ {
+		recv := make([]int, 6)
+		for i := range recv {
+			recv[i] = 10
+		}
+		// Overload whatever ranks grid 0 currently owns.
+		for _, r := range plan.RanksOfGrid(0) {
+			recv[r] = 500
+		}
+		var err error
+		plan, _, err = d.Check(plan, sizes, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NP() != 6 {
+			t.Fatalf("iteration %d: NP = %d", iter, plan.NP())
+		}
+		sum := 0
+		for _, c := range plan.Np {
+			if c < 1 {
+				t.Fatalf("iteration %d: np dropped below 1: %v", iter, plan.Np)
+			}
+			sum += c
+		}
+		if sum != 6 {
+			t.Fatalf("iteration %d: Σnp = %d", iter, sum)
+		}
+	}
+	// Grid 0 should have absorbed most processors by now.
+	if plan.Np[0] < 3 {
+		t.Errorf("grid 0 should dominate after repeated growth: %v", plan.Np)
+	}
+}

@@ -1,0 +1,111 @@
+package balance
+
+import "sort"
+
+// Group implements Algorithm 3, the grouping strategy of the §5 adaptive
+// Cartesian scheme: gather many small grids into M groups so that
+// computational work (gridpoints) is distributed evenly while keeping each
+// group's members connected (overlapping), maximizing intra-group
+// connectivity and so minimizing inter-node communication.
+//
+// sizes[n] is the gridpoint count of grid n; connected(a, b) reports whether
+// grids a and b overlap. The return value maps each group to the grid
+// indices assigned to it. Groups may come back empty if there are fewer
+// grids than groups.
+func Group(sizes []int, connected func(a, b int) bool, m int) [][]int {
+	if m < 1 {
+		m = 1
+	}
+	n := len(sizes)
+	groups := make([][]int, m)
+	load := make([]int, m)
+
+	// Loop through N grids largest-to-smallest.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+
+	groupOrder := make([]int, m)
+	for i := range groupOrder {
+		groupOrder[i] = i
+	}
+
+	for _, gi := range order {
+		// Loop through M groups smallest-to-largest (by current load).
+		sort.SliceStable(groupOrder, func(a, b int) bool {
+			return load[groupOrder[a]] < load[groupOrder[b]]
+		})
+		assigned := -1
+		for _, gm := range groupOrder {
+			if len(groups[gm]) == 0 {
+				assigned = gm
+				break
+			}
+			conn := false
+			for _, member := range groups[gm] {
+				if connected(gi, member) {
+					conn = true
+					break
+				}
+			}
+			if conn {
+				assigned = gm
+				break
+			}
+		}
+		if assigned < 0 {
+			// Not connected to any group as currently constituted:
+			// assign to the smallest group.
+			assigned = groupOrder[0]
+		}
+		groups[assigned] = append(groups[assigned], gi)
+		load[assigned] += sizes[gi]
+	}
+	return groups
+}
+
+// GroupLoads returns the summed gridpoint count of each group.
+func GroupLoads(groups [][]int, sizes []int) []int {
+	loads := make([]int, len(groups))
+	for m, g := range groups {
+		for _, n := range g {
+			loads[m] += sizes[n]
+		}
+	}
+	return loads
+}
+
+// RoundRobin assigns grids to m groups cyclically in index order — the
+// locality-blind baseline the grouping ablation compares against.
+func RoundRobin(n, m int) [][]int {
+	if m < 1 {
+		m = 1
+	}
+	groups := make([][]int, m)
+	for i := 0; i < n; i++ {
+		groups[i%m] = append(groups[i%m], i)
+	}
+	return groups
+}
+
+// CutEdges counts connectivity pairs that cross group boundaries — the
+// communication the grouping strategy tries to minimize.
+func CutEdges(groups [][]int, nGrids int, connected func(a, b int) bool) int {
+	owner := make([]int, nGrids)
+	for m, g := range groups {
+		for _, n := range g {
+			owner[n] = m
+		}
+	}
+	cut := 0
+	for a := 0; a < nGrids; a++ {
+		for b := a + 1; b < nGrids; b++ {
+			if connected(a, b) && owner[a] != owner[b] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,158 @@
+package balance
+
+import (
+	"testing"
+)
+
+// chainConn connects grid i with i-1 and i+1 (a 1-D chain of overlapping
+// Cartesian boxes).
+func chainConn(a, b int) bool {
+	d := a - b
+	return d == 1 || d == -1
+}
+
+// nearConn connects grids within index distance 3, a denser overlap pattern
+// closer to the paper's Algorithm 3 sketch.
+func nearConn(a, b int) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d >= 1 && d <= 3
+}
+
+func TestGroupPaperExample(t *testing.T) {
+	// The paper's Algorithm 3 sketch: 8 grids, 2 groups; sizes descend with
+	// index (grid 1 largest). Grids overlap their near neighbors.
+	sizes := []int{80, 70, 60, 50, 40, 30, 20, 10}
+	groups := Group(sizes, nearConn, 2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	// All grids assigned exactly once.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, n := range g {
+			if seen[n] {
+				t.Fatalf("grid %d assigned twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("assigned %d grids, want 8", len(seen))
+	}
+	// Loads balanced within the largest grid size.
+	loads := GroupLoads(groups, sizes)
+	diff := loads[0] - loads[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 80 {
+		t.Errorf("group loads %v too uneven", loads)
+	}
+}
+
+func TestGroupChainTopologyStillCoversAll(t *testing.T) {
+	// Sparse chain connectivity can defeat the balancing (the connected
+	// clause keeps feeding one group), but assignment must stay total.
+	sizes := []int{80, 70, 60, 50, 40, 30, 20, 10}
+	groups := Group(sizes, chainConn, 2)
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 8 {
+		t.Errorf("assigned %d grids, want 8", total)
+	}
+}
+
+func TestGroupEmptyGroupsFilledFirst(t *testing.T) {
+	sizes := []int{100, 90, 80}
+	groups := Group(sizes, func(a, b int) bool { return true }, 3)
+	for m, g := range groups {
+		if len(g) != 1 {
+			t.Errorf("group %d has %d grids, want 1 each", m, len(g))
+		}
+	}
+}
+
+func TestGroupDisconnectedGoesToSmallest(t *testing.T) {
+	// Grid 2 is connected to nothing; it must land in the smallest group.
+	sizes := []int{100, 100, 10}
+	none := func(a, b int) bool { return false }
+	groups := Group(sizes, none, 2)
+	loads := GroupLoads(groups, sizes)
+	// 100/100 split first, then the 10 joins one of them.
+	if loads[0]+loads[1] != 210 {
+		t.Fatalf("loads %v", loads)
+	}
+	diff := loads[0] - loads[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff != 10 {
+		t.Errorf("disconnected grid should join the smaller group: %v", loads)
+	}
+}
+
+func TestGroupLocality(t *testing.T) {
+	// 12 chain-connected grids in 3 groups: grouping should cut far fewer
+	// edges than round-robin.
+	n := 12
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	grouped := Group(sizes, chainConn, 3)
+	rr := RoundRobin(n, 3)
+	gc := CutEdges(grouped, n, chainConn)
+	rc := CutEdges(rr, n, chainConn)
+	if gc >= rc {
+		t.Errorf("grouping cut %d edges, round-robin %d — locality lost", gc, rc)
+	}
+}
+
+func TestGroupSingleGroup(t *testing.T) {
+	sizes := []int{5, 4, 3}
+	groups := Group(sizes, chainConn, 1)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Errorf("single group should hold everything: %v", groups)
+	}
+	// m < 1 coerced to 1.
+	groups = Group(sizes, chainConn, 0)
+	if len(groups) != 1 {
+		t.Errorf("m=0 should coerce to one group")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	groups := RoundRobin(7, 3)
+	want := [][]int{{0, 3, 6}, {1, 4}, {2, 5}}
+	for m := range want {
+		if len(groups[m]) != len(want[m]) {
+			t.Fatalf("group %d = %v", m, groups[m])
+		}
+		for i := range want[m] {
+			if groups[m][i] != want[m][i] {
+				t.Fatalf("group %d = %v, want %v", m, groups[m], want[m])
+			}
+		}
+	}
+}
+
+func TestGroupMoreGroupsThanGrids(t *testing.T) {
+	sizes := []int{10, 20}
+	groups := Group(sizes, chainConn, 5)
+	nonEmpty := 0
+	total := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty++
+		}
+		total += len(g)
+	}
+	if total != 2 || nonEmpty != 2 {
+		t.Errorf("groups %v", groups)
+	}
+}

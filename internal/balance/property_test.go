@@ -1,0 +1,144 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overd/internal/grid"
+)
+
+// Static always assigns every processor, gives every grid at least one,
+// and keeps counts weakly ordered with grid sizes.
+func TestStaticInvariants_Property(t *testing.T) {
+	f := func(seed int64, ngRaw, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ng := int(ngRaw%8) + 1
+		sizes := make([]int, ng)
+		for i := range sizes {
+			sizes[i] = 1000 + rng.Intn(500000)
+		}
+		np := ng + int(extraRaw%60)
+		plan, err := Static(sizes, np)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range plan.Np {
+			if c < 1 {
+				return false
+			}
+			sum += c
+		}
+		if sum != np {
+			return false
+		}
+		// Monotonicity within a tolerance of one processor: a grid twice
+		// as large never gets fewer than half the processors minus one.
+		for a := 0; a < ng; a++ {
+			for b := 0; b < ng; b++ {
+				if sizes[a] >= 2*sizes[b] && plan.Np[a] < plan.Np[b]/2-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Subdivide covers the box exactly with disjoint pieces for any count.
+func TestSubdivideCoverage_Property(t *testing.T) {
+	f := func(niRaw, njRaw, nkRaw, npRaw uint8) bool {
+		ni := int(niRaw%50) + 8
+		nj := int(njRaw%50) + 8
+		nk := int(nkRaw%20) + 1
+		np := int(npRaw%16) + 1
+		box := grid.FullBox(ni, nj, nk)
+		pieces := Subdivide(box, np)
+		if len(pieces) != np {
+			return false
+		}
+		total := 0
+		for _, p := range pieces {
+			if !p.Valid() {
+				return false
+			}
+			total += p.Count()
+		}
+		return total == box.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Group assigns every grid exactly once for any sizes/topology.
+func TestGroupTotalAssignment_Property(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		m := int(mRaw%8) + 1
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(1000)
+		}
+		adj := make(map[[2]int]bool)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					adj[[2]int{i, j}] = true
+				}
+			}
+		}
+		conn := func(a, b int) bool {
+			if a > b {
+				a, b = b, a
+			}
+			return adj[[2]int{a, b}]
+		}
+		groups := Group(sizes, conn, m)
+		seen := make([]bool, n)
+		for _, g := range groups {
+			for _, gi := range g {
+				if seen[gi] {
+					return false
+				}
+				seen[gi] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SubdividePlanSlabs also covers each grid exactly.
+func TestSlabCoverage_Property(t *testing.T) {
+	f := func(niRaw, npRaw uint8) bool {
+		ni := int(niRaw%80) + 10
+		np := int(npRaw%12) + 1
+		sizes := []int{ni * 20 * 10}
+		plan, err := Static(sizes, np)
+		if err != nil {
+			return false
+		}
+		SubdividePlanSlabs(plan, [][3]int{{ni, 20, 10}})
+		total := 0
+		for _, p := range plan.Parts {
+			total += p.Box.Count()
+		}
+		return total == ni*20*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overd/internal/grid"
+)
+
+func TestPrimeFactors(t *testing.T) {
+	cases := map[int][]int{
+		12: {3, 2, 2},
+		7:  {7},
+		1:  nil,
+		60: {5, 3, 2, 2},
+		64: {2, 2, 2, 2, 2, 2},
+	}
+	for n, want := range cases {
+		got := PrimeFactors(n)
+		if len(got) != len(want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("PrimeFactors(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestPrimeFactorsProduct_Property(t *testing.T) {
+	f := func(n uint16) bool {
+		v := int(n)%5000 + 2
+		p := 1
+		for _, f := range PrimeFactors(v) {
+			p *= f
+		}
+		return p == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticEqualGrids(t *testing.T) {
+	// Paper's tie case: 2 equal grids on 3 processors must converge via
+	// the grid-index perturbation.
+	plan, err := Static([]int{1000, 1000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Np[0]+plan.Np[1] != 3 {
+		t.Fatalf("Np = %v, want sum 3", plan.Np)
+	}
+	if plan.Np[0] < 1 || plan.Np[1] < 1 {
+		t.Fatalf("every grid needs a processor: %v", plan.Np)
+	}
+}
+
+func TestStaticProportional(t *testing.T) {
+	// A grid with 3x the points should get roughly 3x the processors.
+	plan, err := Static([]int{300000, 100000}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Np[0] != 9 || plan.Np[1] != 3 {
+		t.Errorf("Np = %v, want [9 3]", plan.Np)
+	}
+	if plan.Tau > 0.2 {
+		t.Errorf("tau = %v, should be small for a divisible case", plan.Tau)
+	}
+}
+
+func TestStaticMinOnePerGrid(t *testing.T) {
+	// A tiny grid still gets one processor.
+	plan, err := Static([]int{1000000, 50}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Np[1] != 1 || plan.Np[0] != 7 {
+		t.Errorf("Np = %v, want [7 1]", plan.Np)
+	}
+}
+
+func TestStaticErrors(t *testing.T) {
+	if _, err := Static(nil, 4); err == nil {
+		t.Error("no grids should error")
+	}
+	if _, err := Static([]int{10, 10, 10}, 2); err == nil {
+		t.Error("NP < ngrids should error")
+	}
+	if _, err := Static([]int{10, 0}, 4); err == nil {
+		t.Error("zero-size grid should error")
+	}
+}
+
+func TestStaticExhaustive(t *testing.T) {
+	// Many shapes and processor counts: Σnp == NP, np >= 1 always.
+	sizeSets := [][]int{
+		{64000},
+		{21000, 21000, 22000},               // oscillating airfoil
+		{400000, 300000, 200000, 100000},    // delta-wing-like
+		{50, 50, 50, 50, 50, 50},            // six tiny equal grids
+		{810000, 100, 100, 100},             // extreme skew
+		{9000, 8000, 7000, 6000, 5000, 400}, // mixed
+	}
+	for _, sizes := range sizeSets {
+		for np := len(sizes); np <= 64; np += 5 {
+			plan, err := Static(sizes, np)
+			if err != nil {
+				t.Fatalf("sizes %v np %d: %v", sizes, np, err)
+			}
+			sum := 0
+			for n, c := range plan.Np {
+				if c < 1 {
+					t.Fatalf("sizes %v np %d: grid %d got %d procs", sizes, np, n, c)
+				}
+				sum += c
+			}
+			if sum != np {
+				t.Fatalf("sizes %v np %d: Σnp = %d", sizes, np, sum)
+			}
+			if len(plan.Parts) != np {
+				t.Fatalf("parts %d != np %d", len(plan.Parts), np)
+			}
+		}
+	}
+}
+
+func TestStaticBalanceQuality(t *testing.T) {
+	// Paper Table 1 setup: three ~equal grids, 6..24 processors. After
+	// subdivision, per-rank point counts should be within ~40% of the mean.
+	sizes := []int{21000, 21200, 21400}
+	dims := [][3]int{{150, 140, 1}, {151, 141, 1}, {153, 140, 1}}
+	for _, np := range []int{6, 9, 12, 18, 24} {
+		plan, err := Static(sizes, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SubdividePlan(plan, dims)
+		mean := float64(21000*3) / float64(np)
+		for _, part := range plan.Parts {
+			c := float64(part.Box.Count())
+			if c > mean*1.6 {
+				t.Errorf("np=%d rank %d holds %v points, mean %v", np, part.Rank, c, mean)
+			}
+		}
+	}
+}
+
+func TestSubdivideCountAndCoverage(t *testing.T) {
+	box := grid.FullBox(60, 40, 20)
+	for _, np := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 37} {
+		pieces := Subdivide(box, np)
+		if len(pieces) != np {
+			t.Fatalf("np=%d produced %d pieces", np, len(pieces))
+		}
+		total := 0
+		for _, p := range pieces {
+			total += p.Count()
+		}
+		if total != box.Count() {
+			t.Fatalf("np=%d covers %d points, want %d", np, total, box.Count())
+		}
+		// Disjointness via sampling.
+		owner := map[[3]int]int{}
+		for pi, p := range pieces {
+			for k := p.KLo; k <= p.KHi; k += 3 {
+				for j := p.JLo; j <= p.JHi; j += 3 {
+					for i := p.ILo; i <= p.IHi; i += 3 {
+						key := [3]int{i, j, k}
+						if prev, dup := owner[key]; dup {
+							t.Fatalf("point %v owned by %d and %d", key, prev, pi)
+						}
+						owner[key] = pi
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubdivideMinimalSurfaceBeatsSlabs(t *testing.T) {
+	// Prime-factor splitting should produce less total subdomain surface
+	// than 1-D slab decomposition for a cube on 8 processors.
+	box := grid.FullBox(64, 64, 64)
+	pf := Subdivide(box, 8)
+	slabs := box.SplitDim(0, 8)
+	surf := func(bs []grid.IBox) int {
+		s := 0
+		for _, b := range bs {
+			s += b.SurfacePoints()
+		}
+		return s
+	}
+	if surf(pf) >= surf(slabs) {
+		t.Errorf("prime-factor surface %d should beat slab surface %d", surf(pf), surf(slabs))
+	}
+}
+
+func TestSubdivide12MatchesPaperExample(t *testing.T) {
+	// np=12 -> factors 3,2,2: the largest dimension gets cut 3 ways first.
+	box := grid.FullBox(120, 60, 30)
+	pieces := Subdivide(box, 12)
+	if len(pieces) != 12 {
+		t.Fatalf("got %d pieces", len(pieces))
+	}
+	// Factors applied largest first, always on the current largest dim:
+	// i (120) split 3x -> 40x60x30; j (60) split 2x -> 40x30x30; then i
+	// (40) is again largest, split 2x -> 20x30x30 near-cubic pieces.
+	for _, p := range pieces {
+		if p.NI() != 20 || p.NJ() != 30 || p.NK() != 30 {
+			t.Fatalf("piece %v, want 20x30x30", p)
+		}
+	}
+}
+
+func TestSubdivideDegenerateBox(t *testing.T) {
+	// 2-D slab (nk=1) split across more processors than the k dim allows.
+	pieces := Subdivide(grid.FullBox(100, 80, 1), 6)
+	if len(pieces) != 6 {
+		t.Fatalf("got %d pieces", len(pieces))
+	}
+	total := 0
+	for _, p := range pieces {
+		total += p.Count()
+	}
+	if total != 8000 {
+		t.Fatalf("coverage %d", total)
+	}
+}
+
+func TestRanksOfGridContiguous(t *testing.T) {
+	plan, err := Static([]int{100, 200, 300}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for n := 0; n < 3; n++ {
+		ranks := plan.RanksOfGrid(n)
+		if len(ranks) != plan.Np[n] {
+			t.Fatalf("grid %d ranks %v, np %d", n, ranks, plan.Np[n])
+		}
+		for _, r := range ranks {
+			if r != seen {
+				t.Fatalf("ranks not contiguous: grid %d got %v", n, ranks)
+			}
+			seen++
+		}
+	}
+}
+
+func TestStaticWithMinimums(t *testing.T) {
+	sizes := []int{100000, 100000, 100000, 100000}
+	plan, err := StaticWithMinimums(sizes, 16, []int{8, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Np[0] < 8 {
+		t.Errorf("minimum not honored: %v", plan.Np)
+	}
+	sum := 0
+	for _, c := range plan.Np {
+		sum += c
+	}
+	if sum != 16 {
+		t.Errorf("Σnp = %d", sum)
+	}
+	// Infeasible minimums error.
+	if _, err := StaticWithMinimums(sizes, 4, []int{3, 3, 3, 3}); err == nil {
+		t.Error("infeasible minimums should error")
+	}
+}
+
+func TestMaxPoints(t *testing.T) {
+	plan, _ := Static([]int{4000, 4000}, 4)
+	SubdividePlan(plan, [][3]int{{40, 100, 1}, {40, 100, 1}})
+	if got := plan.MaxPoints(); got != 2000 {
+		t.Errorf("MaxPoints = %d, want 2000", got)
+	}
+}
+
+func TestStaticTauMeasuresImbalance(t *testing.T) {
+	// A perfectly divisible case should have much lower tau than a
+	// pathological one.
+	easy, err := Static([]int{1000, 1000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Static([]int{1000, 999, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(easy.Tau <= hard.Tau) {
+		t.Errorf("tau easy %v should be <= tau hard %v", easy.Tau, hard.Tau)
+	}
+	if math.IsNaN(easy.Tau) || easy.Tau < 0 {
+		t.Errorf("tau = %v", easy.Tau)
+	}
+}

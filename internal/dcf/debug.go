@@ -1,0 +1,12 @@
+package dcf
+
+// SetDebugFwd installs a diagnostic hook observing every forwarded
+// request (grid, hop count, scratch flag). Pass nil to remove. Not for
+// concurrent installation during a running solve.
+func SetDebugFwd(fn func(grid, hops int, scratch bool)) {
+	if fn == nil {
+		debugFwd = nil
+		return
+	}
+	debugFwd = func(p ptReq) { fn(p.Grid, p.Hops, p.Scratch) }
+}

@@ -1,0 +1,485 @@
+package dcf
+
+import (
+	"sort"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/overset"
+	"overd/internal/par"
+)
+
+// debugFwd, when set, observes every forwarded request (test hook).
+var debugFwd func(ptReq)
+
+// Stats summarizes one rank's view of a connectivity solve.
+type Stats struct {
+	// LocalIGBPs is the number of fringe points owned by this rank.
+	LocalIGBPs int
+	// Received is I(p): search requests serviced by this rank.
+	Received int
+	// Forwards counts cross-boundary forwarded requests.
+	Forwards int
+	// Orphans counts local IGBPs left without donors.
+	Orphans int
+	// Rounds is the number of request/serve/reply rounds taken.
+	Rounds int
+}
+
+// pendingPt tracks an unresolved local IGBP's search progression.
+type pendingPt struct {
+	id         int   // index into s.igbps
+	hier       int   // position in the receiver grid's search order
+	candidates []int // ranks still to try for the current donor grid
+}
+
+// Solve re-establishes domain connectivity after grid motion: distributed
+// hole cutting, fringe marking, global bounding-box exchange, and the
+// asynchronous hierarchical donor search with request forwarding and
+// nth-level restart. All ranks must call it collectively; virtual time is
+// attributed to the connectivity phase.
+func (s *Solver) Solve(r *par.Rank) Stats {
+	prevPhase := r.CurrentPhase()
+	// A solve forced by a repartition is rebalancing overhead, not the
+	// steady-state connectivity cost the paper's %DCF3D measures.
+	if prevPhase != par.PhaseBalance {
+		r.SetPhase(par.PhaseConnect)
+	}
+	defer r.SetPhase(prevPhase)
+
+	gi, box := s.myBox()
+	g := s.Cfg.Sys.Grids[gi]
+
+	s.cutHolesLocal(r, gi, box)
+	s.markFringesLocal(r, g, gi, box)
+
+	// Collect my IGBPs.
+	s.igbps = s.igbps[:0]
+	for k := box.KLo; k <= box.KHi; k++ {
+		for j := box.JLo; j <= box.JHi; j++ {
+			for i := box.ILo; i <= box.IHi; i++ {
+				n := g.Idx(i, j, k)
+				if g.IBlank[n] == grid.IBFringe {
+					s.igbps = append(s.igbps, overset.IGBP{
+						Grid: gi, I: i, J: j, K: k,
+						Pos: geom.Vec3{X: g.X[n], Y: g.Y[n], Z: g.Z[n]},
+					})
+				}
+			}
+		}
+	}
+	s.donors = make([]overset.Donor, len(s.igbps))
+	s.donorRank = make([]int, len(s.igbps))
+	for i := range s.donors {
+		s.donors[i].Grid = -1
+		s.donorRank[i] = -1
+	}
+
+	// Global bounding-box exchange ("broadcast globally at the beginning").
+	myBounds := g.BoundsOf(box)
+	r.Compute(float64(box.Count()) * 2)
+	raw := r.AllGather(myBounds, 48)
+	rankBounds := make([]geom.Box, len(raw))
+	for i, v := range raw {
+		// Inflate so near-boundary donors are still routed to this rank.
+		rb := v.(geom.Box)
+		rankBounds[i] = rb.Inflate(0.02 * (1 + rb.Size().Norm()))
+	}
+
+	// Initial pending set, honoring restart hints.
+	s.sendList = make(map[int][]sendEntry)
+	s.ReceivedIGBPs = 0
+	s.Forwards = 0
+	s.SearchSteps = 0
+	s.Hinted, s.Scratch, s.HintMisses = 0, 0, 0
+	outbox := make(map[int][]ptReq) // destination rank -> requests
+	pendByID := make(map[int]*pendingPt, len(s.igbps))
+	for id, pt := range s.igbps {
+		p := &pendingPt{id: id, hier: -1}
+		pendByID[id] = p
+		if hint, ok := s.hintFor(pt); ok {
+			s.Hinted++
+			outbox[hint.rank] = append(outbox[hint.rank], ptReq{
+				Origin: s.Rank, ID: id, Pos: pt.Pos,
+				Grid:  hint.donor.Grid,
+				Start: [3]int{hint.donor.I, hint.donor.J, hint.donor.K},
+			})
+			continue
+		}
+		if !s.advance(p, pt, rankBounds) {
+			s.donors[id] = overset.Donor{Grid: -1}
+			continue
+		}
+		s.Scratch++
+		dst := p.candidates[0]
+		p.candidates = p.candidates[1:]
+		outbox[dst] = append(outbox[dst], s.scratchReq(id, pt, p))
+	}
+
+	stats := Stats{LocalIGBPs: len(s.igbps)}
+
+	// Request/serve/reply rounds until no work remains anywhere.
+	fwdbox := make(map[int][]ptReq)
+	for round := 0; round < 64; round++ {
+		stats.Rounds = round + 1
+		// Phase A: send queued requests and forwards, in rank order so the
+		// virtual-time trace is deterministic.
+		for _, dst := range sortedKeys(outbox) {
+			pts := outbox[dst]
+			r.Send(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts))
+		}
+		outbox = make(map[int][]ptReq)
+		for _, dst := range sortedKeys(fwdbox) {
+			pts := fwdbox[dst]
+			r.Send(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts))
+		}
+		fwdbox = make(map[int][]ptReq)
+		r.Barrier()
+
+		// Phase B: service everything that arrived this round. Drain every
+		// message before doing any work so the clock's max-over-arrivals is
+		// independent of delivery order, then sort by sender.
+		var inbound []par.Msg
+		for {
+			m, ok := r.TryRecv(par.AnyRank, par.TagSearchReq)
+			if !ok {
+				break
+			}
+			inbound = append(inbound, m)
+		}
+		sort.Slice(inbound, func(a, b int) bool { return inbound[a].From < inbound[b].From })
+		replies := make(map[int][]ptRep)
+		for _, m := range inbound {
+			req := m.Data.(reqMsg)
+			s.ReceivedIGBPs += len(req.Pts)
+			for _, pt := range req.Pts {
+				rep, fwd, fwdTo := s.serve(r, gi, box, pt)
+				if fwdTo >= 0 {
+					if debugFwd != nil {
+						debugFwd(pt)
+					}
+					fwdbox[fwdTo] = append(fwdbox[fwdTo], fwd)
+					continue
+				}
+				replies[pt.Origin] = append(replies[pt.Origin], rep)
+			}
+		}
+		for _, dst := range sortedRepKeys(replies) {
+			reps := replies[dst]
+			r.Send(dst, par.TagSearchRep, repMsg{Results: reps}, bytesPerReply*len(reps))
+		}
+		r.Barrier()
+
+		// Phase C: absorb replies; failed points advance their hierarchy.
+		var inRep []par.Msg
+		for {
+			m, ok := r.TryRecv(par.AnyRank, par.TagSearchRep)
+			if !ok {
+				break
+			}
+			inRep = append(inRep, m)
+		}
+		sort.Slice(inRep, func(a, b int) bool { return inRep[a].From < inRep[b].From })
+		for _, m := range inRep {
+			rep := m.Data.(repMsg)
+			for _, res := range rep.Results {
+				pt := s.igbps[res.ID]
+				if res.OK {
+					s.donors[res.ID] = res.Donor
+					s.donorRank[res.ID] = res.Rank
+					s.restart[restartKey{pt.Grid, pt.I, pt.J, pt.K}] =
+						restartHint{donor: res.Donor, rank: res.Rank}
+					continue
+				}
+				p := pendByID[res.ID]
+				if p.hier < 0 {
+					s.HintMisses++
+				}
+				if len(p.candidates) == 0 && !s.advance(p, pt, rankBounds) {
+					s.donors[res.ID] = overset.Donor{Grid: -1}
+					continue
+				}
+				dst := p.candidates[0]
+				p.candidates = p.candidates[1:]
+				outbox[dst] = append(outbox[dst], s.scratchReq(res.ID, pt, p))
+			}
+		}
+
+		work := 0
+		for _, v := range outbox {
+			work += len(v)
+		}
+		for _, v := range fwdbox {
+			work += len(v)
+		}
+		if r.AllReduceSum(float64(work)) == 0 {
+			break
+		}
+	}
+
+	s.Orphans = 0
+	for _, d := range s.donors {
+		if d.Grid < 0 {
+			s.Orphans++
+		}
+	}
+	stats.Received = s.ReceivedIGBPs
+	stats.Forwards = s.Forwards
+	stats.Orphans = s.Orphans
+	return stats
+}
+
+// sortedKeys returns map keys in ascending order (deterministic sends).
+func sortedKeys(m map[int][]ptReq) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func sortedRepKeys(m map[int][]ptRep) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// hintFor returns the restart hint for an IGBP if available.
+func (s *Solver) hintFor(pt overset.IGBP) (restartHint, bool) {
+	if s.Cfg.DisableRestart {
+		return restartHint{}, false
+	}
+	h, ok := s.restart[restartKey{pt.Grid, pt.I, pt.J, pt.K}]
+	return h, ok
+}
+
+// scratchReq builds a from-scratch request for the current hierarchy grid.
+func (s *Solver) scratchReq(id int, pt overset.IGBP, p *pendingPt) ptReq {
+	order := s.Cfg.Search[pt.Grid]
+	dg := order[p.hier]
+	g := s.Cfg.Sys.Grids[dg]
+	return ptReq{
+		Origin: s.Rank, ID: id, Pos: pt.Pos, Grid: dg,
+		Start:   [3]int{g.NI / 2, g.NJ / 2, g.NK / 2},
+		Scratch: true,
+	}
+}
+
+// advance moves a pending point to its next donor-grid candidate set.
+// Returns false when the hierarchy is exhausted (orphan).
+func (s *Solver) advance(p *pendingPt, pt overset.IGBP, rankBounds []geom.Box) bool {
+	order := s.Cfg.Search[pt.Grid]
+	for {
+		p.hier++
+		if p.hier >= len(order) {
+			return false
+		}
+		dg := order[p.hier]
+		if dg == pt.Grid {
+			continue
+		}
+		// Candidate ranks: those of grid dg whose bounding box contains
+		// the point, nearest box center first.
+		var cands []int
+		for _, part := range s.Parts {
+			if part.Grid == dg && rankBounds[part.Rank].Contains(pt.Pos) {
+				cands = append(cands, part.Rank)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			da := rankBounds[cands[a]].Center().Sub(pt.Pos).Norm2()
+			db := rankBounds[cands[b]].Center().Sub(pt.Pos).Norm2()
+			return da < db
+		})
+		// Forwarding reaches the rest of the grid from any entry rank, so
+		// only the nearest few candidates are worth separate requests.
+		if len(cands) > 3 {
+			cands = cands[:3]
+		}
+		p.candidates = cands
+		return true
+	}
+}
+
+// serve performs one donor search on behalf of a requester. It returns a
+// reply, or a forwarded request with the destination rank (fwdTo >= 0).
+func (s *Solver) serve(r *par.Rank, myGrid int, myBox grid.IBox, pt ptReq) (rep ptRep, fwd ptReq, fwdTo int) {
+	fwdTo = -1
+	dg := s.Cfg.Sys.Grids[pt.Grid]
+	var res overset.LimitedResult
+	if pt.Grid == myGrid {
+		start := pt.Start
+		if pt.Scratch {
+			// From-scratch request: sample this subdomain for the nearest
+			// starting cell ("nothing is known about the possible donor
+			// location and the solution must be performed from scratch").
+			start = nearestStartInBox(dg, myBox, pt.Pos)
+			r.Compute(125 * 4) // sampling cost
+		}
+		res = overset.FindDonorLimited(dg, pt.Grid, pt.Pos, start, myBox,
+			chainRestartBudget-pt.Restarts)
+	} else {
+		// Request routed to the wrong grid's rank (stale hint after
+		// repartition): fail fast, the origin advances its hierarchy.
+		res.OK = false
+	}
+	s.SearchSteps += res.Steps
+	r.Compute(float64(res.Steps) * flopsPerSearchStep)
+
+	if res.Exited && pt.Hops < maxForwardHops {
+		to := s.rankOfCell(pt.Grid, res.ExitCell)
+		if to >= 0 && to != s.Rank {
+			s.Forwards++
+			f := pt
+			f.Start = res.ExitCell
+			f.Hops++
+			f.Restarts += res.Restarts
+			return ptRep{}, f, to
+		}
+	}
+	if res.OK {
+		// This rank now owes the origin interpolated data at every
+		// timestep until the next connectivity solve.
+		s.sendList[pt.Origin] = append(s.sendList[pt.Origin],
+			sendEntry{origin: pt.Origin, id: pt.ID, donor: res.Donor})
+	}
+	return ptRep{ID: pt.ID, OK: res.OK, Donor: res.Donor, Rank: s.Rank}, ptReq{}, -1
+}
+
+// nearestStartInBox samples a coarse lattice of the subdomain and returns
+// the cell nearest the target position.
+func nearestStartInBox(g *grid.Grid, box grid.IBox, pos geom.Vec3) [3]int {
+	const samples = 4
+	best := [3]int{box.ILo, box.JLo, box.KLo}
+	bestD := pos.Sub(g.At(box.ILo, box.JLo, box.KLo)).Norm2()
+	for sk := 0; sk <= samples; sk++ {
+		k := box.KLo + (box.KHi-box.KLo)*sk/samples
+		for sj := 0; sj <= samples; sj++ {
+			j := box.JLo + (box.JHi-box.JLo)*sj/samples
+			for si := 0; si <= samples; si++ {
+				i := box.ILo + (box.IHi-box.ILo)*si/samples
+				d := pos.Sub(g.At(i, j, k)).Norm2()
+				if d < bestD {
+					bestD = d
+					best = [3]int{i, j, k}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// cutHolesLocal performs distributed hole cutting over this rank's points.
+func (s *Solver) cutHolesLocal(r *par.Rank, gi int, box grid.IBox) {
+	g := s.Cfg.Sys.Grids[gi]
+	// Rank 0 updates cutter transforms and hole maps once (every processor
+	// holds a copy in the MPI original; the cost is charged to all).
+	if r.ID == 0 {
+		for _, bc := range s.Cfg.Cutters {
+			if bc.FollowGrid >= 0 {
+				bc.Cutter.SetTransform(s.Cfg.Sys.Grids[bc.FollowGrid].Xform)
+			}
+		}
+		s.Cfg.RebuildHoleMaps()
+	}
+	if s.Cfg.HoleMapRes > 0 {
+		r.Compute(float64(s.Cfg.HoleMapRes*s.Cfg.HoleMapRes*s.Cfg.HoleMapRes) * 9 * float64(len(s.Cfg.Cutters)))
+	}
+	r.Barrier()
+
+	// Reset my points, then cut.
+	tested := 0
+	for k := box.KLo; k <= box.KHi; k++ {
+		for j := box.JLo; j <= box.JHi; j++ {
+			for i := box.ILo; i <= box.IHi; i++ {
+				g.IBlank[g.Idx(i, j, k)] = grid.IBField
+			}
+		}
+	}
+	directTests := 0
+	for _, bc := range s.Cfg.Cutters {
+		if bc.Owns(gi) {
+			continue
+		}
+		cb := bc.Cutter.Bounds()
+		inside := bc.Cutter.Inside
+		direct := true
+		if hm := bc.HoleMap(); hm != nil {
+			inside = hm.InsideQuiet
+			direct = false
+		}
+		for k := box.KLo; k <= box.KHi; k++ {
+			for j := box.JLo; j <= box.JHi; j++ {
+				for i := box.ILo; i <= box.IHi; i++ {
+					n := g.Idx(i, j, k)
+					if g.IBlank[n] == grid.IBHole {
+						continue
+					}
+					p := geom.Vec3{X: g.X[n], Y: g.Y[n], Z: g.Z[n]}
+					if !cb.Contains(p) {
+						continue
+					}
+					tested++
+					if direct {
+						directTests++
+					}
+					if inside(p) {
+						g.IBlank[n] = grid.IBHole
+					}
+				}
+			}
+		}
+	}
+	// Analytic cutter queries cost several times a hole-map lattice lookup
+	// (the optimization DCF3D's hole maps exist for).
+	r.Compute(float64(tested)*flopsPerHoleTest + float64(directTests)*3*flopsPerHoleTest)
+	r.Barrier()
+}
+
+// markFringesLocal marks fringe layers over this rank's points, with a
+// barrier between layers (each layer reads the previous layer's marks,
+// possibly across subdomain boundaries).
+func (s *Solver) markFringesLocal(r *par.Rank, g *grid.Grid, gi int, box grid.IBox) {
+	depth := s.Cfg.FringeDepth
+	if depth < 1 {
+		depth = 2
+	}
+	marked := 0
+	for layer := 0; layer < depth; layer++ {
+		var marks []int
+		for k := box.KLo; k <= box.KHi; k++ {
+			for j := box.JLo; j <= box.JHi; j++ {
+				for i := box.ILo; i <= box.IHi; i++ {
+					n := g.Idx(i, j, k)
+					if g.IBlank[n] != grid.IBField {
+						continue
+					}
+					if overset.AdjacentToNonField(g, i, j, k, layer) {
+						marks = append(marks, n)
+					}
+				}
+			}
+		}
+		r.Barrier() // reads done everywhere before writes land
+		for _, n := range marks {
+			g.IBlank[n] = grid.IBFringe
+		}
+		marked += len(marks)
+		r.Barrier()
+	}
+	for f := grid.IMin; f <= grid.KMax; f++ {
+		if g.BCs[f] != grid.BCOverset {
+			continue
+		}
+		overset.MarkFaceFringeBox(g, f, depth, box)
+	}
+	r.Compute(float64(box.Count()*depth) * flopsPerFringeMark)
+	r.Barrier()
+}

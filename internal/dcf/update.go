@@ -1,0 +1,80 @@
+package dcf
+
+import (
+	"sort"
+
+	"overd/internal/flow"
+	"overd/internal/par"
+)
+
+// UpdateFringes performs the per-timestep intergrid boundary update: every
+// rank interpolates the conserved state at the donor cells it owes other
+// ranks (its send list from the last connectivity solve), ships the values,
+// and applies what it receives to its own fringe points. Orphan points keep
+// their previous data. Call after the halo exchange so donor-cell corners in
+// ghost layers are current. Time is charged to the flow phase, where the
+// paper accounts intergrid boundary-condition updates.
+func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
+	// Serve my send list, destinations in rank order for determinism.
+	dsts := make([]int, 0, len(s.sendList))
+	for dst := range s.sendList {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	interp := 0
+	for _, dst := range dsts {
+		entries := s.sendList[dst]
+		ids := make([]int, 0, len(entries))
+		vals := make([]float64, 0, 5*len(entries))
+		for _, e := range entries {
+			d := e.donor
+			q, ok := b.InterpolateCell(d.I, d.J, d.K, d.A, d.B, d.C)
+			if !ok {
+				continue
+			}
+			interp++
+			ids = append(ids, e.id)
+			vals = append(vals, q[:]...)
+		}
+		r.Send(dst, par.TagUser+1, valMsg{IDs: ids, Vals: vals}, bytesPerValue*len(ids))
+	}
+	r.Compute(float64(interp) * flopsPerInterp)
+
+	// Receive from every distinct donor rank (sorted for determinism).
+	expect := map[int]bool{}
+	for id := range s.igbps {
+		if s.donors[id].Grid >= 0 && s.donorRank[id] >= 0 {
+			expect[s.donorRank[id]] = true
+		}
+	}
+	froms := make([]int, 0, len(expect))
+	for from := range expect {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		m := r.Recv(from, par.TagUser+1)
+		vm := m.Data.(valMsg)
+		for n, id := range vm.IDs {
+			pt := s.igbps[id]
+			var q [5]float64
+			copy(q[:], vm.Vals[5*n:5*n+5])
+			b.SetFringe(pt.I, pt.J, pt.K, q)
+		}
+	}
+}
+
+// DonorCounts returns (resolved, orphaned) counts for this rank's IGBPs.
+func (s *Solver) DonorCounts() (resolved, orphaned int) {
+	for _, d := range s.donors {
+		if d.Grid >= 0 {
+			resolved++
+		} else {
+			orphaned++
+		}
+	}
+	return
+}
+
+// IGBPCount returns the number of fringe points owned by this rank.
+func (s *Solver) IGBPCount() int { return len(s.igbps) }

@@ -1,0 +1,247 @@
+package flow
+
+import (
+	"overd/internal/geom"
+	"overd/internal/grid"
+)
+
+// ApplyBCs fills the physical boundary values on every grid face owned (in
+// part) by this block: walls, farfield, symmetry and extrapolation faces.
+// Overset faces are left for the connectivity module; periodic faces are
+// handled by the halo exchange. Ghost layers beyond physical faces receive
+// the boundary value so dissipation stencils stay defined. Returns flops.
+func (b *Block) ApplyBCs() float64 {
+	flops := 0.0
+	for f := grid.IMin; f <= grid.KMax; f++ {
+		if b.TwoD && (f == grid.KMin || f == grid.KMax) {
+			continue
+		}
+		bc := b.G.BCs[f]
+		if bc == grid.BCPeriodic || bc == grid.BCOverset {
+			continue
+		}
+		if !b.ownsFace(f) {
+			continue
+		}
+		flops += b.applyFaceBC(f, bc)
+	}
+	return flops
+}
+
+// ownsFace reports whether this block's owned box touches grid face f.
+func (b *Block) ownsFace(f grid.Face) bool {
+	g := b.G
+	switch f {
+	case grid.IMin:
+		return b.Own.ILo == 0
+	case grid.IMax:
+		return b.Own.IHi == g.NI-1
+	case grid.JMin:
+		return b.Own.JLo == 0
+	case grid.JMax:
+		return b.Own.JHi == g.NJ-1
+	case grid.KMin:
+		return b.TwoD || b.Own.KLo == 0
+	default:
+		return b.TwoD || b.Own.KHi == g.NK-1
+	}
+}
+
+// faceInfo returns iteration bounds over the local boundary points of face
+// f, the local coordinate value on the face, the in-domain direction
+// stride, and the metric row index of the face-normal direction.
+func (b *Block) faceInfo(f grid.Face) (dim int, fixed int, inward int) {
+	switch f {
+	case grid.IMin:
+		return 0, Halo, 1
+	case grid.IMax:
+		return 0, b.MI - Halo - 1, -1
+	case grid.JMin:
+		return 1, Halo, 1
+	case grid.JMax:
+		return 1, b.MJ - Halo - 1, -1
+	case grid.KMin:
+		return 2, Halo, 1
+	default:
+		return 2, b.MK - Halo - 1, -1
+	}
+}
+
+// eachFacePoint calls fn with the flat index of every owned point on face f
+// and the stride pointing into the domain.
+func (b *Block) eachFacePoint(f grid.Face, fn func(p, inStride int)) {
+	dim, fixed, inward := b.faceInfo(f)
+	stride := b.strideOf(dim) * inward
+	klo, khi := b.kBounds()
+	switch dim {
+	case 0:
+		for lk := klo; lk <= khi; lk++ {
+			for lj := Halo; lj < b.MJ-Halo; lj++ {
+				fn(b.LIdx(fixed, lj, lk), stride)
+			}
+		}
+	case 1:
+		for lk := klo; lk <= khi; lk++ {
+			for li := Halo; li < b.MI-Halo; li++ {
+				fn(b.LIdx(li, fixed, lk), stride)
+			}
+		}
+	default:
+		for lj := Halo; lj < b.MJ-Halo; lj++ {
+			for li := Halo; li < b.MI-Halo; li++ {
+				fn(b.LIdx(li, lj, fixed), stride)
+			}
+		}
+	}
+}
+
+func (b *Block) applyFaceBC(f grid.Face, bc grid.BC) float64 {
+	dim, _, _ := b.faceInfo(f)
+	count := 0
+	qf := b.FS.Conserved()
+	viscous := b.G.Viscous && b.FS.Re > 0
+	b.eachFacePoint(f, func(p, in int) {
+		count++
+		switch bc {
+		case grid.BCWall:
+			b.wallBC(p, in, dim, viscous)
+		case grid.BCFarfield:
+			b.farfieldBC(p, in, dim, qf)
+		case grid.BCSymmetry:
+			b.symmetryBC(p, in, dim)
+		case grid.BCExtrap:
+			copy(b.Q[5*p:5*p+5], b.Q[5*(p+in):5*(p+in)+5])
+		}
+		// Fill ghost layers beyond the face with the boundary value.
+		for gl := 1; gl <= Halo; gl++ {
+			gp := p - gl*in
+			copy(b.Q[5*gp:5*gp+5], b.Q[5*p:5*p+5])
+		}
+	})
+	return float64(count) * flopsBCPoint
+}
+
+// wallBC imposes the solid-surface condition at boundary point p with
+// in-domain stride `in`. Inviscid grids slip (the velocity component normal
+// to the wall, relative to the wall's own motion, is removed); viscous
+// grids stick (fluid velocity equals the wall velocity). Pressure and
+// density follow the zero-normal-gradient approximation.
+func (b *Block) wallBC(p, in, dim int, viscous bool) {
+	pi := p + in // first interior point
+	rho, u, v, w, _ := Primitive(b.QAt(pi))
+	pr := b.scrPressure(pi)
+	wall := geom.Vec3{X: b.XT[p], Y: b.YT[p], Z: b.ZT[p]}
+	var vel geom.Vec3
+	if viscous {
+		vel = wall
+	} else {
+		n := geom.Vec3{
+			X: b.Met[9*p+3*dim],
+			Y: b.Met[9*p+3*dim+1],
+			Z: b.Met[9*p+3*dim+2],
+		}.Normalized()
+		rel := geom.Vec3{X: u, Y: v, Z: w}.Sub(wall)
+		vel = rel.Sub(n.Scale(rel.Dot(n))).Add(wall)
+	}
+	if b.TwoD {
+		vel.Z = 0
+	}
+	e := pr/(Gamma-1) + 0.5*rho*vel.Norm2()
+	b.SetQ(p, [5]float64{rho, rho * vel.X, rho * vel.Y, rho * vel.Z, e})
+}
+
+// scrPressure returns pressure at local point p (from scratch when fresh,
+// else recomputed).
+func (b *Block) scrPressure(p int) float64 {
+	_, _, _, _, pr := Primitive(b.QAt(p))
+	return pr
+}
+
+// farfieldBC imposes a simple characteristic far-field: freestream on
+// inflow, first-order extrapolation on outflow, judged by the sign of the
+// boundary-normal relative velocity.
+func (b *Block) farfieldBC(p, in, dim int, qf [5]float64) {
+	pi := p + in
+	_, u, v, w, _ := Primitive(b.QAt(pi))
+	// Inward-pointing normal (toward the domain interior).
+	n := geom.Vec3{
+		X: b.Met[9*p+3*dim],
+		Y: b.Met[9*p+3*dim+1],
+		Z: b.Met[9*p+3*dim+2],
+	}.Normalized()
+	if in < 0 {
+		n = n.Scale(-1)
+	}
+	vn := n.X*u + n.Y*v + n.Z*w
+	if vn >= 0 {
+		// Flow entering the domain: freestream.
+		b.SetQ(p, qf)
+	} else {
+		// Outflow: extrapolate.
+		copy(b.Q[5*p:5*p+5], b.Q[5*pi:5*pi+5])
+	}
+}
+
+// symmetryBC mirrors the interior state, zeroing the normal velocity.
+func (b *Block) symmetryBC(p, in, dim int) {
+	pi := p + in
+	rho, u, v, w, pr := Primitive(b.QAt(pi))
+	n := geom.Vec3{
+		X: b.Met[9*p+3*dim],
+		Y: b.Met[9*p+3*dim+1],
+		Z: b.Met[9*p+3*dim+2],
+	}.Normalized()
+	vel := geom.Vec3{X: u, Y: v, Z: w}
+	vel = vel.Sub(n.Scale(vel.Dot(n)))
+	e := pr/(Gamma-1) + 0.5*rho*vel.Norm2()
+	b.SetQ(p, [5]float64{rho, rho * vel.X, rho * vel.Y, rho * vel.Z, e})
+}
+
+// Forces integrates the pressure and (on viscous grids) shear contributions
+// over the wall faces owned by this block, returning force and moment about
+// ref. The force uses the nondimensional convention F = ∮ (p - p∞) n̂ dA on
+// the body, with n̂ the outward body normal.
+func (b *Block) Forces(ref geom.Vec3) (force, moment geom.Vec3, flops float64) {
+	pinf := b.FS.Pressure()
+	mu := b.FS.MuCoef()
+	for f := grid.IMin; f <= grid.KMax; f++ {
+		if b.G.BCs[f] != grid.BCWall || !b.ownsFace(f) {
+			continue
+		}
+		if b.TwoD && (f == grid.KMin || f == grid.KMax) {
+			continue
+		}
+		dim, _, _ := b.faceInfo(f)
+		b.eachFacePoint(f, func(p, in int) {
+			flops += flopsForcePoint
+			// Face area vector: the scaled metric row times the sign that
+			// points away from the fluid (outward from the body).
+			s := geom.Vec3{
+				X: b.Met[9*p+3*dim],
+				Y: b.Met[9*p+3*dim+1],
+				Z: b.Met[9*p+3*dim+2],
+			}
+			if in < 0 {
+				s = s.Scale(-1) // orient toward the fluid: the outward body normal
+			}
+			pr := b.scrPressure(p)
+			df := s.Scale(-(pr - pinf)) // pressure pushes opposite the body normal
+			if mu > 0 && b.G.Viscous {
+				// Wall shear: tangential velocity gradient at the wall.
+				pi := p + in
+				_, u1, v1, w1, _ := Primitive(b.QAt(pi))
+				wallV := geom.Vec3{X: b.XT[p], Y: b.YT[p], Z: b.ZT[p]}
+				dv := geom.Vec3{X: u1, Y: v1, Z: w1}.Sub(wallV)
+				n := s.Normalized()
+				dvT := dv.Sub(n.Scale(dv.Dot(n)))
+				// Gradient scale: |∇η| = |S|·J.
+				gs := s.Norm() * b.Jac[p]
+				df = df.Add(dvT.Scale(mu * gs * s.Norm()))
+			}
+			pos := geom.Vec3{X: b.XL[p], Y: b.YL[p], Z: b.ZL[p]}
+			force = force.Add(df)
+			moment = moment.Add(pos.Sub(ref).Cross(df))
+		})
+	}
+	return force, moment, flops
+}

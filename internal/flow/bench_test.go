@@ -1,0 +1,72 @@
+package flow
+
+import (
+	"testing"
+
+	"overd/internal/gridgen"
+	"overd/internal/machine"
+	"overd/internal/par"
+)
+
+func benchBlock(b *testing.B) (*Block, *par.World) {
+	g := gridgen.AirfoilOGrid(0, "airfoil", 128, 32, 3)
+	g.Turbulent = true
+	fs := Freestream{Mach: 0.8, Re: 1e6}
+	w := par.NewWorld(1, machine.SP2())
+	blk := NewBlock(g, g.Full(), fs)
+	blk.Nbr[0][0] = Neighbor{Rank: 0, Wrap: true}
+	blk.Nbr[0][1] = Neighbor{Rank: 0, Wrap: true}
+	return blk, w
+}
+
+// BenchmarkFlowStep measures a full implicit timestep on a 4K-point block.
+func BenchmarkFlowStep(b *testing.B) {
+	blk, w := benchBlock(b)
+	b.ResetTimer()
+	w.Run(func(r *par.Rank) {
+		for i := 0; i < b.N; i++ {
+			blk.FlowStep(r, 0.01)
+		}
+	})
+	b.ReportMetric(float64(blk.NOwned()), "points")
+}
+
+// BenchmarkComputeRHS measures the explicit residual alone.
+func BenchmarkComputeRHS(b *testing.B) {
+	blk, _ := benchBlock(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.ComputeRHS(0.01)
+	}
+}
+
+// BenchmarkSolveADI measures the factored implicit solve alone.
+func BenchmarkSolveADI(b *testing.B) {
+	blk, w := benchBlock(b)
+	blk.ComputeRHS(0.01)
+	b.ResetTimer()
+	w.Run(func(r *par.Rank) {
+		for i := 0; i < b.N; i++ {
+			blk.SolveADI(r, 0.01)
+		}
+	})
+}
+
+// BenchmarkEigenSet measures one eigensystem construction.
+func BenchmarkEigenSet(b *testing.B) {
+	q := (Freestream{Mach: 0.8}).Conserved()
+	var e Eigen
+	for i := 0; i < b.N; i++ {
+		e.Set(q, 1.0, 0.2, -0.3, 0.05)
+	}
+	_ = e
+}
+
+// BenchmarkBaldwinLomax measures the turbulence model pass.
+func BenchmarkBaldwinLomax(b *testing.B) {
+	blk, _ := benchBlock(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.ComputeTurbulence()
+	}
+}

@@ -1,0 +1,183 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numJacobian computes ∂F̂/∂Q by central finite differences.
+func numJacobian(q [5]float64, kx, ky, kz, kt float64) [5][5]float64 {
+	var jac [5][5]float64
+	for j := 0; j < 5; j++ {
+		h := 1e-7 * (1 + math.Abs(q[j]))
+		qp, qm := q, q
+		qp[j] += h
+		qm[j] -= h
+		fp := Flux(qp, kx, ky, kz, kt)
+		fm := Flux(qm, kx, ky, kz, kt)
+		for i := 0; i < 5; i++ {
+			jac[i][j] = (fp[i] - fm[i]) / (2 * h)
+		}
+	}
+	return jac
+}
+
+func randomState(rng *rand.Rand) [5]float64 {
+	rho := 0.5 + rng.Float64()
+	u := rng.NormFloat64() * 0.5
+	v := rng.NormFloat64() * 0.5
+	w := rng.NormFloat64() * 0.5
+	p := 0.3 + rng.Float64()
+	e := p/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+	return [5]float64{rho, rho * u, rho * v, rho * w, e}
+}
+
+func TestEigenSimilarityMatchesJacobian(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		q := randomState(rng)
+		kx := rng.NormFloat64()
+		ky := rng.NormFloat64()
+		kz := rng.NormFloat64()
+		kt := rng.NormFloat64() * 0.3
+		if kx*kx+ky*ky+kz*kz < 0.01 {
+			continue
+		}
+		e := NewEigen(q, kx, ky, kz, kt)
+		want := numJacobian(q, kx, ky, kz, kt)
+		// Reconstruct A = T Λ T⁻¹.
+		var got [5][5]float64
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				s := 0.0
+				for m := 0; m < 5; m++ {
+					s += e.T[i][m] * e.Lam[m] * e.Ti[m][j]
+				}
+				got[i][j] = s
+			}
+		}
+		scale := 0.0
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if a := math.Abs(want[i][j]); a > scale {
+					scale = a
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if diff := math.Abs(got[i][j] - want[i][j]); diff > 1e-4*(1+scale) {
+					t.Fatalf("trial %d: A[%d][%d] = %v, want %v (diff %v)\nq=%v k=(%v,%v,%v) kt=%v",
+						trial, i, j, got[i][j], want[i][j], diff, q, kx, ky, kz, kt)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		q := randomState(rng)
+		e := NewEigen(q, 0.3+rng.Float64(), rng.NormFloat64(), rng.NormFloat64(), 0)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				s := 0.0
+				for m := 0; m < 5; m++ {
+					s += e.T[i][m] * e.Ti[m][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-10 {
+					t.Fatalf("trial %d: (T·T⁻¹)[%d][%d] = %v", trial, i, j, s)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenMulRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := randomState(rng)
+	e := NewEigen(q, 1, 0.2, -0.4, 0.1)
+	x := [5]float64{0.3, -1.2, 0.8, 0.05, 2.1}
+	y := e.MulT(e.MulTi(x))
+	for i := 0; i < 5; i++ {
+		if math.Abs(y[i]-x[i]) > 1e-10 {
+			t.Fatalf("round trip component %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFluxFreestreamConsistency(t *testing.T) {
+	fs := Freestream{Mach: 0.8}
+	q := fs.Conserved()
+	// Flux along a direction orthogonal to the flow with no motion:
+	// only pressure terms survive in momentum.
+	f := Flux(q, 0, 1, 0, 0)
+	if math.Abs(f[0]) > 1e-12 {
+		t.Errorf("mass flux across streamline = %v", f[0])
+	}
+	if math.Abs(f[2]-fs.Pressure()) > 1e-12 {
+		t.Errorf("y-momentum flux = %v, want p = %v", f[2], fs.Pressure())
+	}
+	// Along the flow: mass flux = ρ u kx.
+	f = Flux(q, 1, 0, 0, 0)
+	if math.Abs(f[0]-0.8) > 1e-12 {
+		t.Errorf("mass flux = %v, want 0.8", f[0])
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	fs := Freestream{Mach: 0.5}
+	q := fs.Conserved()
+	// σ = |u| + a for unit metric: 0.5 + 1.
+	got := SpectralRadius(q, 1, 0, 0, 0)
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("spectral radius = %v, want 1.5", got)
+	}
+	// Grid motion shifts the convective part.
+	got = SpectralRadius(q, 1, 0, 0, -0.5)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("moving spectral radius = %v, want 1.0", got)
+	}
+}
+
+func TestPrimitiveFloorsDegenerate(t *testing.T) {
+	rho, _, _, _, p := Primitive([5]float64{-1, 0, 0, 0, -1})
+	if rho <= 0 || p <= 0 {
+		t.Errorf("Primitive should floor: rho=%v p=%v", rho, p)
+	}
+}
+
+func TestFreestreamConserved(t *testing.T) {
+	fs := Freestream{Mach: 0.8, Alpha: math.Pi / 36} // 5 degrees
+	q := fs.Conserved()
+	rho, u, v, w, p := Primitive(q)
+	if math.Abs(rho-1) > 1e-12 || math.Abs(p-1/Gamma) > 1e-12 {
+		t.Errorf("rho=%v p=%v", rho, p)
+	}
+	if math.Abs(math.Hypot(u, v)-0.8) > 1e-12 || w != 0 {
+		t.Errorf("speed = %v", math.Hypot(u, v))
+	}
+	if math.Abs(v/u-math.Tan(math.Pi/36)) > 1e-12 {
+		t.Errorf("alpha wrong: u=%v v=%v", u, v)
+	}
+	// Sound speed is 1 in this nondimensionalization.
+	if a := SoundSpeed(rho, p); math.Abs(a-1) > 1e-12 {
+		t.Errorf("a∞ = %v, want 1", a)
+	}
+}
+
+func TestMuCoef(t *testing.T) {
+	fs := Freestream{Mach: 0.8, Re: 1e6}
+	if got := fs.MuCoef(); math.Abs(got-0.8e-6) > 1e-18 {
+		t.Errorf("MuCoef = %v", got)
+	}
+	if (Freestream{Mach: 0.8}).MuCoef() != 0 {
+		t.Error("inviscid MuCoef should be 0")
+	}
+}

@@ -1,0 +1,107 @@
+package flow
+
+import (
+	"overd/internal/par"
+)
+
+// ExchangeHalo swaps the Halo-deep boundary planes of Q with the face
+// neighbors of this block (including periodic wrap neighbors). All sends
+// are posted first (asynchronous, as in the MPI original), then receives
+// are matched by face. Returns flops (zero — pure communication — but pack
+// and unpack charge a small per-point cost through r.Elapse by the caller's
+// convention of counting copies as memory traffic, not flops).
+func (b *Block) ExchangeHalo(r *par.Rank) {
+	type post struct {
+		dim, side int
+		nbr       Neighbor
+	}
+	var posts []post
+	for dim := 0; dim < 3; dim++ {
+		if b.TwoD && dim == 2 {
+			continue
+		}
+		for side := 0; side < 2; side++ {
+			nbr := b.Nbr[dim][side]
+			if nbr.Rank < 0 {
+				continue
+			}
+			posts = append(posts, post{dim, side, nbr})
+			data := b.packFace(dim, side)
+			// Tag encodes the receiving face so a 2-rank periodic ring
+			// can distinguish its two connections to the same peer.
+			tag := par.TagHalo + par.Tag(10*dim+(1-side))
+			r.Send(nbr.Rank, tag, data, 8*len(data))
+		}
+	}
+	for _, p := range posts {
+		tag := par.TagHalo + par.Tag(10*p.dim+p.side)
+		m := r.Recv(p.nbr.Rank, tag)
+		b.unpackFace(p.dim, p.side, m.Data.([]float64))
+	}
+}
+
+// faceSlabBounds returns the local index bounds of a Halo-deep slab on the
+// given face: owned boundary planes when owned=true, ghost planes otherwise.
+func (b *Block) faceSlabBounds(dim, side int, owned bool) (ilo, ihi, jlo, jhi, klo, khi int) {
+	ilo, ihi = Halo, b.MI-Halo-1
+	jlo, jhi = Halo, b.MJ-Halo-1
+	if b.TwoD {
+		klo, khi = 0, 0
+	} else {
+		klo, khi = Halo, b.MK-Halo-1
+	}
+	set := func(lo, hi int) (int, int) {
+		if owned {
+			if side == 0 {
+				return lo, lo + Halo - 1
+			}
+			return hi - Halo + 1, hi
+		}
+		if side == 0 {
+			return lo - Halo, lo - 1
+		}
+		return hi + 1, hi + Halo
+	}
+	switch dim {
+	case 0:
+		ilo, ihi = set(ilo, ihi)
+	case 1:
+		jlo, jhi = set(jlo, jhi)
+	default:
+		klo, khi = set(klo, khi)
+	}
+	return
+}
+
+// packFace copies the owned boundary slab of face (dim, side) of Q into a
+// fresh buffer.
+func (b *Block) packFace(dim, side int) []float64 {
+	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, true)
+	n := (ihi - ilo + 1) * (jhi - jlo + 1) * (khi - klo + 1)
+	out := make([]float64, 0, 5*n)
+	for lk := klo; lk <= khi; lk++ {
+		for lj := jlo; lj <= jhi; lj++ {
+			for li := ilo; li <= ihi; li++ {
+				p := b.LIdx(li, lj, lk)
+				out = append(out, b.Q[5*p:5*p+5]...)
+			}
+		}
+	}
+	return out
+}
+
+// unpackFace writes a received slab into the ghost layers of face
+// (dim, side).
+func (b *Block) unpackFace(dim, side int, data []float64) {
+	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, false)
+	pos := 0
+	for lk := klo; lk <= khi; lk++ {
+		for lj := jlo; lj <= jhi; lj++ {
+			for li := ilo; li <= ihi; li++ {
+				p := b.LIdx(li, lj, lk)
+				copy(b.Q[5*p:5*p+5], data[pos:pos+5])
+				pos += 5
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The Euler fluxes are homogeneous of degree one in the conserved state:
+// F(λQ) = λF(Q). The diagonalized implicit scheme relies on this property.
+func TestFluxHomogeneity_Property(t *testing.T) {
+	f := func(rho, u, v, w, p, lam float64) bool {
+		rho = 0.2 + math.Abs(math.Mod(rho, 3))
+		p = 0.2 + math.Abs(math.Mod(p, 3))
+		u = math.Mod(u, 2)
+		v = math.Mod(v, 2)
+		w = math.Mod(w, 2)
+		lam = 0.5 + math.Abs(math.Mod(lam, 4))
+		e := p/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+		q := [5]float64{rho, rho * u, rho * v, rho * w, e}
+		var ql [5]float64
+		for c := range q {
+			ql[c] = lam * q[c]
+		}
+		f1 := Flux(q, 0.7, -0.2, 0.4, 0.1)
+		f2 := Flux(ql, 0.7, -0.2, 0.4, 0.1)
+		for c := 0; c < 5; c++ {
+			if math.Abs(f2[c]-lam*f1[c]) > 1e-9*(1+math.Abs(f1[c])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Primitive/conserved round trip.
+func TestPrimitiveRoundTrip_Property(t *testing.T) {
+	f := func(rho, u, v, w, p float64) bool {
+		rho = 0.2 + math.Abs(math.Mod(rho, 3))
+		p = 0.2 + math.Abs(math.Mod(p, 3))
+		u = math.Mod(u, 2)
+		v = math.Mod(v, 2)
+		w = math.Mod(w, 2)
+		e := p/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+		r2, u2, v2, w2, p2 := Primitive([5]float64{rho, rho * u, rho * v, rho * w, e})
+		tol := 1e-10
+		return math.Abs(r2-rho) < tol && math.Abs(u2-u) < tol &&
+			math.Abs(v2-v) < tol && math.Abs(w2-w) < tol && math.Abs(p2-p) < tol*10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Eigenvalues bound the spectral radius: max|λ| = |U| + c|∇k| exactly.
+func TestEigenvaluesMatchSpectralRadius_Property(t *testing.T) {
+	f := func(rho, u, p, kx, ky float64) bool {
+		rho = 0.2 + math.Abs(math.Mod(rho, 3))
+		p = 0.2 + math.Abs(math.Mod(p, 3))
+		u = math.Mod(u, 2)
+		kx = math.Mod(kx, 3)
+		ky = math.Mod(ky, 3)
+		if kx*kx+ky*ky < 1e-4 {
+			return true
+		}
+		e := p/(Gamma-1) + 0.5*rho*u*u
+		q := [5]float64{rho, rho * u, 0, 0, e}
+		eg := NewEigen(q, kx, ky, 0, 0)
+		maxAbs := 0.0
+		for _, l := range eg.Lam {
+			if a := math.Abs(l); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		sr := SpectralRadius(q, kx, ky, 0, 0)
+		return math.Abs(maxAbs-sr) < 1e-9*(1+sr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Freestream conserved state always reconstructs a unit sound speed.
+func TestFreestreamSoundSpeed_Property(t *testing.T) {
+	f := func(mach, alpha float64) bool {
+		mach = math.Abs(math.Mod(mach, 3))
+		alpha = math.Mod(alpha, 0.5)
+		fs := Freestream{Mach: mach, Alpha: alpha}
+		rho, _, _, _, p := Primitive(fs.Conserved())
+		return math.Abs(SoundSpeed(rho, p)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

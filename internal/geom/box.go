@@ -1,0 +1,141 @@
+package geom
+
+import "math"
+
+// Box is an axis-aligned bounding box. A box with Min > Max in any
+// coordinate is empty; EmptyBox returns the canonical empty box.
+type Box struct {
+	Min, Max Vec3
+}
+
+// EmptyBox returns a box that contains nothing and extends under union.
+func EmptyBox() Box {
+	inf := math.Inf(1)
+	return Box{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// IsEmpty reports whether b contains no points.
+func (b Box) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Extend returns the smallest box containing b and point p.
+func (b Box) Extend(p Vec3) Box {
+	return Box{
+		Min: Vec3{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y), math.Min(b.Min.Z, p.Z)},
+		Max: Vec3{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y), math.Max(b.Max.Z, p.Z)},
+	}
+}
+
+// Union returns the smallest box containing both b and c.
+func (b Box) Union(c Box) Box {
+	if c.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return c
+	}
+	return b.Extend(c.Min).Extend(c.Max)
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b Box) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Overlaps reports whether b and c share any point.
+func (b Box) Overlaps(c Box) bool {
+	if b.IsEmpty() || c.IsEmpty() {
+		return false
+	}
+	return b.Min.X <= c.Max.X && c.Min.X <= b.Max.X &&
+		b.Min.Y <= c.Max.Y && c.Min.Y <= b.Max.Y &&
+		b.Min.Z <= c.Max.Z && c.Min.Z <= b.Max.Z
+}
+
+// Inflate returns b grown by d on every side.
+func (b Box) Inflate(d float64) Box {
+	if b.IsEmpty() {
+		return b
+	}
+	v := Vec3{d, d, d}
+	return Box{Min: b.Min.Sub(v), Max: b.Max.Add(v)}
+}
+
+// Center returns the centroid of b.
+func (b Box) Center() Vec3 {
+	return b.Min.Add(b.Max).Scale(0.5)
+}
+
+// Size returns the edge lengths of b.
+func (b Box) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the volume of b (0 for empty boxes).
+func (b Box) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// SurfaceArea returns the total surface area of b (0 for empty boxes).
+func (b Box) SurfaceArea() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return 2 * (s.X*s.Y + s.Y*s.Z + s.Z*s.X)
+}
+
+// Transform is a rigid-body placement: x_world = R·x_body + T.
+type Transform struct {
+	R Mat3
+	T Vec3
+}
+
+// IdentityTransform returns the identity placement.
+func IdentityTransform() Transform {
+	return Transform{R: Identity3()}
+}
+
+// Apply maps a body-frame point to the world frame.
+func (t Transform) Apply(p Vec3) Vec3 { return t.R.MulVec(p).Add(t.T) }
+
+// ApplyVec maps a body-frame direction to the world frame (no translation).
+func (t Transform) ApplyVec(v Vec3) Vec3 { return t.R.MulVec(v) }
+
+// Inverse returns the transform mapping world to body frame.
+func (t Transform) Inverse() Transform {
+	rt := t.R.Transpose()
+	return Transform{R: rt, T: rt.MulVec(t.T).Scale(-1)}
+}
+
+// Compose returns the transform equivalent to applying u first, then t.
+func (t Transform) Compose(u Transform) Transform {
+	return Transform{R: t.R.Mul(u.R), T: t.R.MulVec(u.T).Add(t.T)}
+}
+
+// ApplyBox returns an axis-aligned box containing the image of b under t.
+func (t Transform) ApplyBox(b Box) Box {
+	if b.IsEmpty() {
+		return b
+	}
+	out := EmptyBox()
+	for corner := 0; corner < 8; corner++ {
+		p := Vec3{b.Min.X, b.Min.Y, b.Min.Z}
+		if corner&1 != 0 {
+			p.X = b.Max.X
+		}
+		if corner&2 != 0 {
+			p.Y = b.Max.Y
+		}
+		if corner&4 != 0 {
+			p.Z = b.Max.Z
+		}
+		out = out.Extend(t.Apply(p))
+	}
+	return out
+}

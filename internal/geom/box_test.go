@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyBox(t *testing.T) {
+	b := EmptyBox()
+	if !b.IsEmpty() {
+		t.Error("EmptyBox not empty")
+	}
+	if b.Volume() != 0 || b.SurfaceArea() != 0 {
+		t.Error("empty box has nonzero measure")
+	}
+	if b.Contains(Vec3{}) {
+		t.Error("empty box contains origin")
+	}
+}
+
+func TestBoxExtendContains(t *testing.T) {
+	b := EmptyBox().Extend(Vec3{1, 1, 1}).Extend(Vec3{-1, 2, 0})
+	for _, p := range []Vec3{{1, 1, 1}, {-1, 2, 0}, {0, 1.5, 0.5}} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	if b.Contains(Vec3{2, 1, 1}) {
+		t.Error("box should not contain (2,1,1)")
+	}
+}
+
+func TestBoxOverlaps(t *testing.T) {
+	a := Box{Vec3{0, 0, 0}, Vec3{1, 1, 1}}
+	b := Box{Vec3{0.5, 0.5, 0.5}, Vec3{2, 2, 2}}
+	c := Box{Vec3{1.5, 1.5, 1.5}, Vec3{2, 2, 2}}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+	// Touching faces count as overlap.
+	d := Box{Vec3{1, 0, 0}, Vec3{2, 1, 1}}
+	if !a.Overlaps(d) {
+		t.Error("touching boxes should overlap")
+	}
+	if a.Overlaps(EmptyBox()) || EmptyBox().Overlaps(a) {
+		t.Error("nothing overlaps the empty box")
+	}
+}
+
+func TestBoxUnionVolume(t *testing.T) {
+	a := Box{Vec3{0, 0, 0}, Vec3{1, 1, 1}}
+	b := Box{Vec3{2, 0, 0}, Vec3{3, 1, 1}}
+	u := a.Union(b)
+	if u.Volume() != 3 {
+		t.Errorf("union volume = %v, want 3", u.Volume())
+	}
+	if got := a.Union(EmptyBox()); got != a {
+		t.Errorf("union with empty = %v", got)
+	}
+	if got := EmptyBox().Union(a); got != a {
+		t.Errorf("empty union a = %v", got)
+	}
+}
+
+func TestBoxInflate(t *testing.T) {
+	a := Box{Vec3{0, 0, 0}, Vec3{1, 1, 1}}
+	g := a.Inflate(0.5)
+	if g.Min != (Vec3{-0.5, -0.5, -0.5}) || g.Max != (Vec3{1.5, 1.5, 1.5}) {
+		t.Errorf("Inflate = %+v", g)
+	}
+	if got := EmptyBox().Inflate(1); !got.IsEmpty() {
+		t.Error("inflated empty box should stay empty")
+	}
+}
+
+func TestBoxSurfaceArea(t *testing.T) {
+	a := Box{Vec3{0, 0, 0}, Vec3{2, 3, 4}}
+	want := 2.0 * (2*3 + 3*4 + 4*2)
+	if a.SurfaceArea() != want {
+		t.Errorf("SurfaceArea = %v, want %v", a.SurfaceArea(), want)
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	tr := Transform{R: RotZ(0.9).Mul(RotX(-0.4)), T: Vec3{1, -2, 3}}
+	inv := tr.Inverse()
+	p := Vec3{0.3, 0.7, -1.1}
+	if got := inv.Apply(tr.Apply(p)); !vecAlmostEq(got, p, 1e-12) {
+		t.Errorf("inverse round trip = %v, want %v", got, p)
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	a := Transform{R: RotZ(0.5), T: Vec3{1, 0, 0}}
+	b := Transform{R: RotX(1.1), T: Vec3{0, 2, 0}}
+	p := Vec3{0.2, -0.3, 0.9}
+	got := a.Compose(b).Apply(p)
+	want := a.Apply(b.Apply(p))
+	if !vecAlmostEq(got, want, 1e-12) {
+		t.Errorf("compose = %v, want %v", got, want)
+	}
+}
+
+func TestTransformApplyBoxContainsImages_Property(t *testing.T) {
+	f := func(angle, tx, ty, tz, px, py, pz float64) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return true
+		}
+		for _, v := range []float64{tx, ty, tz, px, py, pz} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		tr := Transform{R: RotY(angle), T: Vec3{tx, ty, tz}}
+		b := Box{Vec3{-1, -1, -1}, Vec3{1, 1, 1}}
+		ib := tr.ApplyBox(b)
+		// Any point of the box maps inside the image box.
+		p := Vec3{clamp(px, -1, 1), clamp(py, -1, 1), clamp(pz, -1, 1)}
+		return ib.Inflate(1e-9).Contains(tr.Apply(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	return math.Max(lo, math.Min(hi, x))
+}
+
+func TestBoxCenterSize(t *testing.T) {
+	b := Box{Vec3{1, 2, 3}, Vec3{3, 6, 11}}
+	if b.Center() != (Vec3{2, 4, 7}) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Size() != (Vec3{2, 4, 8}) {
+		t.Errorf("Size = %v", b.Size())
+	}
+}

@@ -1,0 +1,77 @@
+package geom
+
+import "math"
+
+// Quat is a unit quaternion W + Xi + Yj + Zk representing an attitude.
+// The zero value is not a valid rotation; use IdentityQuat.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// IdentityQuat returns the identity rotation.
+func IdentityQuat() Quat { return Quat{W: 1} }
+
+// AxisAngle returns the quaternion rotating by angle a (radians) about axis.
+func AxisAngle(axis Vec3, a float64) Quat {
+	axis = axis.Normalized()
+	s := math.Sin(a / 2)
+	return Quat{math.Cos(a / 2), s * axis.X, s * axis.Y, s * axis.Z}
+}
+
+// Mul returns the quaternion product q·p (apply p, then q).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalized returns q scaled to unit magnitude. The identity is returned
+// for a zero quaternion.
+func (q Quat) Normalized() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return IdentityQuat()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q (0,v) q*
+	p := Quat{0, v.X, v.Y, v.Z}
+	r := q.Mul(p).Mul(q.Conj())
+	return Vec3{r.X, r.Y, r.Z}
+}
+
+// Mat returns the rotation matrix equivalent to q (assumed unit).
+func (q Quat) Mat() Mat3 {
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat3{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}
+}
+
+// Deriv returns dq/dt for body angular velocity omega (body frame):
+// q̇ = ½ q ⊗ (0, ω).
+func (q Quat) Deriv(omega Vec3) Quat {
+	h := q.Mul(Quat{0, omega.X, omega.Y, omega.Z})
+	return Quat{h.W / 2, h.X / 2, h.Y / 2, h.Z / 2}
+}
+
+// AddScaled returns q + s*d, without normalization (integration helper).
+func (q Quat) AddScaled(d Quat, s float64) Quat {
+	return Quat{q.W + s*d.W, q.X + s*d.X, q.Y + s*d.Y, q.Z + s*d.Z}
+}

@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := IdentityQuat().Rotate(v); !vecAlmostEq(got, v, 1e-15) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestAxisAngleMatchesRotZ(t *testing.T) {
+	for _, a := range []float64{0, 0.3, -1.1, math.Pi, 2.5} {
+		q := AxisAngle(Vec3{0, 0, 1}, a)
+		m := RotZ(a)
+		v := Vec3{0.3, -0.7, 1.9}
+		if !vecAlmostEq(q.Rotate(v), m.MulVec(v), 1e-12) {
+			t.Errorf("angle %v: quat %v vs matrix %v", a, q.Rotate(v), m.MulVec(v))
+		}
+	}
+}
+
+func TestQuatMatAgreesWithRotate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 50; n++ {
+		axis := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if axis.Norm() < 1e-9 {
+			continue
+		}
+		q := AxisAngle(axis, rng.Float64()*6-3)
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if !vecAlmostEq(q.Mat().MulVec(v), q.Rotate(v), 1e-12) {
+			t.Fatalf("Mat and Rotate disagree for %+v", q)
+		}
+	}
+}
+
+func TestQuatComposition(t *testing.T) {
+	q1 := AxisAngle(Vec3{0, 0, 1}, math.Pi/2)
+	q2 := AxisAngle(Vec3{1, 0, 0}, math.Pi/2)
+	v := Vec3{0, 1, 0}
+	// Apply q2 then q1: y -> z (by q2), z -> z (by q1 about z).
+	got := q1.Mul(q2).Rotate(v)
+	want := q1.Rotate(q2.Rotate(v))
+	if !vecAlmostEq(got, want, 1e-12) {
+		t.Errorf("composition: got %v want %v", got, want)
+	}
+	if !vecAlmostEq(got, Vec3{0, 0, 1}, 1e-12) {
+		t.Errorf("y after q2 then q1 = %v, want z", got)
+	}
+}
+
+func TestQuatRotatePreservesNorm_Property(t *testing.T) {
+	f := func(w, x, y, z, vx, vy, vz float64) bool {
+		q := Quat{w, x, y, z}
+		if q.Norm() < 1e-6 || math.IsInf(q.Norm(), 0) || math.IsNaN(q.Norm()) {
+			return true
+		}
+		q = q.Normalized()
+		v := Vec3{vx, vy, vz}
+		n := v.Norm()
+		if math.IsInf(n, 0) || math.IsNaN(n) {
+			return true
+		}
+		return almostEq(q.Rotate(v).Norm(), n, 1e-9*(1+n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatDerivZeroOmega(t *testing.T) {
+	q := AxisAngle(Vec3{1, 1, 0}, 0.4)
+	d := q.Deriv(Vec3{})
+	if d != (Quat{}) {
+		t.Errorf("Deriv with zero omega = %+v, want zero", d)
+	}
+}
+
+func TestQuatDerivIntegratesRotation(t *testing.T) {
+	// Integrate q̇ = ½ q(0,ω) with ω = (0,0,w) using small Euler steps;
+	// after time T the attitude should be a rotation by w*T about z.
+	q := IdentityQuat()
+	w := 0.8
+	dt := 1e-4
+	steps := 10000 // T = 1
+	for i := 0; i < steps; i++ {
+		q = q.AddScaled(q.Deriv(Vec3{0, 0, w}), dt).Normalized()
+	}
+	want := AxisAngle(Vec3{0, 0, 1}, w)
+	v := Vec3{1, 0, 0}
+	if !vecAlmostEq(q.Rotate(v), want.Rotate(v), 1e-4) {
+		t.Errorf("integrated rotation %v, want %v", q.Rotate(v), want.Rotate(v))
+	}
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVecBasics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Norm(); !almostEq(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-2, 1, 5}
+	c := a.Cross(b)
+	if !almostEq(c.Dot(a), 0, 1e-12) || !almostEq(c.Dot(b), 0, 1e-12) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+	// Right-handedness on unit axes.
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalized()
+	if !vecAlmostEq(v, Vec3{0.6, 0.8, 0}, 1e-15) {
+		t.Errorf("Normalized = %v", v)
+	}
+	if got := (Vec3{}).Normalized(); got != (Vec3{}) {
+		t.Errorf("Normalized zero = %v, want zero", got)
+	}
+}
+
+func TestCrossAnticommutative_Property(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		for _, v := range []float64{ax, ay, az, bx, by, bz} {
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				return true // avoid overflow to ±Inf, where Inf-Inf = NaN
+			}
+		}
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c1 := a.Cross(b)
+		c2 := b.Cross(a).Scale(-1)
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity3()
+	v := Vec3{7, -2, 0.5}
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I*v = %v", got)
+	}
+	if got := id.Det(); got != 1 {
+		t.Errorf("det I = %v", got)
+	}
+}
+
+func TestMat3InverseRoundTrip(t *testing.T) {
+	m := Mat3{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("matrix should be invertible")
+	}
+	p := m.Mul(inv)
+	id := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(p[i][j], id[i][j], 1e-12) {
+				t.Errorf("m*inv[%d][%d] = %v", i, j, p[i][j])
+			}
+		}
+	}
+}
+
+func TestMat3SingularInverse(t *testing.T) {
+	m := Mat3{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}
+	if _, ok := m.Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestRotationMatricesOrthonormal(t *testing.T) {
+	for name, m := range map[string]Mat3{
+		"RotX": RotX(0.7), "RotY": RotY(-1.2), "RotZ": RotZ(2.9),
+	} {
+		if !almostEq(m.Det(), 1, 1e-12) {
+			t.Errorf("%s det = %v, want 1", name, m.Det())
+		}
+		p := m.Mul(m.Transpose())
+		id := Identity3()
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if !almostEq(p[i][j], id[i][j], 1e-12) {
+					t.Errorf("%s not orthonormal at [%d][%d]: %v", name, i, j, p[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRotZQuarterTurn(t *testing.T) {
+	got := RotZ(math.Pi / 2).MulVec(Vec3{1, 0, 0})
+	if !vecAlmostEq(got, Vec3{0, 1, 0}, 1e-15) {
+		t.Errorf("RotZ(90°)·x = %v, want y", got)
+	}
+}
+
+func TestMatMulAssociative_Property(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 2*math.Pi)
+		b = math.Mod(b, 2*math.Pi)
+		m1 := RotX(a)
+		m2 := RotY(b)
+		m3 := RotZ(a - b)
+		l := m1.Mul(m2).Mul(m3)
+		r := m1.Mul(m2.Mul(m3))
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if !almostEq(l[i][j], r[i][j], 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotationPreservesNorm_Property(t *testing.T) {
+	f := func(a, x, y, z float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		v := Vec3{x, y, z}
+		if math.IsInf(v.Norm(), 0) || math.IsNaN(v.Norm()) {
+			return true
+		}
+		w := RotY(a).MulVec(v)
+		return almostEq(w.Norm(), v.Norm(), 1e-9*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package grid
+
+import "fmt"
+
+// IBox is an inclusive range of structured-grid point indices
+// [ILo..IHi] x [JLo..JHi] x [KLo..KHi]. It describes a subdomain of a
+// component grid in that grid's own index space.
+type IBox struct {
+	ILo, IHi, JLo, JHi, KLo, KHi int
+}
+
+// FullBox returns the index box covering an ni x nj x nk point grid.
+func FullBox(ni, nj, nk int) IBox {
+	return IBox{0, ni - 1, 0, nj - 1, 0, nk - 1}
+}
+
+// NI returns the number of points in the i direction.
+func (b IBox) NI() int { return b.IHi - b.ILo + 1 }
+
+// NJ returns the number of points in the j direction.
+func (b IBox) NJ() int { return b.JHi - b.JLo + 1 }
+
+// NK returns the number of points in the k direction.
+func (b IBox) NK() int { return b.KHi - b.KLo + 1 }
+
+// Count returns the number of points in the box.
+func (b IBox) Count() int {
+	if !b.Valid() {
+		return 0
+	}
+	return b.NI() * b.NJ() * b.NK()
+}
+
+// Valid reports whether the box is non-empty.
+func (b IBox) Valid() bool {
+	return b.IHi >= b.ILo && b.JHi >= b.JLo && b.KHi >= b.KLo
+}
+
+// Contains reports whether point (i,j,k) lies in the box.
+func (b IBox) Contains(i, j, k int) bool {
+	return i >= b.ILo && i <= b.IHi && j >= b.JLo && j <= b.JHi && k >= b.KLo && k <= b.KHi
+}
+
+// Intersect returns the overlap of b and c (possibly invalid if disjoint).
+func (b IBox) Intersect(c IBox) IBox {
+	return IBox{
+		max(b.ILo, c.ILo), min(b.IHi, c.IHi),
+		max(b.JLo, c.JLo), min(b.JHi, c.JHi),
+		max(b.KLo, c.KLo), min(b.KHi, c.KHi),
+	}
+}
+
+// LargestDim returns the axis (0=i, 1=j, 2=k) with the most points.
+func (b IBox) LargestDim() int {
+	d, n := 0, b.NI()
+	if b.NJ() > n {
+		d, n = 1, b.NJ()
+	}
+	if b.NK() > n {
+		d = 2
+	}
+	return d
+}
+
+// SplitDim cuts the box into parts nearly equal pieces along axis dim,
+// splitting at point boundaries (each point belongs to exactly one piece).
+// Pieces are returned low-to-high. If the axis has fewer points than parts,
+// fewer boxes are returned (each at least one point wide).
+func (b IBox) SplitDim(dim, parts int) []IBox {
+	lo, hi := b.ILo, b.IHi
+	switch dim {
+	case 1:
+		lo, hi = b.JLo, b.JHi
+	case 2:
+		lo, hi = b.KLo, b.KHi
+	}
+	n := hi - lo + 1
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]IBox, 0, parts)
+	start := lo
+	for p := 0; p < parts; p++ {
+		// Distribute remainder one point at a time.
+		size := n / parts
+		if p < n%parts {
+			size++
+		}
+		piece := b
+		switch dim {
+		case 0:
+			piece.ILo, piece.IHi = start, start+size-1
+		case 1:
+			piece.JLo, piece.JHi = start, start+size-1
+		case 2:
+			piece.KLo, piece.KHi = start, start+size-1
+		}
+		out = append(out, piece)
+		start += size
+	}
+	return out
+}
+
+// SurfacePoints returns the number of boundary points of the box, a proxy
+// for the communication surface of a subdomain.
+func (b IBox) SurfacePoints() int {
+	ni, nj, nk := b.NI(), b.NJ(), b.NK()
+	total := b.Count()
+	inner := max(ni-2, 0) * max(nj-2, 0) * max(nk-2, 0)
+	return total - inner
+}
+
+// String implements fmt.Stringer.
+func (b IBox) String() string {
+	return fmt.Sprintf("[%d..%d, %d..%d, %d..%d]", b.ILo, b.IHi, b.JLo, b.JHi, b.KLo, b.KHi)
+}

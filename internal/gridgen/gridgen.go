@@ -1,0 +1,297 @@
+// Package gridgen generates the structured component grids used by the
+// reproduction's test cases. The paper's grid systems (NACA 0012 O-grids, a
+// descending delta wing with pipe jet, and a wing/pylon/finned-store
+// configuration) were proprietary PLOT3D files; these generators build
+// programmatic analogs that match the published statistics — number of
+// component grids, composite gridpoint totals, and intergrid-boundary-point
+// densities — which are the quantities the measured parallel performance
+// depends on.
+package gridgen
+
+import (
+	"math"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+)
+
+// NACA0012Thickness returns the half-thickness of a NACA 0012 airfoil at
+// chordwise station x in [0,1] (closed trailing edge variant).
+func NACA0012Thickness(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	const t = 0.12
+	return 5 * t * (0.2969*math.Sqrt(x) - 0.1260*x - 0.3516*x*x +
+		0.2843*x*x*x - 0.1036*x*x*x*x)
+}
+
+// AirfoilSurface returns the NACA 0012 surface point at parameter
+// s in [0,1): s=0 is the trailing edge, s grows over the upper surface to
+// the leading edge at s=0.5, and returns along the lower surface.
+func AirfoilSurface(s float64) geom.Vec3 {
+	s = s - math.Floor(s)
+	// Cosine clustering of chord stations toward both edges.
+	var x, sign float64
+	if s < 0.5 {
+		u := s * 2 // 0 at TE, 1 at LE over upper surface
+		x = 0.5 * (1 + math.Cos(math.Pi*u))
+		sign = 1
+	} else {
+		u := (s - 0.5) * 2 // 0 at LE, 1 at TE over lower surface
+		x = 0.5 * (1 - math.Cos(math.Pi*u))
+		sign = -1
+	}
+	return geom.Vec3{X: x, Y: sign * NACA0012Thickness(x)}
+}
+
+// GeometricSpacing returns n fractions in [0,1] (first 0, last 1) whose
+// successive gaps grow by the given ratio, clustering points toward 0 when
+// ratio > 1. n must be at least 2.
+func GeometricSpacing(n int, ratio float64) []float64 {
+	if n < 2 {
+		panic("gridgen: GeometricSpacing needs n >= 2")
+	}
+	out := make([]float64, n)
+	gap := 1.0
+	sum := 0.0
+	gaps := make([]float64, n-1)
+	for i := range gaps {
+		gaps[i] = gap
+		sum += gap
+		gap *= ratio
+	}
+	acc := 0.0
+	for i := 1; i < n; i++ {
+		acc += gaps[i-1] / sum
+		out[i] = acc
+	}
+	out[n-1] = 1
+	return out
+}
+
+// AirfoilOGrid builds a 2-D O-grid (NK=1) around a NACA 0012 airfoil with
+// ni points around the surface (periodic in i) and nj points from the wall
+// (j=0) to a circular outer boundary of the given radius centered at
+// mid-chord. Wall spacing clusters geometrically toward the surface.
+func AirfoilOGrid(id int, name string, ni, nj int, radius float64) *grid.Grid {
+	g := grid.New(id, name, ni, nj, 1)
+	g.BCs[grid.IMin] = grid.BCPeriodic
+	g.BCs[grid.IMax] = grid.BCPeriodic
+	g.BCs[grid.JMin] = grid.BCWall
+	g.BCs[grid.JMax] = grid.BCOverset
+	g.Viscous = true
+	center := geom.Vec3{X: 0.5}
+	radial := GeometricSpacing(nj, 1.12)
+	for i := 0; i < ni; i++ {
+		s := float64(i) / float64(ni)
+		surf := AirfoilSurface(-s) // negative: clockwise traversal keeps the O-grid right-handed
+		// Outer point: angle from center through the surface point keeps
+		// radial lines from crossing on this convex-ish shape.
+		dir := surf.Sub(center)
+		if dir.Norm() < 1e-9 {
+			dir = geom.Vec3{X: 1}
+		}
+		ang := math.Atan2(dir.Y, dir.X)
+		outer := center.Add(geom.Vec3{X: radius * math.Cos(ang), Y: radius * math.Sin(ang)})
+		for j := 0; j < nj; j++ {
+			f := radial[j]
+			p := surf.Scale(1 - f).Add(outer.Scale(f))
+			g.SetBody(i, j, 0, p)
+		}
+	}
+	return g
+}
+
+// Annulus builds a 2-D ring grid between radii rIn and rOut centered at
+// (cx, cy), periodic in i, with overset fringes on both radial boundaries.
+func Annulus(id int, name string, ni, nj int, cx, cy, rIn, rOut float64) *grid.Grid {
+	g := grid.New(id, name, ni, nj, 1)
+	g.BCs[grid.IMin] = grid.BCPeriodic
+	g.BCs[grid.IMax] = grid.BCPeriodic
+	g.BCs[grid.JMin] = grid.BCOverset
+	g.BCs[grid.JMax] = grid.BCOverset
+	for i := 0; i < ni; i++ {
+		ang := -2 * math.Pi * float64(i) / float64(ni) // clockwise: right-handed with j outward
+		for j := 0; j < nj; j++ {
+			r := rIn + (rOut-rIn)*float64(j)/float64(nj-1)
+			g.SetBody(i, j, 0, geom.Vec3{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)})
+		}
+	}
+	return g
+}
+
+// CartesianBox builds a uniformly spaced Cartesian grid covering box with
+// the given point counts (nz == 1 makes it 2-D). Faces default to farfield.
+func CartesianBox(id int, name string, nx, ny, nz int, box geom.Box) *grid.Grid {
+	g := grid.New(id, name, nx, ny, nz)
+	g.Cartesian = true
+	size := box.Size()
+	for k := 0; k < nz; k++ {
+		fz := 0.0
+		if nz > 1 {
+			fz = float64(k) / float64(nz-1)
+		}
+		for j := 0; j < ny; j++ {
+			fy := 0.0
+			if ny > 1 {
+				fy = float64(j) / float64(ny-1)
+			}
+			for i := 0; i < nx; i++ {
+				fx := 0.0
+				if nx > 1 {
+					fx = float64(i) / float64(nx-1)
+				}
+				g.SetBody(i, j, k, geom.Vec3{
+					X: box.Min.X + fx*size.X,
+					Y: box.Min.Y + fy*size.Y,
+					Z: box.Min.Z + fz*size.Z,
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Profile describes an axisymmetric body: Radius(t) is the body radius at
+// axial fraction t in [0,1]; X(t) is the axial station. Radius must vanish
+// or stay positive at the ends (a blunt end keeps a small positive radius).
+type Profile struct {
+	Length float64
+	Radius func(t float64) float64
+}
+
+// OgiveProfile returns a store-like body of revolution: an ogive nose,
+// cylindrical midbody, and tapered tail, with the given length and radius.
+func OgiveProfile(length, radius float64) Profile {
+	return Profile{
+		Length: length,
+		Radius: func(t float64) float64 {
+			const eps = 0.04 // blunt caps avoid degenerate cells on the axis
+			switch {
+			case t < 0.25: // nose
+				u := t / 0.25
+				return radius * (eps + (1-eps)*math.Sin(u*math.Pi/2))
+			case t > 0.8: // tail taper
+				u := (1 - t) / 0.2
+				return radius * (eps + (1-eps)*u)
+			default:
+				return radius
+			}
+		},
+	}
+}
+
+// BodyOfRevolutionGrid builds a 3-D O-grid around an axisymmetric body:
+// k runs along the axis (x direction, from x0), i is azimuthal (periodic),
+// and j is radial from the wall to the given outer radius.
+func BodyOfRevolutionGrid(id int, name string, ni, nj, nk int, p Profile, outer float64) *grid.Grid {
+	g := grid.New(id, name, ni, nj, nk)
+	g.BCs[grid.IMin] = grid.BCPeriodic
+	g.BCs[grid.IMax] = grid.BCPeriodic
+	g.BCs[grid.JMin] = grid.BCWall
+	g.BCs[grid.JMax] = grid.BCOverset
+	// Axial end faces extrapolate: treating the thin end rings as overset
+	// fringes would demand donors right at the body caps, where overlap
+	// cannot be guaranteed; first-order extrapolation is the standard cap
+	// closure for component O-grids.
+	g.BCs[grid.KMin] = grid.BCExtrap
+	g.BCs[grid.KMax] = grid.BCExtrap
+	g.Viscous = true
+	radial := GeometricSpacing(nj, 1.18)
+	for k := 0; k < nk; k++ {
+		t := float64(k) / float64(nk-1)
+		x := t * p.Length
+		rw := p.Radius(t)
+		for i := 0; i < ni; i++ {
+			ang := -2 * math.Pi * float64(i) / float64(ni) // clockwise: right-handed
+			cy, cz := math.Cos(ang), math.Sin(ang)
+			for j := 0; j < nj; j++ {
+				r := rw + (outer-rw)*radial[j]
+				g.SetBody(i, j, k, geom.Vec3{X: x, Y: r * cy, Z: r * cz})
+			}
+		}
+	}
+	return g
+}
+
+// EllipsoidGrid builds a 3-D O-grid around an ellipsoid with semi-axes
+// (a, b, c) — a flattened ellipsoid stands in for wing-like components.
+// i is azimuthal around the y axis cross-section (periodic), k runs along
+// the polar angle of the x axis, j is radial to `outer` times the local
+// surface radius.
+func EllipsoidGrid(id int, name string, ni, nj, nk int, a, b, c, outer float64) *grid.Grid {
+	g := grid.New(id, name, ni, nj, nk)
+	g.BCs[grid.IMin] = grid.BCPeriodic
+	g.BCs[grid.IMax] = grid.BCPeriodic
+	g.BCs[grid.JMin] = grid.BCWall
+	g.BCs[grid.JMax] = grid.BCOverset
+	// Polar end faces extrapolate (pole caps; see BodyOfRevolutionGrid).
+	g.BCs[grid.KMin] = grid.BCExtrap
+	g.BCs[grid.KMax] = grid.BCExtrap
+	g.Viscous = true
+	radial := GeometricSpacing(nj, 1.18)
+	for k := 0; k < nk; k++ {
+		// Polar angle avoiding the exact poles (degenerate cells).
+		th := math.Pi * (0.08 + 0.84*float64(k)/float64(nk-1))
+		for i := 0; i < ni; i++ {
+			ph := -2 * math.Pi * float64(i) / float64(ni) // clockwise: right-handed
+			// Unit-sphere direction scaled onto the ellipsoid.
+			dir := geom.Vec3{
+				X: math.Cos(th),
+				Y: math.Sin(th) * math.Cos(ph),
+				Z: math.Sin(th) * math.Sin(ph),
+			}
+			surf := geom.Vec3{X: a * dir.X, Y: b * dir.Y, Z: c * dir.Z}
+			for j := 0; j < nj; j++ {
+				f := radial[j]
+				scale := 1 + (outer-1)*f
+				g.SetBody(i, j, k, surf.Scale(scale))
+			}
+		}
+	}
+	return g
+}
+
+// FinGrid builds a small 3-D grid wrapped around a flat-plate fin: the fin
+// lies in a plane, k runs spanwise, i wraps the section (periodic), j is
+// normal distance. chord and span size the plate; thick is its thickness.
+func FinGrid(id int, name string, ni, nj, nk int, chord, span, thick, outer float64) *grid.Grid {
+	g := grid.New(id, name, ni, nj, nk)
+	g.BCs[grid.IMin] = grid.BCPeriodic
+	g.BCs[grid.IMax] = grid.BCPeriodic
+	g.BCs[grid.JMin] = grid.BCWall
+	g.BCs[grid.JMax] = grid.BCOverset
+	// Spanwise end faces extrapolate (root/tip closure).
+	g.BCs[grid.KMin] = grid.BCExtrap
+	g.BCs[grid.KMax] = grid.BCExtrap
+	g.Viscous = true
+	radial := GeometricSpacing(nj, 1.2)
+	for k := 0; k < nk; k++ {
+		z := span * float64(k) / float64(nk-1)
+		for i := 0; i < ni; i++ {
+			s := float64(i) / float64(ni)
+			// Elliptic cross-section of the plate (clockwise: right-handed).
+			ang := -2 * math.Pi * s
+			surf := geom.Vec3{
+				X: chord / 2 * math.Cos(ang),
+				Y: thick / 2 * math.Sin(ang),
+				Z: z,
+			}
+			// Outer boundary: concentric ellipse grown by `outer`.
+			out := geom.Vec3{
+				X: outer * chord / 2 * math.Cos(ang),
+				Y: outer * chord / 2 * math.Sin(ang),
+				Z: z,
+			}
+			for j := 0; j < nj; j++ {
+				f := radial[j]
+				g.SetBody(i, j, k, surf.Scale(1-f).Add(out.Scale(f)))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,234 @@
+package gridgen
+
+import (
+	"math"
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+)
+
+func TestNACA0012Thickness(t *testing.T) {
+	if got := NACA0012Thickness(0); got != 0 {
+		t.Errorf("thickness at LE = %v", got)
+	}
+	// Max thickness ~6% half-thickness near x=0.3.
+	peak := NACA0012Thickness(0.3)
+	if peak < 0.055 || peak > 0.065 {
+		t.Errorf("half-thickness at 0.3 = %v, want ~0.06", peak)
+	}
+	// Closed trailing edge.
+	if te := NACA0012Thickness(1); math.Abs(te) > 1e-3 {
+		t.Errorf("TE thickness = %v, want ~0", te)
+	}
+	// Clamping.
+	if NACA0012Thickness(-1) != 0 {
+		t.Error("negative x should clamp")
+	}
+}
+
+func TestAirfoilSurfaceClosedLoop(t *testing.T) {
+	// s and s+1 coincide (periodic parameterization).
+	for _, s := range []float64{0, 0.2, 0.77} {
+		a := AirfoilSurface(s)
+		b := AirfoilSurface(s + 1)
+		if a.Dist(b) > 1e-12 {
+			t.Errorf("surface not periodic at s=%v", s)
+		}
+	}
+	// Leading edge at s=0.5 is x=0.
+	le := AirfoilSurface(0.5)
+	if math.Abs(le.X) > 1e-9 {
+		t.Errorf("LE at %v", le)
+	}
+	// Upper surface has y >= 0, lower y <= 0.
+	if AirfoilSurface(0.25).Y <= 0 {
+		t.Error("upper surface should have positive y")
+	}
+	if AirfoilSurface(0.75).Y >= 0 {
+		t.Error("lower surface should have negative y")
+	}
+}
+
+func TestGeometricSpacing(t *testing.T) {
+	s := GeometricSpacing(5, 1.5)
+	if s[0] != 0 || s[len(s)-1] != 1 {
+		t.Errorf("endpoints = %v, %v", s[0], s[len(s)-1])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("not monotone at %d: %v", i, s)
+		}
+	}
+	// Growing gaps for ratio > 1.
+	g1 := s[1] - s[0]
+	g2 := s[4] - s[3]
+	if g2 <= g1 {
+		t.Errorf("gaps should grow: first %v last %v", g1, g2)
+	}
+	// Uniform for ratio 1.
+	u := GeometricSpacing(5, 1)
+	for i := range u {
+		if math.Abs(u[i]-float64(i)/4) > 1e-12 {
+			t.Errorf("uniform spacing wrong: %v", u)
+		}
+	}
+}
+
+func TestAirfoilOGridProperties(t *testing.T) {
+	g := AirfoilOGrid(0, "airfoil", 64, 20, 8)
+	if g.NI != 64 || g.NJ != 20 || g.NK != 1 {
+		t.Fatalf("dims %dx%dx%d", g.NI, g.NJ, g.NK)
+	}
+	if !g.PeriodicI() {
+		t.Error("O-grid should be periodic in i")
+	}
+	if g.BCs[grid.JMin] != grid.BCWall || g.BCs[grid.JMax] != grid.BCOverset {
+		t.Error("O-grid BCs wrong")
+	}
+	// Wall points lie on the airfoil (|y| <= max thickness, 0<=x<=1).
+	for i := 0; i < g.NI; i++ {
+		p := g.At(i, 0, 0)
+		if p.X < -1e-9 || p.X > 1+1e-9 || math.Abs(p.Y) > 0.07 {
+			t.Fatalf("wall point %d = %v not on airfoil", i, p)
+		}
+	}
+	// Outer points lie on the circle of radius 8 about (0.5, 0).
+	for i := 0; i < g.NI; i++ {
+		p := g.At(i, g.NJ-1, 0)
+		r := p.Sub(geom.Vec3{X: 0.5}).Norm()
+		if math.Abs(r-8) > 1e-9 {
+			t.Fatalf("outer point radius %v, want 8", r)
+		}
+	}
+	// Radial monotonicity: j increases away from the wall.
+	for i := 0; i < g.NI; i += 7 {
+		prev := -1.0
+		for j := 0; j < g.NJ; j++ {
+			r := g.At(i, j, 0).Sub(geom.Vec3{X: 0.5}).Norm()
+			if r < prev-1e-12 {
+				t.Fatalf("radial line %d not monotone at j=%d", i, j)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestAnnulus(t *testing.T) {
+	g := Annulus(1, "ring", 48, 10, 0.5, 0, 1.5, 3)
+	for i := 0; i < g.NI; i++ {
+		rin := g.At(i, 0, 0).Sub(geom.Vec3{X: 0.5}).Norm()
+		rout := g.At(i, g.NJ-1, 0).Sub(geom.Vec3{X: 0.5}).Norm()
+		if math.Abs(rin-1.5) > 1e-9 || math.Abs(rout-3) > 1e-9 {
+			t.Fatalf("ring radii %v %v", rin, rout)
+		}
+	}
+	if g.BCs[grid.JMin] != grid.BCOverset || g.BCs[grid.JMax] != grid.BCOverset {
+		t.Error("ring should have overset BCs on both radial faces")
+	}
+}
+
+func TestCartesianBox(t *testing.T) {
+	box := geom.Box{Min: geom.Vec3{X: -1, Y: -2, Z: 0}, Max: geom.Vec3{X: 3, Y: 2, Z: 4}}
+	g := CartesianBox(2, "bg", 5, 5, 5, box)
+	if !g.Cartesian {
+		t.Error("should be marked Cartesian")
+	}
+	if g.At(0, 0, 0) != box.Min || g.At(4, 4, 4) != box.Max {
+		t.Error("corners wrong")
+	}
+	// Uniform spacing.
+	dx := g.At(1, 0, 0).X - g.At(0, 0, 0).X
+	if math.Abs(dx-1) > 1e-12 {
+		t.Errorf("dx = %v, want 1", dx)
+	}
+	// 2-D variant.
+	g2 := CartesianBox(3, "bg2", 4, 4, 1, box)
+	if g2.NK != 1 || !g2.Is2D() {
+		t.Error("nz=1 should be 2-D")
+	}
+}
+
+func TestBodyOfRevolutionGrid(t *testing.T) {
+	p := OgiveProfile(4, 0.4)
+	g := BodyOfRevolutionGrid(0, "store", 24, 12, 20, p, 1.5)
+	if g.NPoints() != 24*12*20 {
+		t.Fatal("point count")
+	}
+	// Wall points have radius equal to the profile radius.
+	for k := 0; k < g.NK; k += 5 {
+		tfrac := float64(k) / float64(g.NK-1)
+		want := p.Radius(tfrac)
+		for i := 0; i < g.NI; i += 6 {
+			pt := g.At(i, 0, k)
+			r := math.Hypot(pt.Y, pt.Z)
+			if math.Abs(r-want) > 1e-9 {
+				t.Fatalf("wall radius at k=%d: %v want %v", k, r, want)
+			}
+		}
+	}
+	// Outer boundary at radius 1.5.
+	pt := g.At(0, g.NJ-1, g.NK/2)
+	if r := math.Hypot(pt.Y, pt.Z); math.Abs(r-1.5) > 1e-9 {
+		t.Errorf("outer radius %v, want 1.5", r)
+	}
+	if !g.Viscous {
+		t.Error("body grid should be viscous")
+	}
+}
+
+func TestOgiveProfilePositive(t *testing.T) {
+	p := OgiveProfile(4, 0.4)
+	for i := 0; i <= 100; i++ {
+		tf := float64(i) / 100
+		if r := p.Radius(tf); r <= 0 || r > 0.41 {
+			t.Fatalf("radius(%v) = %v out of range", tf, r)
+		}
+	}
+}
+
+func TestEllipsoidGrid(t *testing.T) {
+	g := EllipsoidGrid(0, "wing", 32, 10, 16, 3, 0.3, 2, 4)
+	// Wall points satisfy the ellipsoid equation.
+	for k := 0; k < g.NK; k += 5 {
+		for i := 0; i < g.NI; i += 8 {
+			p := g.At(i, 0, k)
+			v := p.X*p.X/9 + p.Y*p.Y/0.09 + p.Z*p.Z/4
+			if math.Abs(v-1) > 1e-9 {
+				t.Fatalf("wall point %v not on ellipsoid: %v", p, v)
+			}
+		}
+	}
+	// Outer surface is the ellipsoid scaled by 4.
+	p := g.At(3, g.NJ-1, 3)
+	v := p.X*p.X/9 + p.Y*p.Y/0.09 + p.Z*p.Z/4
+	if math.Abs(v-16) > 1e-6 {
+		t.Errorf("outer point scale: %v, want 16", v)
+	}
+}
+
+func TestFinGrid(t *testing.T) {
+	g := FinGrid(0, "fin", 16, 8, 6, 1, 0.8, 0.06, 3)
+	if g.NPoints() != 16*8*6 {
+		t.Fatal("point count")
+	}
+	// Spanwise extent covers [0, span].
+	zmin, zmax := math.Inf(1), math.Inf(-1)
+	for k := 0; k < g.NK; k++ {
+		z := g.At(0, 0, k).Z
+		zmin = math.Min(zmin, z)
+		zmax = math.Max(zmax, z)
+	}
+	if math.Abs(zmin) > 1e-9 || math.Abs(zmax-0.8) > 1e-9 {
+		t.Errorf("span [%v,%v], want [0,0.8]", zmin, zmax)
+	}
+}
+
+func TestGeometricSpacingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=1 should panic")
+		}
+	}()
+	GeometricSpacing(1, 1.1)
+}

@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SP2", "SP", "YMP", "C90"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if _, err := ByName("T3E"); err == nil {
+		t.Error("ByName(T3E) should fail")
+	}
+}
+
+func TestYMPBaselineCalibration(t *testing.T) {
+	// The paper's Tables 4 and 6 jointly imply the YMP baseline ran near
+	// 29 Mflops effective (15.0 Mflops/node x 18 nodes / 9.4 YMP units),
+	// and the C90 2-3x faster.
+	y, c := YMP864(), C90()
+	if y.BaseMflops < 25 || y.BaseMflops > 35 {
+		t.Errorf("YMP sustained = %v, want ~29", y.BaseMflops)
+	}
+	ratio := c.BaseMflops / y.BaseMflops
+	if ratio < 2 || ratio > 3 {
+		t.Errorf("C90/YMP = %v, want 2-3 (paper §4.3)", ratio)
+	}
+}
+
+func TestSPFasterThanSP2(t *testing.T) {
+	sp2, sp := SP2(), SP()
+	if sp.Rate(1e6) <= sp2.Rate(1e6) {
+		t.Error("SP per-node rate should exceed SP2")
+	}
+	if sp.CommTime(1<<20) >= sp2.CommTime(1<<20) {
+		t.Error("SP comm should be faster than SP2")
+	}
+	// The paper's observed per-node ratio is roughly 1.3-1.7x.
+	ratio := sp.Rate(4e6) / sp2.Rate(4e6)
+	if ratio < 1.2 || ratio > 2.0 {
+		t.Errorf("SP/SP2 rate ratio = %v, want within [1.2, 2.0]", ratio)
+	}
+}
+
+func TestRateShape(t *testing.T) {
+	// The rate rises from tiny working sets (short-loop penalty), peaks,
+	// then decays toward the base rate for huge sets (cache misses).
+	m := SP2()
+	tiny := m.Rate(4 << 10)
+	peak := 0.0
+	var peakWS float64
+	for ws := 8.0 * 1024; ws < 1e9; ws *= 1.3 {
+		if r := m.Rate(ws); r > peak {
+			peak, peakWS = r, ws
+		}
+	}
+	huge := m.Rate(1 << 30)
+	if tiny >= peak || huge >= peak {
+		t.Errorf("rate should peak between extremes: tiny %v peak %v huge %v", tiny, peak, huge)
+	}
+	if peakWS < 64<<10 || peakWS > 16<<20 {
+		t.Errorf("peak at ws=%v, want between 64KB and 16MB", peakWS)
+	}
+	// Huge working sets approach the base rate.
+	if huge < m.BaseMflops*1e6*0.9 || huge > m.BaseMflops*1e6*1.1 {
+		t.Errorf("asymptotic rate %v, want ~%v", huge, m.BaseMflops*1e6)
+	}
+}
+
+func TestRateBounds_Property(t *testing.T) {
+	m := SP()
+	f := func(ws float64) bool {
+		if ws < 0 {
+			ws = -ws
+		}
+		if ws > 1e300 {
+			return true
+		}
+		r := m.Rate(ws)
+		return r >= 0 && r <= m.BaseMflops*1e6*(1+m.CacheBoost)*1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	m := YMP864()
+	// One second of work at the calibrated sustained rate.
+	got := m.ComputeTime(m.BaseMflops*1e6, 1e9)
+	if got < 0.99 || got > 1.01 {
+		t.Errorf("ComputeTime = %v, want ~1", got)
+	}
+	if m.ComputeTime(0, 0) != 0 {
+		t.Error("zero flops should take zero time")
+	}
+	if m.ComputeTime(-5, 0) != 0 {
+		t.Error("negative flops should take zero time")
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	m := SP2()
+	if got, want := m.CommTime(0), m.LatencySec; got != want {
+		t.Errorf("CommTime(0) = %v, want latency %v", got, want)
+	}
+	// 40 MB at 40 MB/s ≈ 1 second plus latency.
+	got := m.CommTime(40e6)
+	if got < 1.0 || got > 1.01 {
+		t.Errorf("CommTime(40MB) = %v, want ~1s", got)
+	}
+	if m.CommTime(-1) != m.LatencySec {
+		t.Error("negative bytes should clamp to zero payload")
+	}
+}
+
+func TestCacheBoostVisible(t *testing.T) {
+	// A working set near the cache size outperforms a huge one.
+	m := SP()
+	mid := m.Rate(1 << 20)
+	big := m.Rate(64 << 20)
+	if mid <= big*1.02 {
+		t.Errorf("cache boost too weak: mid=%v big=%v", mid, big)
+	}
+}

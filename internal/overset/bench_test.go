@@ -1,0 +1,79 @@
+package overset
+
+import (
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/gridgen"
+)
+
+// BenchmarkDonorSearchCold measures a from-scratch stencil walk on a
+// curvilinear donor grid.
+func BenchmarkDonorSearchCold(b *testing.B) {
+	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
+	probe := geom.Vec3{X: 2.4, Y: 1.1}
+	for i := 0; i < b.N; i++ {
+		if !FindDonor(g, 0, probe, [3]int{0, 0, 0}).OK {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkDonorSearchRestart measures the nth-level-restart path.
+func BenchmarkDonorSearchRestart(b *testing.B) {
+	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
+	probe := geom.Vec3{X: 2.4, Y: 1.1}
+	cold := FindDonor(g, 0, probe, [3]int{0, 0, 0})
+	if !cold.OK {
+		b.Fatal("setup failed")
+	}
+	start := [3]int{cold.Donor.I, cold.Donor.J, cold.Donor.K}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !FindDonor(g, 0, probe, start).OK {
+			b.Fatal("restart search failed")
+		}
+	}
+}
+
+// BenchmarkDonorSearchCartesian measures the search-free Cartesian path.
+func BenchmarkDonorSearchCartesian(b *testing.B) {
+	g := gridgen.CartesianBox(0, "bg", 64, 64, 64,
+		geom.Box{Min: geom.Vec3{X: -5, Y: -5, Z: -5}, Max: geom.Vec3{X: 5, Y: 5, Z: 5}})
+	probe := geom.Vec3{X: 1.7, Y: -2.3, Z: 0.4}
+	for i := 0; i < b.N; i++ {
+		if !FindDonor(g, 0, probe, [3]int{0, 0, 0}).OK {
+			b.Fatal("locate failed")
+		}
+	}
+}
+
+// BenchmarkHoleCutDirect measures hole cutting with analytic cutters.
+func BenchmarkHoleCutDirect(b *testing.B) {
+	benchHoleCut(b, 0)
+}
+
+// BenchmarkHoleCutMapped measures hole cutting through the hole map.
+func BenchmarkHoleCutMapped(b *testing.B) {
+	benchHoleCut(b, 32)
+}
+
+func benchHoleCut(b *testing.B, res int) {
+	af := gridgen.AirfoilOGrid(0, "airfoil", 96, 24, 1.2)
+	ring := gridgen.Annulus(1, "ring", 96, 24, 0.5, 0, 0.3, 3)
+	sys := &grid.System{Grids: []*grid.Grid{af, ring}}
+	cfg := &Config{
+		Sys: sys,
+		Cutters: []*BodyCutter{{
+			Cutter: NewAirfoilCutter(0.02), OwnGrids: []int{0}, FollowGrid: -1,
+		}},
+		Search:      map[int][]int{},
+		FringeDepth: 1,
+		HoleMapRes:  res,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.CutHoles()
+	}
+}

@@ -1,0 +1,123 @@
+package overset
+
+import (
+	"overd/internal/geom"
+)
+
+// HoleMap accelerates inside/outside queries for one cutter with a uniform
+// Cartesian lattice over its bounding box, the technique DCF3D uses to make
+// hole cutting cheap: cells fully inside or fully outside answer in O(1);
+// only boundary ("mixed") cells fall back to the analytic test.
+type HoleMap struct {
+	cutter     Cutter
+	origin     geom.Vec3
+	delta      geom.Vec3
+	nx, ny, nz int
+	// state: 0 = outside, 1 = inside, 2 = mixed
+	state []uint8
+	// Queries and fallbacks are counted for the ablation bench.
+	Queries   int
+	Fallbacks int
+}
+
+// NewHoleMap samples the cutter onto an n³-ish lattice (n per axis derived
+// from res). Rebuild after the cutter's transform changes.
+func NewHoleMap(c Cutter, res int) *HoleMap {
+	if res < 2 {
+		res = 2
+	}
+	hm := &HoleMap{cutter: c}
+	hm.Rebuild(res)
+	return hm
+}
+
+// Rebuild resamples the lattice from the cutter's current placement.
+func (hm *HoleMap) Rebuild(res int) {
+	raw := hm.cutter.Bounds()
+	// Inflate proportionally so degenerate (flat) boxes keep positive cell
+	// sizes in every axis.
+	b := raw.Inflate(1e-9 + 1e-6*raw.Size().Norm())
+	hm.origin = b.Min
+	size := b.Size()
+	hm.nx, hm.ny, hm.nz = res, res, res
+	hm.delta = geom.Vec3{X: size.X / float64(res), Y: size.Y / float64(res), Z: size.Z / float64(res)}
+	hm.state = make([]uint8, res*res*res)
+	for k := 0; k < res; k++ {
+		for j := 0; j < res; j++ {
+			for i := 0; i < res; i++ {
+				// Probe the cell's corners and center.
+				inside, outside := 0, 0
+				for _, f := range [][3]float64{
+					{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+					{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+					{0.5, 0.5, 0.5},
+				} {
+					p := geom.Vec3{
+						X: hm.origin.X + (float64(i)+f[0])*hm.delta.X,
+						Y: hm.origin.Y + (float64(j)+f[1])*hm.delta.Y,
+						Z: hm.origin.Z + (float64(k)+f[2])*hm.delta.Z,
+					}
+					if hm.cutter.Inside(p) {
+						inside++
+					} else {
+						outside++
+					}
+				}
+				st := uint8(2)
+				if outside == 0 {
+					st = 1
+				} else if inside == 0 {
+					st = 0
+				}
+				hm.state[i+res*(j+res*k)] = st
+			}
+		}
+	}
+}
+
+// Inside answers the hole query through the map, falling back to the
+// analytic cutter only in mixed cells.
+func (hm *HoleMap) Inside(p geom.Vec3) bool {
+	hm.Queries++
+	i := int((p.X - hm.origin.X) / hm.delta.X)
+	j := int((p.Y - hm.origin.Y) / hm.delta.Y)
+	k := int((p.Z - hm.origin.Z) / hm.delta.Z)
+	if i < 0 || i >= hm.nx || j < 0 || j >= hm.ny || k < 0 || k >= hm.nz {
+		return false
+	}
+	switch hm.state[i+hm.nx*(j+hm.ny*k)] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	hm.Fallbacks++
+	return hm.cutter.Inside(p)
+}
+
+// InsideQuiet answers like Inside without updating the query counters,
+// making it safe for concurrent use by many ranks once the map is built.
+func (hm *HoleMap) InsideQuiet(p geom.Vec3) bool {
+	i := int((p.X - hm.origin.X) / hm.delta.X)
+	j := int((p.Y - hm.origin.Y) / hm.delta.Y)
+	k := int((p.Z - hm.origin.Z) / hm.delta.Z)
+	if i < 0 || i >= hm.nx || j < 0 || j >= hm.ny || k < 0 || k >= hm.nz {
+		return false
+	}
+	switch hm.state[i+hm.nx*(j+hm.ny*k)] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	return hm.cutter.Inside(p)
+}
+
+// Bounds returns the mapped region.
+func (hm *HoleMap) Bounds() geom.Box {
+	return geom.Box{Min: hm.origin, Max: geom.Vec3{
+		X: hm.origin.X + float64(hm.nx)*hm.delta.X,
+		Y: hm.origin.Y + float64(hm.ny)*hm.delta.Y,
+		Z: hm.origin.Z + float64(hm.nz)*hm.delta.Z,
+	}}
+}

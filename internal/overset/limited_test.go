@@ -1,0 +1,92 @@
+package overset
+
+import (
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/gridgen"
+)
+
+func TestLimitedFindsDonorInsideBox(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 64, 16, 0, 0, 1, 4)
+	full := g.Full()
+	probe := geom.Vec3{X: 2, Y: 0.3}
+	res := FindDonorLimited(g, 0, probe, [3]int{0, 8, 0}, full, 3)
+	if !res.OK {
+		t.Fatal("full-box limited search should succeed")
+	}
+	if res.Exited {
+		t.Error("full-box search cannot exit")
+	}
+}
+
+func TestLimitedExitsTowardDonor(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 64, 16, 0, 0, 1, 4)
+	// Split the ring azimuthally in half; search the wrong half for a
+	// point in the other half: the walk must exit with a forward hint.
+	left := grid.IBox{ILo: 0, IHi: 31, JLo: 0, JHi: 15, KLo: 0, KHi: 0}
+	right := grid.IBox{ILo: 32, IHi: 63, JLo: 0, JHi: 15, KLo: 0, KHi: 0}
+	// The ring is generated clockwise; find where a probe really lives.
+	probe := geom.Vec3{X: -2, Y: -1}
+	fullRes := FindDonor(g, 0, probe, [3]int{0, 8, 0})
+	if !fullRes.OK {
+		t.Fatal("setup: unlimited search failed")
+	}
+	owner, other := left, right
+	if right.Contains(fullRes.Donor.I, fullRes.Donor.J, fullRes.Donor.K) {
+		owner, other = right, left
+	}
+	// Search the box that does NOT own the donor.
+	res := FindDonorLimited(g, 0, probe, [3]int{other.ILo, 8, 0}, other, 3)
+	if res.OK {
+		t.Fatal("wrong half should not find the donor")
+	}
+	if !res.Exited {
+		t.Fatal("walk should exit toward the owning half")
+	}
+	if !owner.Contains(res.ExitCell[0], res.ExitCell[1], res.ExitCell[2]) {
+		t.Errorf("exit cell %v not in the owning half %v", res.ExitCell, owner)
+	}
+	// Continuing the search in the owner's box from the hint succeeds.
+	res2 := FindDonorLimited(g, 0, probe, res.ExitCell, owner, 3-res.Restarts)
+	if !res2.OK {
+		t.Error("forwarded search should succeed in the owning half")
+	}
+}
+
+func TestLimitedCartesianExit(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 20, 20, 1,
+		geom.Box{Min: geom.Vec3{X: 0, Y: 0}, Max: geom.Vec3{X: 19, Y: 19}})
+	left := grid.IBox{ILo: 0, IHi: 9, JLo: 0, JHi: 19, KLo: 0, KHi: 0}
+	res := FindDonorLimited(g, 0, geom.Vec3{X: 15.5, Y: 4.5}, [3]int{0, 0, 0}, left, 3)
+	if res.OK || !res.Exited {
+		t.Fatalf("Cartesian locate off-box should exit: %+v", res)
+	}
+	if res.ExitCell[0] != 15 {
+		t.Errorf("exit cell %v, want i=15", res.ExitCell)
+	}
+}
+
+func TestLimitedRestartBudgetExhausts(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 64, 16, 0, 0, 1, 4)
+	// A point in the ring's central hole can never be found; with zero
+	// restart budget the walk must fail quickly rather than bounce.
+	res := FindDonorLimited(g, 0, geom.Vec3{X: 0.1, Y: 0}, [3]int{0, 8, 0}, g.Full(), 0)
+	if res.OK {
+		t.Fatal("point in the topological hole cannot have a donor")
+	}
+	if res.Steps > 200 {
+		t.Errorf("exhausted search took %d steps, should fail fast", res.Steps)
+	}
+}
+
+func TestLimitedRejectsBlankedContainingCell(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 10, 10, 1,
+		geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: 9, Y: 9}})
+	g.IBlank[g.Idx(4, 4, 0)] = grid.IBHole
+	res := FindDonorLimited(g, 0, geom.Vec3{X: 4.2, Y: 4.2}, [3]int{0, 0, 0}, g.Full(), 3)
+	if res.OK {
+		t.Error("containing cell with a hole corner must be rejected")
+	}
+}

@@ -1,0 +1,339 @@
+package overset
+
+import (
+	"math"
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/gridgen"
+)
+
+func TestAirfoilCutter(t *testing.T) {
+	c := NewAirfoilCutter(0.01)
+	if !c.Inside(geom.Vec3{X: 0.3, Y: 0}) {
+		t.Error("chord interior should be inside")
+	}
+	if !c.Inside(geom.Vec3{X: 0.3, Y: 0.05}) {
+		t.Error("point under surface should be inside")
+	}
+	if c.Inside(geom.Vec3{X: 0.3, Y: 0.2}) {
+		t.Error("point above airfoil should be outside")
+	}
+	if c.Inside(geom.Vec3{X: 2, Y: 0}) {
+		t.Error("point behind airfoil should be outside")
+	}
+	// Rotated cutter follows the transform.
+	c.SetTransform(geom.Transform{R: geom.RotZ(math.Pi / 2), T: geom.Vec3{}})
+	if !c.Inside(geom.Vec3{X: 0, Y: 0.3}) {
+		t.Error("rotated airfoil should contain rotated chord point")
+	}
+	if !c.Bounds().Contains(geom.Vec3{X: 0, Y: 0.9}) {
+		t.Error("rotated bounds should cover rotated chord")
+	}
+}
+
+func TestRevolvedCutter(t *testing.T) {
+	c := NewRevolvedCutter(gridgen.OgiveProfile(4, 0.4), 0.02)
+	if !c.Inside(geom.Vec3{X: 2, Y: 0.2, Z: 0.2}) {
+		t.Error("midbody interior should be inside")
+	}
+	if c.Inside(geom.Vec3{X: 2, Y: 0.5, Z: 0.3}) {
+		t.Error("outside radius should be outside")
+	}
+	if c.Inside(geom.Vec3{X: 5, Y: 0, Z: 0}) {
+		t.Error("beyond tail should be outside")
+	}
+	if !c.Bounds().Contains(geom.Vec3{X: 2, Y: 0.3, Z: 0}) {
+		t.Error("bounds should cover the body")
+	}
+}
+
+func TestEllipsoidAndBoxCutters(t *testing.T) {
+	e := NewEllipsoidCutter(2, 0.5, 1, 0)
+	if !e.Inside(geom.Vec3{X: 1, Y: 0, Z: 0}) || e.Inside(geom.Vec3{X: 2.5, Y: 0, Z: 0}) {
+		t.Error("ellipsoid cutter wrong")
+	}
+	b := NewBoxCutter(geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}})
+	if !b.Inside(geom.Vec3{}) || b.Inside(geom.Vec3{X: 2}) {
+		t.Error("box cutter wrong")
+	}
+	b.SetTransform(geom.Transform{R: geom.Identity3(), T: geom.Vec3{X: 5}})
+	if !b.Inside(geom.Vec3{X: 5}) || b.Inside(geom.Vec3{}) {
+		t.Error("translated box cutter wrong")
+	}
+}
+
+func TestHoleMapMatchesCutter(t *testing.T) {
+	c := NewAirfoilCutter(0.02)
+	hm := NewHoleMap(c, 32)
+	// Sample points: map answers must agree with the analytic cutter.
+	for xi := 0; xi <= 40; xi++ {
+		for yi := -20; yi <= 20; yi++ {
+			p := geom.Vec3{X: float64(xi)/20 - 0.5, Y: float64(yi) / 100}
+			if hm.Inside(p) != c.Inside(p) {
+				t.Fatalf("hole map disagrees at %v", p)
+			}
+		}
+	}
+	if hm.Fallbacks >= hm.Queries {
+		t.Errorf("hole map should answer most queries without fallback: %d/%d",
+			hm.Fallbacks, hm.Queries)
+	}
+}
+
+func TestFindDonorCartesianDirect(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 11, 11, 11,
+		geom.Box{Min: geom.Vec3{X: -5, Y: -5, Z: -5}, Max: geom.Vec3{X: 5, Y: 5, Z: 5}})
+	res := FindDonor(g, 0, geom.Vec3{X: 0.3, Y: -1.6, Z: 2.2}, [3]int{0, 0, 0})
+	if !res.OK {
+		t.Fatal("Cartesian locate failed")
+	}
+	if res.Steps != 1 {
+		t.Errorf("Cartesian locate should take 1 step, took %d", res.Steps)
+	}
+	d := res.Donor
+	// Verify the interpolated position reproduces the query point.
+	pos := reconstructPos(g, d)
+	if pos.Dist(geom.Vec3{X: 0.3, Y: -1.6, Z: 2.2}) > 1e-9 {
+		t.Errorf("donor reconstructs %v", pos)
+	}
+	// Outside the grid fails.
+	if FindDonor(g, 0, geom.Vec3{X: 50}, [3]int{0, 0, 0}).OK {
+		t.Error("outside point should fail")
+	}
+}
+
+// reconstructPos evaluates the cell's trilinear map at the donor coords.
+func reconstructPos(g *grid.Grid, d Donor) geom.Vec3 {
+	var p [8]geom.Vec3
+	kmax := 1
+	if g.NK == 1 {
+		kmax = 0
+	}
+	for dk := 0; dk <= kmax; dk++ {
+		for dj := 0; dj <= 1; dj++ {
+			for di := 0; di <= 1; di++ {
+				p[di+2*dj+4*dk] = cornerPoint(g, d.I+di, d.J+dj, d.K+dk)
+			}
+		}
+	}
+	if g.NK == 1 {
+		for m := 0; m < 4; m++ {
+			p[m+4] = p[m]
+		}
+	}
+	c := d.C
+	if g.NK == 1 {
+		c = 0
+	}
+	return trilerp(p, d.A, d.B, c)
+}
+
+func TestFindDonorCurvilinearWalk(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 64, 16, 0, 0, 1, 4)
+	// Points at several radii/angles; start the walk far away.
+	for _, probe := range []geom.Vec3{
+		{X: 2, Y: 0}, {X: -1.5, Y: 1.5}, {X: 0, Y: -3.2}, {X: 1.1, Y: 0.4},
+	} {
+		res := FindDonor(g, 0, probe, [3]int{0, 0, 0})
+		if !res.OK {
+			t.Fatalf("walk failed for %v", probe)
+		}
+		pos := reconstructPos(g, res.Donor)
+		if pos.Dist(probe) > 1e-6 {
+			t.Fatalf("donor for %v reconstructs %v", probe, pos)
+		}
+	}
+	// A point inside the inner radius (outside the ring) must fail.
+	if FindDonor(g, 0, geom.Vec3{X: 0.1, Y: 0}, [3]int{30, 8, 0}).OK {
+		t.Error("point inside the hole of the ring should fail")
+	}
+}
+
+func TestFindDonorRestartIsFaster(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
+	probe := geom.Vec3{X: 2.4, Y: 1.1}
+	cold := FindDonor(g, 0, probe, [3]int{0, 0, 0})
+	if !cold.OK {
+		t.Fatal("cold search failed")
+	}
+	warm := FindDonor(g, 0, probe, [3]int{cold.Donor.I, cold.Donor.J, cold.Donor.K})
+	if !warm.OK {
+		t.Fatal("warm search failed")
+	}
+	if warm.Steps >= cold.Steps {
+		t.Errorf("restart (%d steps) should beat cold start (%d steps)", warm.Steps, cold.Steps)
+	}
+}
+
+func TestFindDonorRejectsBlankedCells(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 8, 8, 1,
+		geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: 7, Y: 7}})
+	g.IBlank[g.Idx(3, 3, 0)] = grid.IBHole
+	if FindDonor(g, 0, geom.Vec3{X: 3.4, Y: 3.4}, [3]int{0, 0, 0}).OK {
+		t.Error("cell with blanked corner must be rejected")
+	}
+	if !FindDonor(g, 0, geom.Vec3{X: 5.5, Y: 5.5}, [3]int{0, 0, 0}).OK {
+		t.Error("clean cell should succeed")
+	}
+}
+
+// airfoilSystem builds the paper's three-grid oscillating-airfoil system at
+// a reduced size: airfoil O-grid, intermediate ring, Cartesian background.
+func airfoilSystem(ni, nj int) (*grid.System, *Config) {
+	af := gridgen.AirfoilOGrid(0, "airfoil", ni, nj, 1.2)
+	af.Moving = true
+	// The ring overlaps the airfoil body (inner radius 0.3 around
+	// mid-chord) so the moving airfoil cuts holes in it, as in Fig. 2.
+	ring := gridgen.Annulus(1, "ring", ni, nj, 0.5, 0, 0.3, 3.0)
+	bgN := int(math.Sqrt(float64(ni * nj)))
+	bg := gridgen.CartesianBox(2, "background", bgN+4, bgN+4, 1,
+		geom.Box{Min: geom.Vec3{X: -6.5, Y: -7}, Max: geom.Vec3{X: 7.5, Y: 7}})
+	sys := &grid.System{Grids: []*grid.Grid{af, ring, bg}}
+	cfg := &Config{
+		Sys: sys,
+		Cutters: []*BodyCutter{{
+			Cutter:     NewAirfoilCutter(0.015),
+			OwnGrids:   []int{0},
+			FollowGrid: 0,
+		}},
+		Search: map[int][]int{
+			0: {1, 2},
+			1: {0, 2},
+			2: {1, 0},
+		},
+		FringeDepth: 2,
+	}
+	return sys, cfg
+}
+
+func TestAssembleAirfoilSystem(t *testing.T) {
+	sys, cfg := airfoilSystem(64, 16)
+	conn := cfg.Assemble()
+	if len(conn.IGBPs) == 0 {
+		t.Fatal("no IGBPs found")
+	}
+	// The airfoil cuts holes in the ring and/or background.
+	holes := 0
+	for _, g := range sys.Grids[1:] {
+		holes += g.CountIBlank(grid.IBHole)
+	}
+	if holes == 0 {
+		t.Error("airfoil should cut holes in overlapping grids")
+	}
+	// Most IGBPs find donors; a small orphan rate can occur at corners.
+	orphanRate := float64(conn.Orphans) / float64(len(conn.IGBPs))
+	if orphanRate > 0.05 {
+		t.Errorf("orphan rate %.3f too high (%d of %d)", orphanRate, conn.Orphans, len(conn.IGBPs))
+	}
+	// Donors reconstruct receiver positions.
+	for n, pt := range conn.IGBPs {
+		d := conn.Donors[n]
+		if d.Grid < 0 {
+			continue
+		}
+		pos := reconstructPos(sys.Grids[d.Grid], d)
+		if pos.Dist(pt.Pos) > 1e-5 {
+			t.Fatalf("IGBP %d: donor reconstructs %v, want %v", n, pos, pt.Pos)
+		}
+		if d.Grid == pt.Grid {
+			t.Fatalf("IGBP %d: self-donation", n)
+		}
+	}
+	// IGBP/gridpoint ratio lands in the paper's neighborhood (44e-3) for
+	// this class of three-grid systems.
+	ratio := sys.IGBPRatio()
+	if ratio < 0.01 || ratio > 0.25 {
+		t.Errorf("IGBP ratio %v implausible", ratio)
+	}
+}
+
+func TestAssembleRestartReducesWork(t *testing.T) {
+	_, cfg := airfoilSystem(64, 16)
+	first := cfg.Assemble()
+	// Move the airfoil slightly (small rotation) and reassemble.
+	cfg.Sys.Grids[0].ApplyTransform(geom.Transform{
+		R: geom.RotZ(0.01), T: geom.Vec3{},
+	})
+	second := cfg.Assemble()
+	if second.Steps >= first.Steps {
+		t.Errorf("nth-level restart should cut search work: first %d, second %d",
+			first.Steps, second.Steps)
+	}
+	// Ablation: disabling restart restores the from-scratch cost.
+	cfg.Sys.Grids[0].ApplyTransform(geom.Transform{R: geom.RotZ(0.02), T: geom.Vec3{}})
+	cfg.DisableRestart = true
+	third := cfg.Assemble()
+	if third.Steps <= second.Steps {
+		t.Errorf("disabling restart should cost more: restart %d, scratch %d",
+			second.Steps, third.Steps)
+	}
+}
+
+func TestInterpolateLinearField(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 6, 6, 6,
+		geom.Box{Min: geom.Vec3{}, Max: geom.Vec3{X: 5, Y: 5, Z: 5}})
+	d := Donor{Grid: 0, I: 1, J: 2, K: 3, A: 0.25, B: 0.5, C: 0.75}
+	q := Interpolate(g, d, func(i, j, k int) [5]float64 {
+		return [5]float64{float64(i), float64(j), float64(k), float64(i + j + k), 1}
+	})
+	want := [5]float64{1.25, 2.5, 3.75, 7.5, 1}
+	for c := 0; c < 5; c++ {
+		if math.Abs(q[c]-want[c]) > 1e-12 {
+			t.Errorf("component %d = %v, want %v", c, q[c], want[c])
+		}
+	}
+}
+
+func TestMarkFringesDepth(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 12, 12, 1,
+		geom.Box{Min: geom.Vec3{X: -2, Y: -2}, Max: geom.Vec3{X: 2, Y: 2}})
+	g.BCs[grid.JMax] = grid.BCOverset
+	sys := &grid.System{Grids: []*grid.Grid{g}}
+	cfg := &Config{Sys: sys, FringeDepth: 2, Search: map[int][]int{}}
+	cfg.CutHoles()
+	cfg.MarkFringes()
+	// Two j layers at JMax are fringes.
+	for i := 0; i < g.NI; i++ {
+		for _, j := range []int{g.NJ - 1, g.NJ - 2} {
+			if g.IBlank[g.Idx(i, j, 0)] != grid.IBFringe {
+				t.Fatalf("(%d,%d) not fringe", i, j)
+			}
+		}
+		if g.IBlank[g.Idx(i, g.NJ-3, 0)] != grid.IBField {
+			t.Fatalf("third layer should stay field")
+		}
+	}
+}
+
+func TestHoleFringeSurroundsHole(t *testing.T) {
+	g := gridgen.CartesianBox(0, "bg", 20, 20, 1,
+		geom.Box{Min: geom.Vec3{X: -2, Y: -2}, Max: geom.Vec3{X: 2, Y: 2}})
+	sys := &grid.System{Grids: []*grid.Grid{g}}
+	cut := NewBoxCutter(geom.Box{
+		Min: geom.Vec3{X: -0.5, Y: -0.5, Z: -1},
+		Max: geom.Vec3{X: 0.5, Y: 0.5, Z: 1}})
+	cfg := &Config{Sys: sys, FringeDepth: 1,
+		Cutters: []*BodyCutter{{Cutter: cut, FollowGrid: -1}},
+		Search:  map[int][]int{}}
+	cfg.CutHoles()
+	cfg.MarkFringes()
+	if g.CountIBlank(grid.IBHole) == 0 {
+		t.Fatal("no holes cut")
+	}
+	// Every hole's field-neighbors are fringes.
+	for j := 1; j < g.NJ-1; j++ {
+		for i := 1; i < g.NI-1; i++ {
+			if g.IBlank[g.Idx(i, j, 0)] != grid.IBHole {
+				continue
+			}
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				n := g.Idx(i+d[0], j+d[1], 0)
+				if g.IBlank[n] == grid.IBField {
+					t.Fatalf("field point adjacent to hole at (%d+%d,%d+%d)", i, d[0], j, d[1])
+				}
+			}
+		}
+	}
+}

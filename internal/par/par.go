@@ -1,0 +1,463 @@
+// Package par is a message-passing runtime modeled on the MPI usage of the
+// paper's codes. Each rank ("processor") runs as a goroutine; messages are
+// delivered over channels. Alongside the real data movement, every rank
+// carries a virtual clock advanced by a machine model (see package machine):
+// computation advances the local clock by flops/rate, and a receive completes
+// at max(local clock, sender clock at send + latency + bytes/bandwidth) — the
+// standard LogP-style logical-time rule. Barriers synchronize all clocks to
+// the maximum. This lets the repository execute the paper's real algorithms
+// at full fidelity while measuring them on machines (IBM SP2, IBM SP, Cray
+// YMP) that are simulated rather than physically present.
+package par
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"overd/internal/machine"
+)
+
+// Phase labels the solution module that virtual time is attributed to,
+// mirroring the paper's breakdown of each timestep into flow solution,
+// grid motion, and domain-connectivity modules.
+type Phase int
+
+// Phases of an OVERFLOW-D1 timestep plus bookkeeping categories.
+const (
+	PhaseFlow    Phase = iota // flow solution (OVERFLOW analog)
+	PhaseMotion               // grid motion (SIXDOF analog)
+	PhaseConnect              // domain connectivity (DCF3D analog)
+	PhaseBalance              // load-balancer work and repartition traffic
+	PhaseOther                // setup and uncategorized
+	numPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFlow:
+		return "flow"
+	case PhaseMotion:
+		return "motion"
+	case PhaseConnect:
+		return "connect"
+	case PhaseBalance:
+		return "balance"
+	case PhaseOther:
+		return "other"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Tag distinguishes message streams, like an MPI tag.
+type Tag int
+
+// Message tags used across the repository. User code may define more
+// starting at TagUser.
+const (
+	TagHalo       Tag = iota + 1 // flow-solver halo exchange
+	TagPipeline                  // pipelined implicit line solves
+	TagBBox                      // connectivity bounding-box exchange
+	TagSearchReq                 // donor search request
+	TagSearchRep                 // donor search reply
+	TagForward                   // forwarded search request
+	TagCollective                // internal: broadcasts and reductions
+	TagRepart                    // load-balancer data redistribution
+	TagUser       Tag = 100
+)
+
+// Msg is a delivered message. Data crosses ranks by reference — as in a real
+// distributed code the receiver must not assume it may mutate shared backing
+// arrays; payloads are treated as read-only by convention.
+type Msg struct {
+	From, To int
+	Tag      Tag
+	Data     any
+	// Bytes is the modeled wire size used for timing.
+	Bytes int
+	// Arrive is the virtual time at which the message is available at the
+	// receiver (sender clock at send + modeled transfer time).
+	Arrive float64
+}
+
+// World owns a set of ranks and the shared synchronization state.
+type World struct {
+	n     int
+	model machine.Model
+
+	inbox []chan Msg
+
+	bar barrier
+
+	closeOnce sync.Once
+
+	// collective scratch, guarded by the barrier's phases
+	collectMu sync.Mutex
+	collect   []any
+}
+
+// poisonAll unblocks every rank after a peer panic: barrier waiters via the
+// poison flag, Recv waiters by closing inboxes.
+func (w *World) poisonAll() {
+	w.bar.poison()
+	w.closeOnce.Do(func() {
+		for _, ch := range w.inbox {
+			close(ch)
+		}
+	})
+}
+
+// queueCap bounds per-rank inbox buffering. Sends block (physically, not in
+// virtual time) only if a receiver falls this far behind, which would
+// indicate a protocol bug.
+const queueCap = 1 << 16
+
+// NewWorld creates a world of n ranks measured against the given machine.
+func NewWorld(n int, m machine.Model) *World {
+	if n <= 0 {
+		panic("par: world size must be positive")
+	}
+	w := &World{n: n, model: m}
+	w.inbox = make([]chan Msg, n)
+	for i := range w.inbox {
+		w.inbox[i] = make(chan Msg, queueCap)
+	}
+	w.bar.init(n)
+	w.collect = make([]any, n)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Model returns the machine model the world is timed against.
+func (w *World) Model() machine.Model { return w.model }
+
+// Run executes body on every rank concurrently and returns the per-rank
+// states once all ranks have finished. Panics in any rank are propagated.
+func (w *World) Run(body func(r *Rank)) []*Rank {
+	ranks := make([]*Rank, w.n)
+	for i := range ranks {
+		ranks[i] = &Rank{
+			ID:    i,
+			w:     w,
+			phase: PhaseOther,
+		}
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, w.n)
+	for i := range ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r.ID] = p
+					// Unblock peers stuck in a barrier or Recv so
+					// the process fails loudly instead of deadlocking.
+					w.poisonAll()
+				}
+			}()
+			body(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	// Report the root-cause panic, not the poison panics it induced in
+	// peers blocked on barriers or receives.
+	rootID, root := -1, any(nil)
+	for id, p := range panics {
+		if p == nil {
+			continue
+		}
+		if rootID == -1 {
+			rootID, root = id, p
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "poisoned") {
+			rootID, root = id, p
+			break
+		}
+	}
+	if root != nil {
+		panic(fmt.Sprintf("par: rank %d panicked: %v", rootID, root))
+	}
+	return ranks
+}
+
+// Rank is the per-processor handle passed to the Run body. All methods are
+// for use only by that rank's goroutine.
+type Rank struct {
+	ID int
+	w  *World
+
+	// Clock is the rank's virtual time in seconds.
+	Clock float64
+
+	phase      Phase
+	phaseTime  [numPhases]float64
+	phaseFlops [numPhases]float64
+
+	// workingSet is the current working-set size in bytes used by the
+	// cache model; set by the solver per kernel.
+	workingSet float64
+
+	pending []Msg // received from inbox but not yet matched
+}
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.w.n }
+
+// Model returns the machine model.
+func (r *Rank) Model() machine.Model { return r.w.model }
+
+// SetPhase attributes subsequent virtual time to the given phase.
+func (r *Rank) SetPhase(p Phase) { r.phase = p }
+
+// CurrentPhase returns the phase virtual time is being attributed to.
+func (r *Rank) CurrentPhase() Phase { return r.phase }
+
+// SetWorkingSet declares the working-set size (bytes) of subsequent compute
+// calls, feeding the machine's cache model.
+func (r *Rank) SetWorkingSet(bytes float64) { r.workingSet = bytes }
+
+// advance moves the clock forward by dt seconds in the current phase.
+func (r *Rank) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	r.Clock += dt
+	r.phaseTime[r.phase] += dt
+}
+
+// advanceTo moves the clock to at least t (idle/wait time).
+func (r *Rank) advanceTo(t float64) {
+	if t > r.Clock {
+		r.advance(t - r.Clock)
+	}
+}
+
+// Compute charges the rank for the given floating-point work.
+func (r *Rank) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	r.phaseFlops[r.phase] += flops
+	r.advance(r.w.model.ComputeTime(flops, r.workingSet))
+}
+
+// Elapse charges the rank a fixed amount of virtual time without flops
+// (memory traffic, search bookkeeping measured in seconds directly).
+func (r *Rank) Elapse(seconds float64) { r.advance(seconds) }
+
+// PhaseTime returns the virtual seconds accumulated in phase p so far.
+func (r *Rank) PhaseTime(p Phase) float64 { return r.phaseTime[p] }
+
+// PhaseFlops returns the floating-point operations accumulated in phase p.
+func (r *Rank) PhaseFlops(p Phase) float64 { return r.phaseFlops[p] }
+
+// TotalFlops returns all floating-point operations charged to this rank.
+func (r *Rank) TotalFlops() float64 {
+	var s float64
+	for p := Phase(0); p < numPhases; p++ {
+		s += r.phaseFlops[p]
+	}
+	return s
+}
+
+// Send transmits data to rank `to` with the given tag. bytes is the modeled
+// wire size. Send is asynchronous: the sender is charged only a startup
+// overhead, and the message becomes available at the receiver at
+// sender-clock + latency + bytes/bandwidth.
+func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
+	if to < 0 || to >= r.w.n {
+		panic(fmt.Sprintf("par: send to invalid rank %d", to))
+	}
+	m := Msg{
+		From:   r.ID,
+		To:     to,
+		Tag:    tag,
+		Data:   data,
+		Bytes:  bytes,
+		Arrive: r.Clock + r.w.model.CommTime(bytes),
+	}
+	if to == r.ID {
+		// Self-sends skip the wire but still cost the software overhead.
+		m.Arrive = r.Clock
+		r.pending = append(r.pending, m)
+		return
+	}
+	// Sender-side software overhead: a fraction of latency.
+	r.advance(r.w.model.LatencySec * 0.25)
+	r.w.inbox[to] <- m
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// (any rank if from == AnyRank). The local clock advances to the message's
+// arrival time if that is later.
+func (r *Rank) Recv(from int, tag Tag) Msg {
+	for {
+		if m, ok := r.takePending(from, tag); ok {
+			r.advanceTo(m.Arrive)
+			return m
+		}
+		m, ok := <-r.w.inbox[r.ID]
+		if !ok {
+			panic("par: inbox closed")
+		}
+		r.pending = append(r.pending, m)
+	}
+}
+
+// AnyRank matches any source rank in Recv and TryRecv.
+const AnyRank = -1
+
+// TryRecv returns a matching message if one has already been physically
+// delivered, without blocking. The clock advances to the arrival time on
+// success. Used by polling service loops (the paper's asynchronous donor
+// search servicing).
+func (r *Rank) TryRecv(from int, tag Tag) (Msg, bool) {
+	// Drain everything physically available first.
+	for {
+		select {
+		case m := <-r.w.inbox[r.ID]:
+			r.pending = append(r.pending, m)
+			continue
+		default:
+		}
+		break
+	}
+	if m, ok := r.takePending(from, tag); ok {
+		r.advanceTo(m.Arrive)
+		return m, true
+	}
+	return Msg{}, false
+}
+
+func (r *Rank) takePending(from int, tag Tag) (Msg, bool) {
+	for i, m := range r.pending {
+		if m.Tag == tag && (from == AnyRank || m.From == from) {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// Barrier synchronizes all ranks; every clock advances to the global max
+// plus a small synchronization cost (a log2(n) latency tree).
+func (r *Rank) Barrier() {
+	maxClock := r.w.bar.sync(r.Clock)
+	r.advanceTo(maxClock)
+	if r.w.n > 1 {
+		r.advance(r.w.model.LatencySec * log2ceil(r.w.n))
+	}
+}
+
+// AllGather collects one value from every rank and returns the slice indexed
+// by rank; the cost is modeled as a log-depth tree of messages of the given
+// per-item byte size.
+func (r *Rank) AllGather(x any, bytesPerItem int) []any {
+	w := r.w
+	w.collectMu.Lock()
+	w.collect[r.ID] = x
+	w.collectMu.Unlock()
+	maxClock := w.bar.sync(r.Clock)
+	r.advanceTo(maxClock)
+	out := make([]any, w.n)
+	w.collectMu.Lock()
+	copy(out, w.collect)
+	w.collectMu.Unlock()
+	// Second rendezvous so no rank overwrites w.collect for a subsequent
+	// collective before everyone has copied.
+	maxClock = w.bar.sync(r.Clock)
+	r.advanceTo(maxClock)
+	if w.n > 1 {
+		depth := log2ceil(w.n)
+		r.advance(depth * (w.model.LatencySec + float64(bytesPerItem*w.n)/w.model.BandwidthBps))
+	}
+	return out
+}
+
+// AllReduceSum sums a float64 across ranks.
+func (r *Rank) AllReduceSum(x float64) float64 {
+	vals := r.AllGather(x, 8)
+	var s float64
+	for _, v := range vals {
+		s += v.(float64)
+	}
+	return s
+}
+
+// AllReduceMax maximizes a float64 across ranks.
+func (r *Rank) AllReduceMax(x float64) float64 {
+	vals := r.AllGather(x, 8)
+	m := x
+	for _, v := range vals {
+		if f := v.(float64); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+func log2ceil(n int) float64 {
+	d := 0.0
+	for v := 1; v < n; v <<= 1 {
+		d++
+	}
+	return d
+}
+
+// barrier is a reusable n-party rendezvous that also computes the max clock.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	waiting  int
+	gen      int
+	maxClock float64
+	result   float64
+	poisoned bool
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// sync blocks until all n ranks have called it, then returns the maximum
+// clock passed by any rank in this generation.
+func (b *barrier) sync(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("par: barrier poisoned by peer rank panic")
+	}
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.waiting++
+	if b.waiting == b.n {
+		b.result = b.maxClock
+		b.maxClock = 0
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	gen := b.gen
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("par: barrier poisoned by peer rank panic")
+	}
+	return b.result
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,417 @@
+// Package plot3d reads and writes PLOT3D-format multi-block grid (XYZ) and
+// solution (Q) files, the interchange format of the paper's toolchain
+// (OVERFLOW, DCF3D and the NASA postprocessors all speak PLOT3D). Both the
+// whitespace-separated ASCII variant and the Fortran-unformatted binary
+// variant (big-endian, record-length-delimited, as written on the IBM and
+// Cray machines of the era) are supported, with multi-block headers and
+// optional iblank.
+package plot3d
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"overd/internal/grid"
+)
+
+// Format selects the file encoding.
+type Format int
+
+// Supported encodings.
+const (
+	// ASCII is whitespace-separated text.
+	ASCII Format = iota
+	// Binary is Fortran unformatted big-endian with 4-byte record marks.
+	Binary
+)
+
+// WriteXYZ writes a multi-block PLOT3D grid file with iblank from the
+// world-frame coordinates of the given grids.
+func WriteXYZ(w io.Writer, grids []*grid.Grid, f Format) error {
+	switch f {
+	case ASCII:
+		return writeXYZASCII(w, grids)
+	case Binary:
+		return writeXYZBinary(w, grids)
+	}
+	return fmt.Errorf("plot3d: unknown format %d", f)
+}
+
+func writeXYZASCII(w io.Writer, grids []*grid.Grid) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(grids))
+	for _, g := range grids {
+		fmt.Fprintf(bw, "%d %d %d\n", g.NI, g.NJ, g.NK)
+	}
+	for _, g := range grids {
+		for _, arr := range [][]float64{g.X, g.Y, g.Z} {
+			for i, v := range arr {
+				sep := " "
+				if (i+1)%6 == 0 {
+					sep = "\n"
+				}
+				fmt.Fprintf(bw, "%.9e%s", v, sep)
+			}
+			fmt.Fprintln(bw)
+		}
+		for i, v := range g.IBlank {
+			sep := " "
+			if (i+1)%20 == 0 {
+				sep = "\n"
+			}
+			fmt.Fprintf(bw, "%d%s", v, sep)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// record writes one Fortran unformatted record.
+func record(w io.Writer, payload func(io.Writer) error, size int) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(size)); err != nil {
+		return err
+	}
+	if err := payload(w); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.BigEndian, uint32(size))
+}
+
+func writeXYZBinary(w io.Writer, grids []*grid.Grid) error {
+	bw := bufio.NewWriter(w)
+	if err := record(bw, func(w io.Writer) error {
+		return binary.Write(w, binary.BigEndian, int32(len(grids)))
+	}, 4); err != nil {
+		return err
+	}
+	if err := record(bw, func(w io.Writer) error {
+		for _, g := range grids {
+			if err := binary.Write(w, binary.BigEndian,
+				[3]int32{int32(g.NI), int32(g.NJ), int32(g.NK)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, 12*len(grids)); err != nil {
+		return err
+	}
+	for _, g := range grids {
+		n := g.NPoints()
+		size := 3*8*n + 4*n
+		if err := record(bw, func(w io.Writer) error {
+			for _, arr := range [][]float64{g.X, g.Y, g.Z} {
+				if err := binary.Write(w, binary.BigEndian, arr); err != nil {
+					return err
+				}
+			}
+			ib := make([]int32, n)
+			for i, v := range g.IBlank {
+				ib[i] = int32(v)
+			}
+			return binary.Write(w, binary.BigEndian, ib)
+		}, size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ reads a multi-block grid file previously written by WriteXYZ,
+// returning fresh grids (body frame set to the stored world coordinates).
+func ReadXYZ(r io.Reader, f Format) ([]*grid.Grid, error) {
+	switch f {
+	case ASCII:
+		return readXYZASCII(r)
+	case Binary:
+		return readXYZBinary(r)
+	}
+	return nil, fmt.Errorf("plot3d: unknown format %d", f)
+}
+
+func readXYZASCII(r io.Reader) ([]*grid.Grid, error) {
+	br := bufio.NewReader(r)
+	var ng int
+	if _, err := fmt.Fscan(br, &ng); err != nil {
+		return nil, fmt.Errorf("plot3d: block count: %w", err)
+	}
+	if ng <= 0 || ng > 1<<20 {
+		return nil, fmt.Errorf("plot3d: implausible block count %d", ng)
+	}
+	dims := make([][3]int, ng)
+	for b := range dims {
+		if _, err := fmt.Fscan(br, &dims[b][0], &dims[b][1], &dims[b][2]); err != nil {
+			return nil, fmt.Errorf("plot3d: dims of block %d: %w", b, err)
+		}
+	}
+	grids := make([]*grid.Grid, ng)
+	for b := range grids {
+		g := grid.New(b, fmt.Sprintf("block-%d", b), dims[b][0], dims[b][1], dims[b][2])
+		for _, arr := range [][]float64{g.X, g.Y, g.Z} {
+			for i := range arr {
+				if _, err := fmt.Fscan(br, &arr[i]); err != nil {
+					return nil, fmt.Errorf("plot3d: coordinates of block %d: %w", b, err)
+				}
+			}
+		}
+		copy(g.X0, g.X)
+		copy(g.Y0, g.Y)
+		copy(g.Z0, g.Z)
+		for i := range g.IBlank {
+			var v int
+			if _, err := fmt.Fscan(br, &v); err != nil {
+				return nil, fmt.Errorf("plot3d: iblank of block %d: %w", b, err)
+			}
+			g.IBlank[i] = int8(v)
+		}
+		grids[b] = g
+	}
+	return grids, nil
+}
+
+func readRecord(r io.Reader, payload func(io.Reader) error) error {
+	var lead uint32
+	if err := binary.Read(r, binary.BigEndian, &lead); err != nil {
+		return err
+	}
+	if err := payload(io.LimitReader(r, int64(lead))); err != nil {
+		return err
+	}
+	var trail uint32
+	if err := binary.Read(r, binary.BigEndian, &trail); err != nil {
+		return err
+	}
+	if trail != lead {
+		return fmt.Errorf("plot3d: record marks disagree (%d vs %d)", lead, trail)
+	}
+	return nil
+}
+
+func readXYZBinary(r io.Reader) ([]*grid.Grid, error) {
+	br := bufio.NewReader(r)
+	var ng int32
+	if err := readRecord(br, func(r io.Reader) error {
+		return binary.Read(r, binary.BigEndian, &ng)
+	}); err != nil {
+		return nil, err
+	}
+	if ng <= 0 || ng > 1<<20 {
+		return nil, fmt.Errorf("plot3d: implausible block count %d", ng)
+	}
+	dims := make([][3]int32, ng)
+	if err := readRecord(br, func(r io.Reader) error {
+		return binary.Read(r, binary.BigEndian, &dims)
+	}); err != nil {
+		return nil, err
+	}
+	grids := make([]*grid.Grid, ng)
+	for b := range grids {
+		g := grid.New(b, fmt.Sprintf("block-%d", b),
+			int(dims[b][0]), int(dims[b][1]), int(dims[b][2]))
+		if err := readRecord(br, func(r io.Reader) error {
+			for _, arr := range [][]float64{g.X, g.Y, g.Z} {
+				if err := binary.Read(r, binary.BigEndian, arr); err != nil {
+					return err
+				}
+			}
+			ib := make([]int32, g.NPoints())
+			if err := binary.Read(r, binary.BigEndian, ib); err != nil {
+				return err
+			}
+			for i, v := range ib {
+				g.IBlank[i] = int8(v)
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("plot3d: block %d: %w", b, err)
+		}
+		copy(g.X0, g.X)
+		copy(g.Y0, g.Y)
+		copy(g.Z0, g.Z)
+		grids[b] = g
+	}
+	return grids, nil
+}
+
+// QBlock is one block of conserved-variable solution data: 5 components,
+// point-major, matching the paired grid block's dimensions.
+type QBlock struct {
+	NI, NJ, NK int
+	// Mach, Alpha, Re, Time are the PLOT3D Q-file header words.
+	Mach, Alpha, Re, Time float64
+	// Q holds [rho, rho·u, rho·v, rho·w, e] per point, component-major:
+	// Q[c][idx].
+	Q [5][]float64
+}
+
+// NewQBlock allocates a Q block of the given dimensions.
+func NewQBlock(ni, nj, nk int) *QBlock {
+	qb := &QBlock{NI: ni, NJ: nj, NK: nk}
+	for c := range qb.Q {
+		qb.Q[c] = make([]float64, ni*nj*nk)
+	}
+	return qb
+}
+
+// WriteQ writes a multi-block PLOT3D solution file.
+func WriteQ(w io.Writer, blocks []*QBlock, f Format) error {
+	switch f {
+	case ASCII:
+		return writeQASCII(w, blocks)
+	case Binary:
+		return writeQBinary(w, blocks)
+	}
+	return fmt.Errorf("plot3d: unknown format %d", f)
+}
+
+func writeQASCII(w io.Writer, blocks []*QBlock) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(blocks))
+	for _, qb := range blocks {
+		fmt.Fprintf(bw, "%d %d %d\n", qb.NI, qb.NJ, qb.NK)
+	}
+	for _, qb := range blocks {
+		fmt.Fprintf(bw, "%.9e %.9e %.9e %.9e\n", qb.Mach, qb.Alpha, qb.Re, qb.Time)
+		for c := 0; c < 5; c++ {
+			for i, v := range qb.Q[c] {
+				sep := " "
+				if (i+1)%6 == 0 {
+					sep = "\n"
+				}
+				fmt.Fprintf(bw, "%.9e%s", v, sep)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeQBinary(w io.Writer, blocks []*QBlock) error {
+	bw := bufio.NewWriter(w)
+	if err := record(bw, func(w io.Writer) error {
+		return binary.Write(w, binary.BigEndian, int32(len(blocks)))
+	}, 4); err != nil {
+		return err
+	}
+	if err := record(bw, func(w io.Writer) error {
+		for _, qb := range blocks {
+			if err := binary.Write(w, binary.BigEndian,
+				[3]int32{int32(qb.NI), int32(qb.NJ), int32(qb.NK)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, 12*len(blocks)); err != nil {
+		return err
+	}
+	for _, qb := range blocks {
+		if err := record(bw, func(w io.Writer) error {
+			return binary.Write(w, binary.BigEndian,
+				[4]float64{qb.Mach, qb.Alpha, qb.Re, qb.Time})
+		}, 32); err != nil {
+			return err
+		}
+		n := len(qb.Q[0])
+		if err := record(bw, func(w io.Writer) error {
+			for c := 0; c < 5; c++ {
+				if err := binary.Write(w, binary.BigEndian, qb.Q[c]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, 5*8*n); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadQ reads a multi-block PLOT3D solution file.
+func ReadQ(r io.Reader, f Format) ([]*QBlock, error) {
+	switch f {
+	case ASCII:
+		return readQASCII(r)
+	case Binary:
+		return readQBinary(r)
+	}
+	return nil, fmt.Errorf("plot3d: unknown format %d", f)
+}
+
+func readQASCII(r io.Reader) ([]*QBlock, error) {
+	br := bufio.NewReader(r)
+	var nb int
+	if _, err := fmt.Fscan(br, &nb); err != nil {
+		return nil, err
+	}
+	if nb <= 0 || nb > 1<<20 {
+		return nil, fmt.Errorf("plot3d: implausible block count %d", nb)
+	}
+	dims := make([][3]int, nb)
+	for b := range dims {
+		if _, err := fmt.Fscan(br, &dims[b][0], &dims[b][1], &dims[b][2]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*QBlock, nb)
+	for b := range out {
+		qb := NewQBlock(dims[b][0], dims[b][1], dims[b][2])
+		if _, err := fmt.Fscan(br, &qb.Mach, &qb.Alpha, &qb.Re, &qb.Time); err != nil {
+			return nil, err
+		}
+		for c := 0; c < 5; c++ {
+			for i := range qb.Q[c] {
+				if _, err := fmt.Fscan(br, &qb.Q[c][i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out[b] = qb
+	}
+	return out, nil
+}
+
+func readQBinary(r io.Reader) ([]*QBlock, error) {
+	br := bufio.NewReader(r)
+	var nb int32
+	if err := readRecord(br, func(r io.Reader) error {
+		return binary.Read(r, binary.BigEndian, &nb)
+	}); err != nil {
+		return nil, err
+	}
+	if nb <= 0 || nb > 1<<20 {
+		return nil, fmt.Errorf("plot3d: implausible block count %d", nb)
+	}
+	dims := make([][3]int32, nb)
+	if err := readRecord(br, func(r io.Reader) error {
+		return binary.Read(r, binary.BigEndian, &dims)
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]*QBlock, nb)
+	for b := range out {
+		qb := NewQBlock(int(dims[b][0]), int(dims[b][1]), int(dims[b][2]))
+		if err := readRecord(br, func(r io.Reader) error {
+			var hdr [4]float64
+			if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+				return err
+			}
+			qb.Mach, qb.Alpha, qb.Re, qb.Time = hdr[0], hdr[1], hdr[2], hdr[3]
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := readRecord(br, func(r io.Reader) error {
+			for c := 0; c < 5; c++ {
+				if err := binary.Read(r, binary.BigEndian, qb.Q[c]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		out[b] = qb
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package plot3d
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/gridgen"
+)
+
+func testGrids() []*grid.Grid {
+	a := gridgen.AirfoilOGrid(0, "airfoil", 16, 6, 2)
+	a.IBlank[5] = grid.IBHole
+	a.IBlank[6] = grid.IBFringe
+	b := gridgen.CartesianBox(1, "bg", 4, 5, 3,
+		geom.Box{Min: geom.Vec3{X: -1, Y: -1, Z: -1}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}})
+	return []*grid.Grid{a, b}
+}
+
+func roundTripXYZ(t *testing.T, f Format) {
+	t.Helper()
+	grids := testGrids()
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, grids, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXYZ(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(grids) {
+		t.Fatalf("blocks: %d vs %d", len(got), len(grids))
+	}
+	for b, g := range grids {
+		r := got[b]
+		if r.NI != g.NI || r.NJ != g.NJ || r.NK != g.NK {
+			t.Fatalf("block %d dims %dx%dx%d vs %dx%dx%d",
+				b, r.NI, r.NJ, r.NK, g.NI, g.NJ, g.NK)
+		}
+		for i := range g.X {
+			tol := 1e-8
+			if f == Binary {
+				tol = 0 // binary is exact
+			}
+			if math.Abs(r.X[i]-g.X[i]) > tol || math.Abs(r.Y[i]-g.Y[i]) > tol ||
+				math.Abs(r.Z[i]-g.Z[i]) > tol {
+				t.Fatalf("block %d point %d coordinates differ", b, i)
+			}
+			if r.IBlank[i] != g.IBlank[i] {
+				t.Fatalf("block %d point %d iblank %d vs %d", b, i, r.IBlank[i], g.IBlank[i])
+			}
+		}
+	}
+}
+
+func TestXYZRoundTripASCII(t *testing.T)  { roundTripXYZ(t, ASCII) }
+func TestXYZRoundTripBinary(t *testing.T) { roundTripXYZ(t, Binary) }
+
+func roundTripQ(t *testing.T, f Format) {
+	t.Helper()
+	qb := NewQBlock(4, 3, 2)
+	qb.Mach, qb.Alpha, qb.Re, qb.Time = 0.8, 0.05, 1e6, 12.5
+	for c := 0; c < 5; c++ {
+		for i := range qb.Q[c] {
+			qb.Q[c][i] = float64(c*100+i) / 7
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteQ(&buf, []*QBlock{qb}, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQ(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("blocks %d", len(got))
+	}
+	r := got[0]
+	if r.Mach != qb.Mach && math.Abs(r.Mach-qb.Mach) > 1e-8 {
+		t.Errorf("Mach %v", r.Mach)
+	}
+	if math.Abs(r.Time-12.5) > 1e-8 {
+		t.Errorf("Time %v", r.Time)
+	}
+	for c := 0; c < 5; c++ {
+		for i := range qb.Q[c] {
+			tol := 1e-8
+			if f == Binary {
+				tol = 0
+			}
+			if math.Abs(r.Q[c][i]-qb.Q[c][i]) > tol {
+				t.Fatalf("Q[%d][%d] = %v, want %v", c, i, r.Q[c][i], qb.Q[c][i])
+			}
+		}
+	}
+}
+
+func TestQRoundTripASCII(t *testing.T)  { roundTripQ(t, ASCII) }
+func TestQRoundTripBinary(t *testing.T) { roundTripQ(t, Binary) }
+
+func TestReadXYZRejectsGarbage(t *testing.T) {
+	if _, err := ReadXYZ(strings.NewReader("not a grid"), ASCII); err == nil {
+		t.Error("garbage ASCII should fail")
+	}
+	if _, err := ReadXYZ(bytes.NewReader([]byte{1, 2, 3}), Binary); err == nil {
+		t.Error("garbage binary should fail")
+	}
+	// Implausible block count.
+	if _, err := ReadXYZ(strings.NewReader("99999999\n"), ASCII); err == nil {
+		t.Error("huge block count should fail")
+	}
+}
+
+func TestBinaryRecordMarkMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	grids := testGrids()[:1]
+	if err := WriteXYZ(&buf, grids, Binary); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the trailing record mark of the first record.
+	b[7] ^= 0xFF
+	if _, err := ReadXYZ(bytes.NewReader(b), Binary); err == nil {
+		t.Error("corrupted record marks should fail")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, testGrids(), Format(9)); err == nil {
+		t.Error("unknown write format should fail")
+	}
+	if _, err := ReadXYZ(&buf, Format(9)); err == nil {
+		t.Error("unknown read format should fail")
+	}
+	if err := WriteQ(&buf, nil, Format(9)); err == nil {
+		t.Error("unknown Q write format should fail")
+	}
+	if _, err := ReadQ(&buf, Format(9)); err == nil {
+		t.Error("unknown Q read format should fail")
+	}
+}

@@ -1,0 +1,152 @@
+// Package report renders the paper's speedup figures (Figs. 5, 7, 10, 11)
+// as text plots: parallel speedup versus processor count with the ideal
+// line, per solution module — a terminal-friendly stand-in for the paper's
+// graphs that makes the qualitative shapes (flow scales, connectivity
+// doesn't, combined sits between) visible at a glance.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve: y values over the shared x positions.
+type Series struct {
+	Label  string
+	Marker byte
+	Y      []float64
+}
+
+// Chart is a speedup-vs-processors figure.
+type Chart struct {
+	Title string
+	// X holds processor counts.
+	X []int
+	// Series holds the curves (e.g. OVERFLOW, DCF3D, Combined).
+	Series []Series
+	// Ideal adds the y=x/x[0] ideal-speedup reference line.
+	Ideal bool
+	// Width and Height are the plot area size in characters.
+	Width, Height int
+}
+
+// Render draws the chart to w.
+func (c Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.X) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+
+	xmin, xmax := float64(c.X[0]), float64(c.X[len(c.X)-1])
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin := 0.0
+	ymax := 1.0
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if c.Ideal {
+		if ideal := xmax / xmin; ideal > ymax {
+			ymax = ideal
+		}
+	}
+	ymax *= 1.05
+
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, m byte, force bool) {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		row := int((y - ymin) / (ymax - ymin) * float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		r := height - 1 - row
+		if force || cells[r][col] == ' ' || cells[r][col] == '.' {
+			cells[r][col] = m
+		}
+	}
+
+	if c.Ideal {
+		// Ideal speedup: y = x / x[0], drawn as dots.
+		for col := 0; col < width; col++ {
+			x := xmin + (xmax-xmin)*float64(col)/float64(width-1)
+			put(x, x/xmin, '.', false)
+		}
+	}
+	for _, s := range c.Series {
+		// Line segments between points, then markers on top.
+		for i := 1; i < len(s.Y) && i < len(c.X); i++ {
+			x0, y0 := float64(c.X[i-1]), s.Y[i-1]
+			x1, y1 := float64(c.X[i]), s.Y[i]
+			const steps = 40
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / steps
+				put(x0+(x1-x0)*f, y0+(y1-y0)*f, ':', false)
+			}
+		}
+	}
+	for _, s := range c.Series {
+		for i, v := range s.Y {
+			if i < len(c.X) {
+				put(float64(c.X[i]), v, s.Marker, true)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", c.Title)
+	for r, line := range cells {
+		label := "      "
+		// y axis labels at top, middle, bottom.
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.1f ", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%5.1f ", ymin+(ymax-ymin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%5.1f ", ymin)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "      %-d%*d  processors\n", c.X[0], width-len(fmt.Sprint(c.X[0])), c.X[len(c.X)-1])
+	var legend []string
+	if c.Ideal {
+		legend = append(legend, ".. ideal")
+	}
+	for _, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Label))
+	}
+	fmt.Fprintf(w, "      legend: %s\n", strings.Join(legend, "   "))
+}
+
+// SpeedupFigure renders a paper-style per-module speedup figure from
+// parallel module speedups (flow, connectivity, combined) over processor
+// counts.
+func SpeedupFigure(w io.Writer, title string, nodes []int, flow, connect, combined []float64) {
+	Chart{
+		Title: title,
+		X:     nodes,
+		Series: []Series{
+			{Label: "OVERFLOW (flow)", Marker: 'o', Y: flow},
+			{Label: "DCF3D (connectivity)", Marker: 'x', Y: connect},
+			{Label: "combined", Marker: '*', Y: combined},
+		},
+		Ideal: true,
+	}.Render(w)
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupFigureRender(t *testing.T) {
+	var sb strings.Builder
+	SpeedupFigure(&sb, "Figure 5 (SP2)", []int{6, 9, 12, 18, 24},
+		[]float64{1, 1.45, 1.89, 2.66, 3.39},
+		[]float64{1, 1.09, 1.30, 1.16, 1.29},
+		[]float64{1, 1.41, 1.80, 2.37, 2.92})
+	out := sb.String()
+	for _, want := range []string{"Figure 5 (SP2)", "ideal", "OVERFLOW", "DCF3D", "combined", "processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Markers present.
+	for _, m := range []string{"o", "x", "*"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("marker %q missing", m)
+		}
+	}
+	// Lines have consistent width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 18 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	var sb strings.Builder
+	Chart{Title: "empty"}.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartSinglePointAndDegenerate(t *testing.T) {
+	var sb strings.Builder
+	Chart{
+		Title:  "one",
+		X:      []int{8},
+		Series: []Series{{Label: "s", Marker: 's', Y: []float64{1}}},
+		Ideal:  true,
+	}.Render(&sb)
+	if !strings.Contains(sb.String(), "one") {
+		t.Error("render failed for single point")
+	}
+}
+
+func TestChartMarkersAtCorrectEnds(t *testing.T) {
+	// The flow series ends near ideal; its marker should appear in the
+	// upper portion of the plot and the flat series' in the lower.
+	var sb strings.Builder
+	Chart{
+		Title: "shape",
+		X:     []int{1, 2, 4},
+		Series: []Series{
+			{Label: "up", Marker: 'U', Y: []float64{1, 2, 4}},
+			{Label: "flat", Marker: 'F', Y: []float64{1, 1, 1}},
+		},
+		Width: 40, Height: 12,
+	}.Render(&sb)
+	lines := strings.Split(sb.String(), "\n")
+	var upRow, flatRow int = -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "U") && !strings.Contains(l, "legend") && upRow < 0 {
+			upRow = i
+		}
+		if idx := strings.LastIndex(l, "F"); idx > 6 && !strings.Contains(l, "legend") && flatRow < 0 {
+			flatRow = i
+		}
+	}
+	if upRow < 0 || flatRow < 0 {
+		t.Fatalf("markers not found:\n%s", sb.String())
+	}
+	if upRow >= flatRow {
+		t.Errorf("rising series (row %d) should plot above flat series (row %d)", upRow, flatRow)
+	}
+}

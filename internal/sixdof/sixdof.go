@@ -1,0 +1,189 @@
+// Package sixdof implements the grid-motion model of OVERFLOW-D1: rigid
+// six-degree-of-freedom dynamics integrated from applied and aerodynamic
+// loads (the SIXDOF analog), plus the prescribed motions used by the
+// paper's test cases (sinusoidal pitch for the oscillating airfoil, uniform
+// descent for the delta wing, and a specified store-separation trajectory).
+package sixdof
+
+import (
+	"math"
+
+	"overd/internal/geom"
+)
+
+// Motion produces the placement of a moving component at time t.
+type Motion interface {
+	// At returns the body-to-world transform at time t.
+	At(t float64) geom.Transform
+}
+
+// StaticMotion keeps a component fixed.
+type StaticMotion struct{}
+
+// At implements Motion.
+func (StaticMotion) At(float64) geom.Transform { return geom.IdentityTransform() }
+
+// PitchMotion oscillates the angle of attack about a pivot point in the
+// x-y plane: α(t) = Alpha0·sin(Omega·t), the paper's 2-D airfoil motion
+// (α₀ = 5°, ω = π/2).
+type PitchMotion struct {
+	Alpha0 float64 // amplitude in radians
+	Omega  float64 // angular frequency
+	Pivot  geom.Vec3
+}
+
+// At implements Motion. A positive angle of attack pitches the nose up,
+// which for a body at rest in a +x freestream is a rotation by -α of the
+// geometry about z.
+func (m PitchMotion) At(t float64) geom.Transform {
+	a := m.Alpha0 * math.Sin(m.Omega*t)
+	rot := geom.RotZ(-a)
+	// x_w = R (x_b - pivot) + pivot
+	return geom.Transform{R: rot, T: m.Pivot.Sub(rot.MulVec(m.Pivot))}
+}
+
+// TranslationMotion moves a component at constant velocity (the delta
+// wing's slow descent, M = 0.064 relative to the background).
+type TranslationMotion struct {
+	Velocity geom.Vec3
+}
+
+// At implements Motion.
+func (m TranslationMotion) At(t float64) geom.Transform {
+	return geom.Transform{R: geom.Identity3(), T: m.Velocity.Scale(t)}
+}
+
+// StoreReleaseMotion prescribes a separation trajectory: gravitational drop
+// with aerodynamic deceleration and a slow nose-down pitch, the specified
+// motion of the paper's wing/pylon/finned-store case ("the motion of the
+// store is specified in this case rather than computed").
+type StoreReleaseMotion struct {
+	// Drop is the downward acceleration (nondimensional).
+	Drop float64
+	// Decel is the streamwise deceleration.
+	Decel float64
+	// PitchRate is the nose-down pitch rate in radians per unit time.
+	PitchRate float64
+	// Pivot is the rotation reference (store CG) in the body frame.
+	Pivot geom.Vec3
+}
+
+// At implements Motion.
+func (m StoreReleaseMotion) At(t float64) geom.Transform {
+	dz := -0.5 * m.Drop * t * t
+	dx := -0.5 * m.Decel * t * t
+	rot := geom.RotZ(-m.PitchRate * t)
+	tr := geom.Vec3{X: dx, Y: dz}
+	return geom.Transform{R: rot, T: m.Pivot.Sub(rot.MulVec(m.Pivot)).Add(tr)}
+}
+
+// State is the instantaneous rigid-body state.
+type State struct {
+	// Pos is the world position of the center of gravity.
+	Pos geom.Vec3
+	// Att is the body attitude quaternion.
+	Att geom.Quat
+	// Vel is the CG velocity in the world frame.
+	Vel geom.Vec3
+	// Omega is the angular velocity in the body frame.
+	Omega geom.Vec3
+}
+
+// Body is a rigid body integrated under aerodynamic and applied loads.
+type Body struct {
+	// Mass is the body mass.
+	Mass float64
+	// Inertia holds the principal moments of inertia (body axes).
+	Inertia geom.Vec3
+	// CG is the center of gravity in the grid's body frame.
+	CG geom.Vec3
+	// Gravity is the world-frame gravitational acceleration.
+	Gravity geom.Vec3
+	// State is the current state.
+	State State
+}
+
+// NewBody returns a body at rest with identity attitude.
+func NewBody(mass float64, inertia geom.Vec3, cg geom.Vec3) *Body {
+	return &Body{
+		Mass:    mass,
+		Inertia: inertia,
+		CG:      cg,
+		State:   State{Att: geom.IdentityQuat(), Pos: cg},
+	}
+}
+
+type deriv struct {
+	dPos   geom.Vec3
+	dAtt   geom.Quat
+	dVel   geom.Vec3
+	dOmega geom.Vec3
+}
+
+// derivAt evaluates the equations of motion: Newton's law in the world
+// frame and Euler's rotation equations in the body frame.
+func (b *Body) derivAt(s State, force, moment geom.Vec3) deriv {
+	// Moment about the CG in body axes.
+	mBody := s.Att.Conj().Rotate(moment)
+	ix, iy, iz := b.Inertia.X, b.Inertia.Y, b.Inertia.Z
+	w := s.Omega
+	var dw geom.Vec3
+	if ix > 0 {
+		dw.X = (mBody.X - (iz-iy)*w.Y*w.Z) / ix
+	}
+	if iy > 0 {
+		dw.Y = (mBody.Y - (ix-iz)*w.Z*w.X) / iy
+	}
+	if iz > 0 {
+		dw.Z = (mBody.Z - (iy-ix)*w.X*w.Y) / iz
+	}
+	return deriv{
+		dPos:   s.Vel,
+		dAtt:   s.Att.Deriv(w),
+		dVel:   force.Scale(1 / b.Mass).Add(b.Gravity),
+		dOmega: dw,
+	}
+}
+
+func stepState(s State, d deriv, dt float64) State {
+	return State{
+		Pos:   s.Pos.Add(d.dPos.Scale(dt)),
+		Att:   s.Att.AddScaled(d.dAtt, dt).Normalized(),
+		Vel:   s.Vel.Add(d.dVel.Scale(dt)),
+		Omega: s.Omega.Add(d.dOmega.Scale(dt)),
+	}
+}
+
+// Step advances the body by dt under the given world-frame force and moment
+// (about the CG) using fourth-order Runge-Kutta with loads frozen over the
+// step (the standard loose aero-structure coupling).
+func (b *Body) Step(force, moment geom.Vec3, dt float64) {
+	s := b.State
+	k1 := b.derivAt(s, force, moment)
+	k2 := b.derivAt(stepState(s, k1, dt/2), force, moment)
+	k3 := b.derivAt(stepState(s, k2, dt/2), force, moment)
+	k4 := b.derivAt(stepState(s, k3, dt), force, moment)
+	avg := deriv{
+		dPos:   k1.dPos.Add(k2.dPos.Scale(2)).Add(k3.dPos.Scale(2)).Add(k4.dPos).Scale(1.0 / 6),
+		dAtt:   k1.dAtt.AddScaled(k2.dAtt, 2).AddScaled(k3.dAtt, 2).AddScaled(k4.dAtt, 1),
+		dVel:   k1.dVel.Add(k2.dVel.Scale(2)).Add(k3.dVel.Scale(2)).Add(k4.dVel).Scale(1.0 / 6),
+		dOmega: k1.dOmega.Add(k2.dOmega.Scale(2)).Add(k3.dOmega.Scale(2)).Add(k4.dOmega).Scale(1.0 / 6),
+	}
+	avg.dAtt = geom.Quat{W: avg.dAtt.W / 6, X: avg.dAtt.X / 6, Y: avg.dAtt.Y / 6, Z: avg.dAtt.Z / 6}
+	b.State = stepState(s, avg, dt)
+}
+
+// Transform returns the grid placement implied by the current state:
+// body-frame points rotate about the CG and translate with it.
+func (b *Body) Transform() geom.Transform {
+	r := b.State.Att.Mat()
+	// x_w = R (x_b - CG) + Pos
+	return geom.Transform{R: r, T: b.State.Pos.Sub(r.MulVec(b.CG))}
+}
+
+// FreeMotion adapts a Body to the Motion interface for drivers that apply
+// loads between At calls (At ignores t; the body advances via Step).
+type FreeMotion struct{ Body *Body }
+
+// At implements Motion.
+func (m FreeMotion) At(float64) geom.Transform { return m.Body.Transform() }

@@ -1,0 +1,147 @@
+package sixdof
+
+import (
+	"math"
+	"testing"
+
+	"overd/internal/geom"
+)
+
+func TestPitchMotionAmplitude(t *testing.T) {
+	m := PitchMotion{Alpha0: 5 * math.Pi / 180, Omega: math.Pi / 2, Pivot: geom.Vec3{X: 0.25}}
+	// At t=1 (quarter period), deflection is the full amplitude.
+	tr := m.At(1)
+	// The pivot stays fixed.
+	if tr.Apply(m.Pivot).Dist(m.Pivot) > 1e-12 {
+		t.Error("pivot should not move")
+	}
+	// A point one chord ahead rotates by -alpha0 about the pivot.
+	p := tr.Apply(geom.Vec3{X: 1.25})
+	wantAngle := -5 * math.Pi / 180
+	want := geom.Vec3{X: 0.25 + math.Cos(wantAngle), Y: math.Sin(wantAngle)}
+	if p.Dist(want) > 1e-12 {
+		t.Errorf("rotated point %v, want %v", p, want)
+	}
+	// At t=0 the transform is the identity.
+	if m.At(0).Apply(geom.Vec3{X: 3}).Dist(geom.Vec3{X: 3}) > 1e-12 {
+		t.Error("t=0 should be identity")
+	}
+}
+
+func TestTranslationMotion(t *testing.T) {
+	m := TranslationMotion{Velocity: geom.Vec3{Y: -0.064}}
+	p := m.At(10).Apply(geom.Vec3{X: 1})
+	if p.Dist(geom.Vec3{X: 1, Y: -0.64}) > 1e-12 {
+		t.Errorf("translated point %v", p)
+	}
+}
+
+func TestStoreReleaseDropsAndPitches(t *testing.T) {
+	m := StoreReleaseMotion{Drop: 0.1, Decel: 0.02, PitchRate: 0.05, Pivot: geom.Vec3{X: 2}}
+	tr := m.At(2)
+	pivotNow := tr.Apply(geom.Vec3{X: 2})
+	// Pivot follows the drop trajectory: dz = -0.5*0.1*4 = -0.2, dx = -0.04.
+	want := geom.Vec3{X: 2 - 0.04, Y: -0.2}
+	if pivotNow.Dist(want) > 1e-12 {
+		t.Errorf("pivot at %v, want %v", pivotNow, want)
+	}
+	// Attitude rotates nose-down over time.
+	nose := tr.Apply(geom.Vec3{X: 3}).Sub(pivotNow)
+	if nose.Y >= 0 {
+		t.Error("store should pitch nose-down")
+	}
+}
+
+func TestBodyFreeFall(t *testing.T) {
+	b := NewBody(2, geom.Vec3{X: 1, Y: 1, Z: 1}, geom.Vec3{})
+	b.Gravity = geom.Vec3{Y: -10}
+	dt := 0.001
+	for i := 0; i < 1000; i++ { // t = 1
+		b.Step(geom.Vec3{}, geom.Vec3{}, dt)
+	}
+	// y = -g t²/2 = -5, v = -10.
+	if math.Abs(b.State.Pos.Y+5) > 1e-6 {
+		t.Errorf("fall distance %v, want -5", b.State.Pos.Y)
+	}
+	if math.Abs(b.State.Vel.Y+10) > 1e-9 {
+		t.Errorf("fall speed %v, want -10", b.State.Vel.Y)
+	}
+}
+
+func TestBodyConstantForce(t *testing.T) {
+	b := NewBody(4, geom.Vec3{X: 1, Y: 1, Z: 1}, geom.Vec3{})
+	for i := 0; i < 100; i++ {
+		b.Step(geom.Vec3{X: 8}, geom.Vec3{}, 0.01) // a = 2
+	}
+	// t=1: x = 1, v = 2.
+	if math.Abs(b.State.Pos.X-1) > 1e-9 || math.Abs(b.State.Vel.X-2) > 1e-9 {
+		t.Errorf("pos %v vel %v", b.State.Pos.X, b.State.Vel.X)
+	}
+}
+
+func TestBodySpinConservesDirection(t *testing.T) {
+	// Torque-free symmetric top: angular velocity stays constant.
+	b := NewBody(1, geom.Vec3{X: 2, Y: 2, Z: 2}, geom.Vec3{})
+	b.State.Omega = geom.Vec3{Z: 3}
+	for i := 0; i < 500; i++ {
+		b.Step(geom.Vec3{}, geom.Vec3{}, 0.002) // t = 1
+	}
+	if b.State.Omega.Sub(geom.Vec3{Z: 3}).Norm() > 1e-9 {
+		t.Errorf("omega drifted: %v", b.State.Omega)
+	}
+	// Attitude: rotated by 3 rad about z.
+	got := b.State.Att.Rotate(geom.Vec3{X: 1})
+	want := geom.RotZ(3).MulVec(geom.Vec3{X: 1})
+	if got.Dist(want) > 1e-5 {
+		t.Errorf("attitude %v, want %v", got, want)
+	}
+}
+
+func TestBodyTorqueSpinup(t *testing.T) {
+	b := NewBody(1, geom.Vec3{X: 1, Y: 1, Z: 4}, geom.Vec3{})
+	for i := 0; i < 100; i++ {
+		b.Step(geom.Vec3{}, geom.Vec3{Z: 2}, 0.01) // alpha = 0.5 about z
+	}
+	// omega_z = 0.5 * t = 0.5.
+	if math.Abs(b.State.Omega.Z-0.5) > 1e-9 {
+		t.Errorf("omega %v, want 0.5", b.State.Omega.Z)
+	}
+}
+
+func TestBodyTransformRotatesAboutCG(t *testing.T) {
+	cg := geom.Vec3{X: 2, Y: 1}
+	b := NewBody(1, geom.Vec3{X: 1, Y: 1, Z: 1}, cg)
+	b.State.Att = geom.AxisAngle(geom.Vec3{Z: 1}, math.Pi/2)
+	tr := b.Transform()
+	// The CG maps to the current position (which started at the CG).
+	if tr.Apply(cg).Dist(cg) > 1e-12 {
+		t.Errorf("CG moved: %v", tr.Apply(cg))
+	}
+	// A point 1 ahead of the CG rotates 90° about it.
+	p := tr.Apply(geom.Vec3{X: 3, Y: 1})
+	want := geom.Vec3{X: 2, Y: 2}
+	if p.Dist(want) > 1e-12 {
+		t.Errorf("rotated point %v, want %v", p, want)
+	}
+}
+
+func TestStaticMotion(t *testing.T) {
+	tr := StaticMotion{}.At(99)
+	if tr.Apply(geom.Vec3{X: 1, Y: 2, Z: 3}) != (geom.Vec3{X: 1, Y: 2, Z: 3}) {
+		t.Error("static motion should be identity")
+	}
+}
+
+func TestFreeMotionAdapter(t *testing.T) {
+	b := NewBody(1, geom.Vec3{X: 1, Y: 1, Z: 1}, geom.Vec3{})
+	b.Gravity = geom.Vec3{Y: -1}
+	m := FreeMotion{Body: b}
+	before := m.At(0).Apply(geom.Vec3{X: 1})
+	for i := 0; i < 100; i++ {
+		b.Step(geom.Vec3{}, geom.Vec3{}, 0.01)
+	}
+	after := m.At(0).Apply(geom.Vec3{X: 1})
+	if after.Y >= before.Y {
+		t.Error("free body should have fallen")
+	}
+}

@@ -1,0 +1,181 @@
+// Package overd is a Go reproduction of the parallel dynamic overset-grid
+// system of Wissink & Meakin, "On Parallel Implementations of Dynamic
+// Overset Grid Methods" (SC 1997): a structured Chimera flow solver
+// (OVERFLOW analog) with diagonalized approximate-factorization implicit
+// time stepping, a distributed domain-connectivity solution (DCF3D analog)
+// with asynchronous donor searches, forwarding and nth-level restart,
+// six-degree-of-freedom grid motion, the paper's static and dynamic load
+// balancing schemes (Algorithms 1 and 2), and the §5 adaptive Cartesian
+// scheme with the grouping strategy (Algorithm 3).
+//
+// Every run executes the real algorithms — real grids, real implicit CFD
+// arithmetic, real donor searches, real message passing between goroutine
+// "processors" — while virtual clocks measure them against calibrated
+// models of the paper's machines (IBM SP2, IBM SP, Cray YMP/864), so the
+// published parallel-performance experiments can be regenerated on modern
+// hardware. See DESIGN.md for the substitution rationale and EXPERIMENTS.md
+// for paper-versus-measured results.
+//
+// Quick start:
+//
+//	cfg := overd.Config{
+//		Case:    overd.OscillatingAirfoil(1.0),
+//		Nodes:   12,
+//		Machine: overd.SP2(),
+//		Steps:   10,
+//		Fo:      math.Inf(1), // static load balancing only
+//	}
+//	res, err := overd.Run(cfg)
+//	fmt.Println(res.MflopsPerNode(), res.PctConnect())
+package overd
+
+import (
+	"overd/internal/adapt"
+	"overd/internal/balance"
+	"overd/internal/cases"
+	"overd/internal/core"
+	"overd/internal/flow"
+	"overd/internal/geom"
+	"overd/internal/machine"
+)
+
+// Machine is a performance model of one of the paper's computers.
+type Machine = machine.Model
+
+// SP2 returns the NASA Ames IBM SP2 model (POWER2 nodes, 40 MB/s switch).
+func SP2() Machine { return machine.SP2() }
+
+// SP returns the CEWES IBM SP model (P2SC nodes, 110 MB/s switch).
+func SP() Machine { return machine.SP() }
+
+// YMP864 returns the single-processor Cray YMP/864 model (Table 6 baseline).
+func YMP864() Machine { return machine.YMP864() }
+
+// C90 returns the Cray C90 single-head model.
+func C90() Machine { return machine.C90() }
+
+// MachineByName resolves "SP2", "SP", "YMP" or "C90".
+func MachineByName(name string) (Machine, error) { return machine.ByName(name) }
+
+// Case is a complete moving-body overset problem: grid system, connectivity
+// configuration, motion, and flow conditions.
+type Case = cases.Case
+
+// OscillatingAirfoil builds the paper's §4.1 problem: a NACA 0012 airfoil
+// pitching α(t) = 5°·sin(πt/2) under three overset grids (64K composite
+// points at scale 1, IGBP ratio ≈ 44e-3), M∞ = 0.8, Re = 1e6.
+func OscillatingAirfoil(scale float64) *Case { return cases.OscAirfoil(scale) }
+
+// DescendingDeltaWing builds the paper's §4.2 problem: four grids, ~1M
+// composite points at scale 1, IGBP ratio ≈ 33e-3, descent at M = 0.064,
+// viscous in all directions, no turbulence model.
+func DescendingDeltaWing(scale float64) *Case { return cases.DeltaWing(scale) }
+
+// StoreSeparation builds the paper's §4.3 problem: sixteen grids (ten
+// store, three wing/pylon, three Cartesian backgrounds), ~0.81M composite
+// points at scale 1, IGBP ratio ≈ 66e-3, M∞ = 1.6 with Baldwin-Lomax on
+// the curvilinear grids and a prescribed separation trajectory.
+func StoreSeparation(scale float64) *Case { return cases.StoreSep(scale) }
+
+// StoreSeparationFree is StoreSeparation with the store's trajectory
+// computed from integrated aerodynamic loads through the 6-DOF model
+// rather than prescribed (the paper notes the free motion changes parallel
+// performance negligibly).
+func StoreSeparationFree(scale float64) *Case { return cases.StoreSepFree(scale) }
+
+// Config selects the case, processor count, machine model, step count and
+// load-balancing behavior of a run.
+type Config = core.Config
+
+// Result carries a run's measured statistics: virtual wall time, per-phase
+// breakdown, Mflops/node, %-time in the connectivity solution, and the
+// final processor distribution.
+type Result = core.Result
+
+// StepStats is the per-timestep phase breakdown.
+type StepStats = core.StepStats
+
+// Run executes a case on the simulated machine. It is deterministic: the
+// same configuration produces bit-identical virtual times and flow fields.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// EstimateSerialTime models the single-processor execution time of the
+// given floating-point workload on a serial machine (the Cray YMP baseline
+// of Table 6).
+func EstimateSerialTime(flops float64, m Machine) float64 {
+	return core.EstimateSerialTime(flops, m)
+}
+
+// SampleSpec selects field and surface extraction from a run's final
+// solution (set Config.Sample).
+type SampleSpec = core.SampleSpec
+
+// FieldSample is one sampled flow state (position, density, pressure,
+// Mach number, Chimera iblank state).
+type FieldSample = core.FieldSample
+
+// SurfaceSample is one wall point with its pressure coefficient.
+type SurfaceSample = core.SurfaceSample
+
+// Vec3 is a world-frame position or direction.
+type Vec3 = geom.Vec3
+
+// Box is an axis-aligned bounding box.
+type Box = geom.Box
+
+// Freestream is the nondimensional far-field flow state.
+type Freestream = flow.Freestream
+
+// The §5 adaptive Cartesian scheme: off-body systems of seven-parameter
+// Cartesian bricks with proximity/error-driven refinement, search-free
+// connectivity, and Algorithm-3 grouping onto nodes.
+
+// AdaptiveConfig controls off-body Cartesian system generation.
+type AdaptiveConfig = adapt.Config
+
+// AdaptiveSystem is a generated off-body brick system.
+type AdaptiveSystem = adapt.System
+
+// AdaptiveRunner advances a real flow solution over an adaptive system with
+// the coarse-grained group-parallel strategy of §5.
+type AdaptiveRunner = adapt.Runner
+
+// GenerateAdaptive builds an off-body Cartesian system for the given
+// desired-refinement-level indicator.
+func GenerateAdaptive(cfg AdaptiveConfig, want func(p Vec3) int) *AdaptiveSystem {
+	return adapt.Generate(cfg, want)
+}
+
+// ProximityIndicator returns the §5 initial refinement rule: finest level
+// inside the near-body bounds, decaying with distance.
+func ProximityIndicator(near Box, maxLevel int) func(Vec3) int {
+	return adapt.ProximityIndicator(near, maxLevel)
+}
+
+// NewAdaptiveRunner groups an adaptive system over nodes (Algorithm 3 when
+// grouping is true; round-robin baseline otherwise) and prepares the
+// coarse-grain parallel solver.
+func NewAdaptiveRunner(sys *AdaptiveSystem, nodes int, fs Freestream, grouping bool) (*AdaptiveRunner, error) {
+	return adapt.NewRunner(sys, nodes, fs, grouping)
+}
+
+// DecompositionSurface returns the total subdomain surface-point count of
+// the static partition of a case over the given node count, with either the
+// prime-factor minimal-surface rule or 1-D slabs — the communication-surface
+// measure the paper's Fig. 4 subdivision minimizes.
+func DecompositionSurface(c *Case, nodes int, slabs bool) (int, error) {
+	plan, err := balance.Static(c.GridSizes(), nodes)
+	if err != nil {
+		return 0, err
+	}
+	if slabs {
+		balance.SubdividePlanSlabs(plan, c.GridDims())
+	} else {
+		balance.SubdividePlan(plan, c.GridDims())
+	}
+	total := 0
+	for _, p := range plan.Parts {
+		total += p.Box.SurfacePoints()
+	}
+	return total, nil
+}
