@@ -5,6 +5,7 @@
 //
 //	overd -case airfoil|deltawing|storesep [-nodes n] [-machine SP2|SP]
 //	      [-steps n] [-scale f] [-fo f] [-dump] [-field out.csv]
+//	      [-trace out.json] [-trace-summary]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"overd"
 	"overd/internal/plot3d"
+	"overd/internal/report"
 )
 
 func main() {
@@ -30,6 +32,8 @@ func main() {
 	dump := flag.Bool("dump", false, "print the grid system and static partition, then exit")
 	fieldOut := flag.String("field", "", "write a field CSV of the given grid id after the run (format gridID:file.csv)")
 	xyzOut := flag.String("xyz", "", "write the grid system as a PLOT3D XYZ file after the run (suffix .g for ASCII, .gb for binary)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+	traceSummary := flag.Bool("trace-summary", false, "print per-rank busy/wait breakdowns and the critical path")
 	flag.Parse()
 
 	var c *overd.Case
@@ -78,6 +82,11 @@ func main() {
 		Case: c, Nodes: *nodes, Machine: m, Steps: *steps,
 		Fo: *fo, CheckInterval: *checkEvery,
 	}
+	var rec *overd.TraceRecorder
+	if *traceOut != "" || *traceSummary {
+		rec = overd.NewTraceRecorder()
+		cfg.Trace = rec
+	}
 	var spec overd.SampleSpec
 	spec.FieldGrid, spec.FieldK, spec.SurfaceGrid = -1, -1, -1
 	if *fieldOut != "" {
@@ -108,6 +117,35 @@ func main() {
 		res.FlowTime, res.MotionTime, res.ConnectTime, res.BalanceTime)
 	fmt.Printf("avg Mflops/node: %.1f   %%time in DCF3D: %.1f%%\n",
 		res.MflopsPerNode(), res.PctConnect())
+
+	if rec != nil {
+		if *traceSummary {
+			fmt.Printf("\nwait breakdown (rank 0): flow %.3fs  motion %.3fs  connect %.3fs  balance %.3fs  (%.1f%% of run blocked)\n",
+				res.FlowWaitTime, res.MotionWaitTime, res.ConnectWaitTime,
+				res.BalanceWaitTime, res.PctWait())
+			s := rec.Summarize()
+			fmt.Println()
+			report.BusyWaitGantt(os.Stdout, s, 48)
+			fmt.Println()
+			report.PhaseWaitTable(os.Stdout, s, rec.PhaseLabel)
+			fmt.Println()
+			rec.CriticalPath().Fprint(os.Stdout, rec)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote Chrome trace (%d ranks) to %s — open in chrome://tracing or https://ui.perfetto.dev\n",
+				rec.NRanks(), *traceOut)
+		}
+	}
 
 	if *xyzOut != "" {
 		f, err := os.Create(*xyzOut)

@@ -3,18 +3,49 @@
 //
 // Usage:
 //
-//	tables [-scale f] [-steps n] [-only 1,2,3,4,5,6] [-v]
+//	tables [-scale f] [-steps n] [-only 1,2,3,4,5,6] [-v] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"strings"
 
 	"overd"
 )
+
+// emitJSON writes one JSON object per table row to w (JSON-lines), tagging
+// each with its table id so downstream tooling can append rows from many
+// runs into one BENCH_*.json trajectory file.
+func emitJSON(w io.Writer, table string, rows any) error {
+	enc := json.NewEncoder(w)
+	v := reflect.ValueOf(rows)
+	for i := 0; i < v.Len(); i++ {
+		if err := enc.Encode(struct {
+			Table string `json:"table"`
+			Row   any    `json:"row"`
+		}{table, v.Index(i).Interface()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPerfJSON writes a PerfTable's rows plus its per-module speedup figure
+// series (the Figs. 5/7/10 points) as JSON lines.
+func emitPerfJSON(w io.Writer, table string, t *overd.PerfTable) error {
+	if err := emitJSON(w, table, t.Rows); err != nil {
+		return err
+	}
+	if err := emitJSON(w, table+".fig.SP2", t.FigSP2); err != nil {
+		return err
+	}
+	return emitJSON(w, table+".fig.SP", t.FigSP)
+}
 
 func main() {
 	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
@@ -22,6 +53,7 @@ func main() {
 	only := flag.String("only", "1,2,3,4,5,6", "comma-separated tables to run")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	figures := flag.Bool("figures", false, "render the speedup figures (Figs. 5/7/10) as text plots")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per table row instead of text")
 	flag.Parse()
 
 	var logw io.Writer
@@ -44,57 +76,93 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintPerfTable(os.Stdout, t)
-		if *figures {
-			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 5 left
-			overd.FprintSpeedupFigure(os.Stdout, t, "SP")  // Fig. 5 right
+		if *asJSON {
+			if err := emitPerfJSON(os.Stdout, "1", t); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintPerfTable(os.Stdout, t)
+			if *figures {
+				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 5 left
+				overd.FprintSpeedupFigure(os.Stdout, t, "SP")  // Fig. 5 right
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	if want["2"] {
 		rows, err := overd.RunTable2(opt)
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintTable2(os.Stdout, rows)
-		fmt.Println()
+		if *asJSON {
+			if err := emitJSON(os.Stdout, "2", rows); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintTable2(os.Stdout, rows)
+			fmt.Println()
+		}
 	}
 	if want["3"] {
 		t, err := overd.RunTable3(opt)
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintPerfTable(os.Stdout, t)
-		if *figures {
-			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 7
+		if *asJSON {
+			if err := emitPerfJSON(os.Stdout, "3", t); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintPerfTable(os.Stdout, t)
+			if *figures {
+				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 7
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	if want["4"] {
 		t, err := overd.RunTable4(opt)
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintPerfTable(os.Stdout, t)
-		if *figures {
-			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 10
+		if *asJSON {
+			if err := emitPerfJSON(os.Stdout, "4", t); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintPerfTable(os.Stdout, t)
+			if *figures {
+				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 10
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	if want["5"] {
 		rows, err := overd.RunTable5(opt)
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintTable5(os.Stdout, rows)
-		fmt.Println()
+		if *asJSON {
+			if err := emitJSON(os.Stdout, "5", rows); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintTable5(os.Stdout, rows)
+			fmt.Println()
+		}
 	}
 	if want["6"] {
 		rows, err := overd.RunTable6(opt)
 		if err != nil {
 			fail(err)
 		}
-		overd.FprintTable6(os.Stdout, rows)
-		fmt.Println()
+		if *asJSON {
+			if err := emitJSON(os.Stdout, "6", rows); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintTable6(os.Stdout, rows)
+			fmt.Println()
+		}
 	}
 }

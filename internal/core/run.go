@@ -18,6 +18,7 @@ import (
 	"overd/internal/grid"
 	"overd/internal/machine"
 	"overd/internal/par"
+	"overd/internal/trace"
 )
 
 // Config describes one run.
@@ -39,6 +40,10 @@ type Config struct {
 	// SlabDecomp uses 1-D slab subdomains instead of the prime-factor
 	// minimal-surface subdivision (the Fig. 4 ablation baseline).
 	SlabDecomp bool
+	// Trace, when non-nil, records every rank's virtual-time events for
+	// wait/idle attribution, critical-path analysis, and Chrome trace
+	// export (see package trace). Nil adds no cost and changes no times.
+	Trace *trace.Recorder
 }
 
 // StepStats records one timestep's virtual-time breakdown (seconds, equal
@@ -48,10 +53,25 @@ type StepStats struct {
 	Motion  float64
 	Connect float64
 	Balance float64
+	// FlowWait..BalanceWait are rank 0's blocked seconds inside each
+	// module this step (receive wait plus barrier wait) — the
+	// communication-overhead share the aggregate module times hide. Wait
+	// time varies by rank; rank 0's is recorded as the representative
+	// because it costs nothing to read (no extra collectives that would
+	// perturb the virtual clocks).
+	FlowWait    float64
+	MotionWait  float64
+	ConnectWait float64
+	BalanceWait float64
 	// IGBPs is the composite fringe count this step.
 	IGBPs int
 	// MaxF is the connectivity load-imbalance factor max_p I(p)/Ī.
 	MaxF float64
+}
+
+// TotalWait returns the step's blocked time across all modules (rank 0).
+func (s StepStats) TotalWait() float64 {
+	return s.FlowWait + s.MotionWait + s.ConnectWait + s.BalanceWait
 }
 
 // Total returns the step's wall time across all modules.
@@ -65,6 +85,9 @@ type Result struct {
 	Flops     float64 // total floating-point work over measured steps
 	// Phase totals (virtual seconds).
 	FlowTime, MotionTime, ConnectTime, BalanceTime float64
+	// Per-module blocked time (rank 0's receive + barrier wait seconds)
+	// over the measured steps; subsets of the matching phase totals.
+	FlowWaitTime, MotionWaitTime, ConnectWaitTime, BalanceWaitTime float64
 	// Rebalances counts dynamic-scheme repartitions.
 	Rebalances int
 	// IGBPs is the steady-state composite fringe count.
@@ -99,6 +122,21 @@ func (r *Result) PctConnect() float64 {
 		return 0
 	}
 	return 100 * r.ConnectTime / t
+}
+
+// TotalWaitTime returns rank 0's blocked seconds over the measured steps,
+// summed across modules.
+func (r *Result) TotalWaitTime() float64 {
+	return r.FlowWaitTime + r.MotionWaitTime + r.ConnectWaitTime + r.BalanceWaitTime
+}
+
+// PctWait returns the percentage of the measured time rank 0 spent blocked
+// (receive wait plus barrier wait) rather than computing.
+func (r *Result) PctWait() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return 100 * r.TotalWaitTime() / r.TotalTime
 }
 
 // TimePerStep returns virtual seconds per timestep.
@@ -137,6 +175,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	world := par.NewWorld(cfg.Nodes, cfg.Machine)
+	world.SetTrace(cfg.Trace)
 	st := newRunState(cfg, plan)
 
 	world.Run(func(r *par.Rank) { st.rankMain(r) })

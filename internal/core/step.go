@@ -53,7 +53,12 @@ func (st *runState) rankMain(r *par.Rank) {
 	s0Connect := r.PhaseTime(par.PhaseConnect)
 	s0Balance := r.PhaseTime(par.PhaseBalance)
 	s0Flops := r.TotalFlops()
+	s0FlowW := r.WaitTime(par.PhaseFlow)
+	s0MotionW := r.WaitTime(par.PhaseMotion)
+	s0ConnectW := r.WaitTime(par.PhaseConnect)
+	s0BalanceW := r.WaitTime(par.PhaseBalance)
 	prevFlow, prevMotion, prevConnect, prevBalance := s0Flow, s0Motion, s0Connect, s0Balance
+	prevFlowW, prevMotionW, prevConnectW, prevBalanceW := s0FlowW, s0MotionW, s0ConnectW, s0BalanceW
 
 	// ---- Timestep loop. ----
 	for step := 0; step < st.cfg.Steps; step++ {
@@ -89,6 +94,8 @@ func (st *runState) rankMain(r *par.Rank) {
 		if r.ID == 0 {
 			ft, mt, ct, bt := r.PhaseTime(par.PhaseFlow), r.PhaseTime(par.PhaseMotion),
 				r.PhaseTime(par.PhaseConnect), r.PhaseTime(par.PhaseBalance)
+			fw, mw, cw, bw := r.WaitTime(par.PhaseFlow), r.WaitTime(par.PhaseMotion),
+				r.WaitTime(par.PhaseConnect), r.WaitTime(par.PhaseBalance)
 			igbps := 0
 			maxI, sumI := 0, 0
 			for _, s := range st.solvers {
@@ -103,14 +110,19 @@ func (st *runState) rankMain(r *par.Rank) {
 				maxF = float64(maxI) * float64(len(st.solvers)) / float64(sumI)
 			}
 			st.stats = append(st.stats, StepStats{
-				Flow:    ft - prevFlow,
-				Motion:  mt - prevMotion,
-				Connect: ct - prevConnect,
-				Balance: bt - prevBalance,
-				IGBPs:   igbps,
-				MaxF:    maxF,
+				Flow:        ft - prevFlow,
+				Motion:      mt - prevMotion,
+				Connect:     ct - prevConnect,
+				Balance:     bt - prevBalance,
+				FlowWait:    fw - prevFlowW,
+				MotionWait:  mw - prevMotionW,
+				ConnectWait: cw - prevConnectW,
+				BalanceWait: bw - prevBalanceW,
+				IGBPs:       igbps,
+				MaxF:        maxF,
 			})
 			prevFlow, prevMotion, prevConnect, prevBalance = ft, mt, ct, bt
+			prevFlowW, prevMotionW, prevConnectW, prevBalanceW = fw, mw, cw, bw
 			if step == st.cfg.Steps-1 {
 				// End-of-run capture from the same snapshot, so phase
 				// sums, step totals and TotalTime agree exactly; the
@@ -120,6 +132,17 @@ func (st *runState) rankMain(r *par.Rank) {
 				st.result.MotionTime = mt - s0Motion
 				st.result.ConnectTime = ct - s0Connect
 				st.result.BalanceTime = bt - s0Balance
+				st.result.FlowWaitTime = fw - s0FlowW
+				st.result.MotionWaitTime = mw - s0MotionW
+				st.result.ConnectWaitTime = cw - s0ConnectW
+				st.result.BalanceWaitTime = bw - s0BalanceW
+				// Mark the measured interval so trace analyses (summary,
+				// critical path) reconcile with TotalTime, which excludes
+				// preprocessing; all clocks are equal here because the
+				// module barriers just synchronized them.
+				if st.cfg.Trace != nil {
+					st.cfg.Trace.SetWindow(startClock, r.Clock)
+				}
 			}
 		}
 		r.Barrier()

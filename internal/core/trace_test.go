@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"overd/internal/trace"
+)
+
+// TestTracedRunIsBitIdentical: attaching a recorder must not perturb the
+// virtual clocks — tracing observes the run, it does not participate in it.
+func TestTracedRunIsBitIdentical(t *testing.T) {
+	plain, err := Run(smallAirfoil(3, math.Inf(1), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallAirfoil(3, math.Inf(1), 3)
+	cfg.Trace = trace.NewRecorder()
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalTime != traced.TotalTime ||
+		plain.FlowTime != traced.FlowTime ||
+		plain.ConnectTime != traced.ConnectTime ||
+		plain.Flops != traced.Flops {
+		t.Errorf("traced run diverged: total %.17g vs %.17g, flow %.17g vs %.17g",
+			plain.TotalTime, traced.TotalTime, plain.FlowTime, traced.FlowTime)
+	}
+}
+
+// TestTraceSummaryReconcilesWithResult: each rank's busy+wait over the
+// measured window must equal Result.TotalTime (the barriers separating
+// modules keep all rank clocks equal at the window bounds), and the wait
+// columns in Result must match rank 0's trace decomposition.
+func TestTraceSummaryReconcilesWithResult(t *testing.T) {
+	cfg := smallAirfoil(3, math.Inf(1), 3)
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	if len(s.Ranks) != cfg.Nodes {
+		t.Fatalf("summary has %d ranks, want %d", len(s.Ranks), cfg.Nodes)
+	}
+	tol := 1e-9 * res.TotalTime
+	if win := s.WindowEnd - s.WindowStart; math.Abs(win-res.TotalTime) > tol {
+		t.Errorf("trace window %.12g != TotalTime %.12g", win, res.TotalTime)
+	}
+	for _, rs := range s.Ranks {
+		if got := rs.Total(); math.Abs(got-res.TotalTime) > tol {
+			t.Errorf("rank %d busy+wait %.12g != TotalTime %.12g (busy %.4g recv %.4g barrier %.4g)",
+				rs.Rank, got, res.TotalTime, rs.Busy, rs.RecvWait, rs.BarrierWait)
+		}
+	}
+	// Rank 0's trace decomposition matches the always-on Result wait columns.
+	r0 := s.Ranks[0]
+	wait0 := r0.RecvWait + r0.BarrierWait
+	if math.Abs(wait0-res.TotalWaitTime()) > tol {
+		t.Errorf("rank 0 trace wait %.12g != Result wait %.12g", wait0, res.TotalWaitTime())
+	}
+	// Per-step wait columns sum to the run totals.
+	var fw, mw, cw, bw float64
+	for _, st := range res.Steps {
+		fw += st.FlowWait
+		mw += st.MotionWait
+		cw += st.ConnectWait
+		bw += st.BalanceWait
+	}
+	for _, chk := range []struct {
+		name       string
+		sum, total float64
+	}{
+		{"flow", fw, res.FlowWaitTime}, {"motion", mw, res.MotionWaitTime},
+		{"connect", cw, res.ConnectWaitTime}, {"balance", bw, res.BalanceWaitTime},
+	} {
+		if math.Abs(chk.sum-chk.total) > tol {
+			t.Errorf("%s step waits sum %.12g != total %.12g", chk.name, chk.sum, chk.total)
+		}
+	}
+	// Wait is a subset of the phase totals.
+	if res.FlowWaitTime > res.FlowTime || res.ConnectWaitTime > res.ConnectTime {
+		t.Errorf("wait exceeds phase time: flow %.4g/%.4g connect %.4g/%.4g",
+			res.FlowWaitTime, res.FlowTime, res.ConnectWaitTime, res.ConnectTime)
+	}
+}
+
+// TestTraceCriticalPathExplainsMakespan: the extracted path must span the
+// measured window and name a dominant rank/phase.
+func TestTraceCriticalPathExplainsMakespan(t *testing.T) {
+	cfg := smallAirfoil(3, math.Inf(1), 3)
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := rec.CriticalPath()
+	if math.Abs(cp.Makespan-res.TotalTime) > 1e-9*res.TotalTime {
+		t.Errorf("path makespan %.12g != TotalTime %.12g", cp.Makespan, res.TotalTime)
+	}
+	// The chain should explain essentially the whole window: every gap is
+	// a dependency the walk failed to follow.
+	if cp.Covered < 0.95*cp.Makespan {
+		t.Errorf("path covers %.4g of %.4g makespan (%.1f%%)",
+			cp.Covered, cp.Makespan, 100*cp.Covered/cp.Makespan)
+	}
+	rank, phase, sec := cp.Dominant()
+	if rank < 0 || rank >= cfg.Nodes || sec <= 0 {
+		t.Errorf("dominant = rank %d phase %d %.4gs", rank, phase, sec)
+	}
+	// In a barrier-separated run the flow module dominates the airfoil
+	// case's makespan, as in the paper's Table 1 breakdown.
+	byPhase := cp.TimeByPhase()
+	if byPhase[0] <= byPhase[2] { // PhaseFlow vs PhaseConnect
+		t.Errorf("expected flow-dominated path, got %v", byPhase)
+	}
+}
+
+// TestTraceChromeExportFromRun exercises the full pipeline: a real run's
+// recorder exports valid catapult JSON with one track per rank and at least
+// four event categories (the Perfetto-loadability criteria).
+func TestTraceChromeExportFromRun(t *testing.T) {
+	cfg := smallAirfoil(3, math.Inf(1), 2)
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	tracks := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		if c, ok := e["cat"].(string); ok && e["ph"] != "M" {
+			cats[c] = true
+		}
+		if e["ph"] == "X" {
+			tracks[e["tid"].(float64)] = true
+		}
+	}
+	if len(tracks) != cfg.Nodes {
+		t.Errorf("%d rank tracks, want %d", len(tracks), cfg.Nodes)
+	}
+	if len(cats) < 4 {
+		t.Errorf("%d event categories %v, want >= 4", len(cats), cats)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"overd/internal/machine"
+	"overd/internal/trace"
 )
 
 // Phase labels the solution module that virtual time is attributed to,
@@ -79,6 +80,8 @@ type Msg struct {
 	// Arrive is the virtual time at which the message is available at the
 	// receiver (sender clock at send + modeled transfer time).
 	Arrive float64
+	// flow uniquely identifies the message for send→recv tracing edges.
+	flow uint64
 }
 
 // World owns a set of ranks and the shared synchronization state.
@@ -95,6 +98,46 @@ type World struct {
 	// collective scratch, guarded by the barrier's phases
 	collectMu sync.Mutex
 	collect   []any
+
+	// rec, when non-nil, receives one trace event per clock advance on
+	// every rank (see package trace). Nil tracing costs one pointer test
+	// per operation and no allocations.
+	rec *trace.Recorder
+}
+
+// SetTrace attaches an event recorder before Run: the recorder is reset for
+// this world's rank count and every rank emits its virtual-time events into
+// its own lock-free buffer. Pass nil to detach.
+func (w *World) SetTrace(rec *trace.Recorder) {
+	w.rec = rec
+	if rec != nil {
+		rec.Reset(w.n)
+		rec.SetPhaseLabel(func(p int) string { return Phase(p).String() })
+		rec.SetTagLabel(tagLabel)
+	}
+}
+
+// tagLabel names the repository's well-known message tags for trace export.
+func tagLabel(t int) string {
+	switch Tag(t) {
+	case TagHalo:
+		return "halo"
+	case TagPipeline:
+		return "pipeline"
+	case TagBBox:
+		return "bbox"
+	case TagSearchReq:
+		return "search-req"
+	case TagSearchRep:
+		return "search-rep"
+	case TagForward:
+		return "forward"
+	case TagCollective:
+		return "collective"
+	case TagRepart:
+		return "repart"
+	}
+	return fmt.Sprintf("tag%d", t)
 }
 
 // poisonAll unblocks every rank after a peer panic: barrier waiters via the
@@ -145,6 +188,11 @@ func (w *World) Run(body func(r *Rank)) []*Rank {
 			phase: PhaseOther,
 		}
 	}
+	if w.rec != nil {
+		for i := range ranks {
+			ranks[i].tr = w.rec.Buf(i)
+		}
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, w.n)
 	for i := range ranks {
@@ -181,6 +229,11 @@ func (w *World) Run(body func(r *Rank)) []*Rank {
 	if root != nil {
 		panic(fmt.Sprintf("par: rank %d panicked: %v", rootID, root))
 	}
+	if w.rec != nil {
+		for i, r := range ranks {
+			w.rec.SetFinalClock(i, r.Clock)
+		}
+	}
 	return ranks
 }
 
@@ -197,11 +250,32 @@ type Rank struct {
 	phaseTime  [numPhases]float64
 	phaseFlops [numPhases]float64
 
+	// waitRecv and waitBar decompose each phase's time into blocked
+	// categories the aggregate phaseTime cannot express: virtual seconds
+	// spent waiting for in-flight messages and for slower ranks at
+	// barriers/collectives. Always maintained, tracer or not.
+	waitRecv [numPhases]float64
+	waitBar  [numPhases]float64
+
 	// workingSet is the current working-set size in bytes used by the
 	// cache model; set by the solver per kernel.
 	workingSet float64
 
 	pending []Msg // received from inbox but not yet matched
+
+	// tr is this rank's private trace buffer (nil when tracing is off).
+	tr *trace.RankBuf
+	// sendSeq numbers this rank's sends for trace flow edges.
+	sendSeq uint64
+}
+
+// emit records one trace event; callers must check r.tr != nil first so the
+// untraced hot path pays only that branch.
+func (r *Rank) emit(k trace.Kind, start, dur float64, tag Tag, peer int, bytes int, flow uint64) {
+	r.tr.Emit(trace.Event{
+		Kind: k, Rank: int32(r.ID), Phase: int32(r.phase), Tag: int32(tag),
+		Peer: int32(peer), Bytes: int64(bytes), Flow: flow, Start: start, Dur: dur,
+	})
 }
 
 // Size returns the number of ranks in the world.
@@ -211,7 +285,12 @@ func (r *Rank) Size() int { return r.w.n }
 func (r *Rank) Model() machine.Model { return r.w.model }
 
 // SetPhase attributes subsequent virtual time to the given phase.
-func (r *Rank) SetPhase(p Phase) { r.phase = p }
+func (r *Rank) SetPhase(p Phase) {
+	r.phase = p
+	if r.tr != nil {
+		r.emit(trace.KindPhase, r.Clock, 0, 0, trace.NoPeer, 0, 0)
+	}
+}
 
 // CurrentPhase returns the phase virtual time is being attributed to.
 func (r *Rank) CurrentPhase() Phase { return r.phase }
@@ -229,10 +308,18 @@ func (r *Rank) advance(dt float64) {
 	r.phaseTime[r.phase] += dt
 }
 
-// advanceTo moves the clock to at least t (idle/wait time).
-func (r *Rank) advanceTo(t float64) {
-	if t > r.Clock {
-		r.advance(t - r.Clock)
+// recvAdvance moves the clock to a message's arrival time, attributing any
+// jump to receive wait (the time this rank was blocked on the wire).
+func (r *Rank) recvAdvance(m Msg) {
+	if wait := m.Arrive - r.Clock; wait > 0 {
+		if r.tr != nil {
+			r.emit(trace.KindWait, r.Clock, wait, m.Tag, m.From, m.Bytes, m.flow)
+		}
+		r.waitRecv[r.phase] += wait
+		r.advance(wait)
+	}
+	if r.tr != nil {
+		r.emit(trace.KindRecv, r.Clock, 0, m.Tag, m.From, m.Bytes, m.flow)
 	}
 }
 
@@ -242,15 +329,45 @@ func (r *Rank) Compute(flops float64) {
 		return
 	}
 	r.phaseFlops[r.phase] += flops
-	r.advance(r.w.model.ComputeTime(flops, r.workingSet))
+	dt := r.w.model.ComputeTime(flops, r.workingSet)
+	if r.tr != nil && dt > 0 {
+		r.emit(trace.KindCompute, r.Clock, dt, 0, trace.NoPeer, 0, 0)
+	}
+	r.advance(dt)
 }
 
 // Elapse charges the rank a fixed amount of virtual time without flops
 // (memory traffic, search bookkeeping measured in seconds directly).
-func (r *Rank) Elapse(seconds float64) { r.advance(seconds) }
+func (r *Rank) Elapse(seconds float64) {
+	if r.tr != nil && seconds > 0 {
+		r.emit(trace.KindElapse, r.Clock, seconds, 0, trace.NoPeer, 0, 0)
+	}
+	r.advance(seconds)
+}
 
 // PhaseTime returns the virtual seconds accumulated in phase p so far.
 func (r *Rank) PhaseTime(p Phase) float64 { return r.phaseTime[p] }
+
+// WaitTime returns the cumulative virtual seconds this rank has spent
+// blocked while phase p was active — waiting for in-flight messages plus
+// waiting at barriers/collectives for slower ranks. It is a subset of
+// PhaseTime(p): the remainder is busy (compute, memory, send-overhead) time.
+func (r *Rank) WaitTime(p Phase) float64 { return r.waitRecv[p] + r.waitBar[p] }
+
+// RecvWaitTime returns the blocked-on-message component of WaitTime(p).
+func (r *Rank) RecvWaitTime(p Phase) float64 { return r.waitRecv[p] }
+
+// BarrierWaitTime returns the blocked-at-barrier component of WaitTime(p).
+func (r *Rank) BarrierWaitTime(p Phase) float64 { return r.waitBar[p] }
+
+// TotalWaitTime returns the rank's cumulative blocked time over all phases.
+func (r *Rank) TotalWaitTime() float64 {
+	var s float64
+	for p := Phase(0); p < numPhases; p++ {
+		s += r.waitRecv[p] + r.waitBar[p]
+	}
+	return s
+}
 
 // PhaseFlops returns the floating-point operations accumulated in phase p.
 func (r *Rank) PhaseFlops(p Phase) float64 { return r.phaseFlops[p] }
@@ -272,6 +389,7 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 	if to < 0 || to >= r.w.n {
 		panic(fmt.Sprintf("par: send to invalid rank %d", to))
 	}
+	r.sendSeq++
 	m := Msg{
 		From:   r.ID,
 		To:     to,
@@ -279,15 +397,27 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		Data:   data,
 		Bytes:  bytes,
 		Arrive: r.Clock + r.w.model.CommTime(bytes),
+		flow:   uint64(r.ID+1)<<40 | r.sendSeq,
 	}
 	if to == r.ID {
-		// Self-sends skip the wire but still cost the software overhead.
+		// Self-sends are free by design: a rank handing data to itself is
+		// a local buffer hand-off with no wire and no messaging-stack
+		// traversal — its (tiny) memory cost is already inside the compute
+		// model — so no latency share is charged and the message is
+		// available immediately (asserted by TestSelfSendIsFree).
 		m.Arrive = r.Clock
+		if r.tr != nil {
+			r.emit(trace.KindSend, r.Clock, 0, tag, to, bytes, m.flow)
+		}
 		r.pending = append(r.pending, m)
 		return
 	}
 	// Sender-side software overhead: a fraction of latency.
-	r.advance(r.w.model.LatencySec * 0.25)
+	ov := r.w.model.LatencySec * 0.25
+	if r.tr != nil {
+		r.emit(trace.KindSend, r.Clock, ov, tag, to, bytes, m.flow)
+	}
+	r.advance(ov)
 	r.w.inbox[to] <- m
 }
 
@@ -297,7 +427,7 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 func (r *Rank) Recv(from int, tag Tag) Msg {
 	for {
 		if m, ok := r.takePending(from, tag); ok {
-			r.advanceTo(m.Arrive)
+			r.recvAdvance(m)
 			return m
 		}
 		m, ok := <-r.w.inbox[r.ID]
@@ -327,7 +457,7 @@ func (r *Rank) TryRecv(from int, tag Tag) (Msg, bool) {
 		break
 	}
 	if m, ok := r.takePending(from, tag); ok {
-		r.advanceTo(m.Arrive)
+		r.recvAdvance(m)
 		return m, true
 	}
 	return Msg{}, false
@@ -343,13 +473,30 @@ func (r *Rank) takePending(from int, tag Tag) (Msg, bool) {
 	return Msg{}, false
 }
 
+// barrierSync rendezvouses with all ranks and advances the clock to the
+// global max, attributing the jump to barrier wait and tracing the rank
+// whose clock set the release time.
+func (r *Rank) barrierSync() {
+	maxClock, maxRank := r.w.bar.sync(r.Clock, r.ID)
+	if wait := maxClock - r.Clock; wait > 0 {
+		if r.tr != nil {
+			r.emit(trace.KindBarrier, r.Clock, wait, TagCollective, maxRank, 0, 0)
+		}
+		r.waitBar[r.phase] += wait
+		r.advance(wait)
+	}
+}
+
 // Barrier synchronizes all ranks; every clock advances to the global max
 // plus a small synchronization cost (a log2(n) latency tree).
 func (r *Rank) Barrier() {
-	maxClock := r.w.bar.sync(r.Clock)
-	r.advanceTo(maxClock)
+	r.barrierSync()
 	if r.w.n > 1 {
-		r.advance(r.w.model.LatencySec * log2ceil(r.w.n))
+		dt := r.w.model.LatencySec * log2ceil(r.w.n)
+		if r.tr != nil {
+			r.emit(trace.KindSync, r.Clock, dt, TagCollective, trace.NoPeer, 0, 0)
+		}
+		r.advance(dt)
 	}
 }
 
@@ -361,19 +508,21 @@ func (r *Rank) AllGather(x any, bytesPerItem int) []any {
 	w.collectMu.Lock()
 	w.collect[r.ID] = x
 	w.collectMu.Unlock()
-	maxClock := w.bar.sync(r.Clock)
-	r.advanceTo(maxClock)
+	r.barrierSync()
 	out := make([]any, w.n)
 	w.collectMu.Lock()
 	copy(out, w.collect)
 	w.collectMu.Unlock()
 	// Second rendezvous so no rank overwrites w.collect for a subsequent
 	// collective before everyone has copied.
-	maxClock = w.bar.sync(r.Clock)
-	r.advanceTo(maxClock)
+	r.barrierSync()
 	if w.n > 1 {
 		depth := log2ceil(w.n)
-		r.advance(depth * (w.model.LatencySec + float64(bytesPerItem*w.n)/w.model.BandwidthBps))
+		dt := depth * (w.model.LatencySec + float64(bytesPerItem*w.n)/w.model.BandwidthBps)
+		if r.tr != nil {
+			r.emit(trace.KindGather, r.Clock, dt, TagCollective, trace.NoPeer, bytesPerItem*w.n, 0)
+		}
+		r.advance(dt)
 	}
 	return out
 }
@@ -408,16 +557,19 @@ func log2ceil(n int) float64 {
 	return d
 }
 
-// barrier is a reusable n-party rendezvous that also computes the max clock.
+// barrier is a reusable n-party rendezvous that also computes the max clock
+// and which rank held it (the rank that releases the others).
 type barrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	n        int
-	waiting  int
-	gen      int
-	maxClock float64
-	result   float64
-	poisoned bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	n          int
+	waiting    int
+	gen        int
+	maxClock   float64
+	maxRank    int
+	result     float64
+	resultRank int
+	poisoned   bool
 }
 
 func (b *barrier) init(n int) {
@@ -426,24 +578,26 @@ func (b *barrier) init(n int) {
 }
 
 // sync blocks until all n ranks have called it, then returns the maximum
-// clock passed by any rank in this generation.
-func (b *barrier) sync(clock float64) float64 {
+// clock passed by any rank in this generation and the rank that passed it
+// (ties go to the earliest caller).
+func (b *barrier) sync(clock float64, rank int) (float64, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
 		panic("par: barrier poisoned by peer rank panic")
 	}
-	if clock > b.maxClock {
+	if b.waiting == 0 || clock > b.maxClock {
 		b.maxClock = clock
+		b.maxRank = rank
 	}
 	b.waiting++
 	if b.waiting == b.n {
-		b.result = b.maxClock
+		b.result, b.resultRank = b.maxClock, b.maxRank
 		b.maxClock = 0
 		b.waiting = 0
 		b.gen++
 		b.cond.Broadcast()
-		return b.result
+		return b.result, b.resultRank
 	}
 	gen := b.gen
 	for gen == b.gen && !b.poisoned {
@@ -452,7 +606,7 @@ func (b *barrier) sync(clock float64) float64 {
 	if b.poisoned {
 		panic("par: barrier poisoned by peer rank panic")
 	}
-	return b.result
+	return b.result, b.resultRank
 }
 
 func (b *barrier) poison() {

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"overd/internal/trace"
+)
+
+// BusyWaitGantt renders a per-rank horizontal bar chart of a traced run's
+// wait/idle decomposition: each rank's window time split into busy work
+// ('#'), receive wait ('~') and barrier wait ('='). Bars share one scale
+// (the largest per-rank total), so imbalance shows up as ragged bar ends
+// and communication overhead as the non-'#' tail — the text analog of a
+// timeline gantt for the paper's Fig. 5-style breakdowns.
+func BusyWaitGantt(w io.Writer, s *trace.Summary, width int) {
+	if width <= 0 {
+		width = 48
+	}
+	maxT := s.MaxTotal()
+	fmt.Fprintf(w, "per-rank busy/wait over %.4fs window (# busy, ~ recv wait, = barrier wait)\n",
+		s.WindowEnd-s.WindowStart)
+	if maxT <= 0 {
+		fmt.Fprintln(w, "  (no events in window)")
+		return
+	}
+	for _, r := range s.Ranks {
+		nb := int(r.Busy / maxT * float64(width))
+		nr := int(r.RecvWait / maxT * float64(width))
+		nw := int(r.BarrierWait / maxT * float64(width))
+		bar := strings.Repeat("#", nb) + strings.Repeat("~", nr) + strings.Repeat("=", nw)
+		fmt.Fprintf(w, "rank %3d |%-*s| busy %6.3fs  recv %6.3fs  barrier %6.3fs\n",
+			r.Rank, width, bar, r.Busy, r.RecvWait, r.BarrierWait)
+	}
+}
+
+// PhaseWaitTable renders the per-phase busy/wait decomposition summed over
+// ranks: for each phase, total busy, receive-wait and barrier-wait seconds
+// and the wait share — which module's time is computation and which is
+// communication overhead.
+func PhaseWaitTable(w io.Writer, s *trace.Summary, label func(int) string) {
+	nPhase := 0
+	for _, r := range s.Ranks {
+		if len(r.ByPhase) > nPhase {
+			nPhase = len(r.ByPhase)
+		}
+	}
+	type row struct {
+		phase int
+		pb    trace.PhaseBreakdown
+	}
+	var rows []row
+	for p := 0; p < nPhase; p++ {
+		var pb trace.PhaseBreakdown
+		for _, r := range s.Ranks {
+			if p < len(r.ByPhase) {
+				pb.Busy += r.ByPhase[p].Busy
+				pb.RecvWait += r.ByPhase[p].RecvWait
+				pb.BarrierWait += r.ByPhase[p].BarrierWait
+			}
+		}
+		if pb.Total() > 0 {
+			rows = append(rows, row{p, pb})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].pb.Total() > rows[b].pb.Total() })
+	fmt.Fprintln(w, "phase         busy        recv-wait   barrier-wait  wait share (rank-seconds)")
+	for _, r := range rows {
+		wait := r.pb.RecvWait + r.pb.BarrierWait
+		fmt.Fprintf(w, "%-12s  %9.3fs  %9.3fs  %9.3fs     %5.1f%%\n",
+			label(r.phase), r.pb.Busy, r.pb.RecvWait, r.pb.BarrierWait,
+			100*wait/r.pb.Total())
+	}
+}

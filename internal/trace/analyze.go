@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PhaseBreakdown splits one rank's time in one phase into busy work and the
+// two blocked categories the raw phaseTime counters cannot distinguish.
+type PhaseBreakdown struct {
+	Busy        float64 // compute, elapse, send overhead, collective work
+	RecvWait    float64 // blocked on messages still in flight
+	BarrierWait float64 // blocked in barriers/collectives for slower ranks
+}
+
+// Total returns all virtual time attributed to the phase.
+func (p PhaseBreakdown) Total() float64 { return p.Busy + p.RecvWait + p.BarrierWait }
+
+// RankSummary is one rank's wait/idle decomposition over the window.
+type RankSummary struct {
+	Rank int
+	PhaseBreakdown
+	// ByPhase is indexed by phase int (dense, length MaxPhase+1).
+	ByPhase []PhaseBreakdown
+}
+
+// Summary is the per-rank wait/idle decomposition of a recorded run.
+type Summary struct {
+	// WindowStart and WindowEnd bound the analyzed interval.
+	WindowStart, WindowEnd float64
+	Ranks                  []RankSummary
+}
+
+// Summarize decomposes every rank's window time into busy versus blocked
+// time, per phase. Events straddling the window boundary contribute only
+// their overlap, so each rank's Total() reconciles with WindowEnd−WindowStart
+// (the barriers in core's step loop keep all clocks equal at both bounds).
+func (rec *Recorder) Summarize() *Summary {
+	start, end := rec.Window()
+	nPhase := rec.MaxPhase() + 1
+	s := &Summary{WindowStart: start, WindowEnd: end}
+	for r := range rec.bufs {
+		rs := RankSummary{Rank: r, ByPhase: make([]PhaseBreakdown, nPhase)}
+		for _, e := range rec.bufs[r].ev {
+			if e.Dur <= 0 {
+				continue
+			}
+			lo, hi := e.Start, e.End()
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			d := hi - lo
+			if d <= 0 {
+				continue
+			}
+			pb := &rs.ByPhase[e.Phase]
+			switch {
+			case e.Kind == KindWait:
+				rs.RecvWait += d
+				pb.RecvWait += d
+			case e.Kind == KindBarrier:
+				rs.BarrierWait += d
+				pb.BarrierWait += d
+			case e.Kind.Busy():
+				rs.Busy += d
+				pb.Busy += d
+			}
+		}
+		s.Ranks = append(s.Ranks, rs)
+	}
+	return s
+}
+
+// MaxTotal returns the largest per-rank Total in the summary.
+func (s *Summary) MaxTotal() float64 {
+	m := 0.0
+	for _, r := range s.Ranks {
+		if t := r.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Segment is one contributor to the critical path: a busy interval on a
+// rank, or a message transfer chained through (Kind == KindSend with the
+// duration being the modeled wire time).
+type Segment struct {
+	Rank  int
+	Phase int
+	Kind  Kind
+	Start float64
+	Dur   float64
+}
+
+// CriticalPath is the dependency chain that set the run's makespan: the
+// sequence of work and message transfers such that shortening any element
+// would (to first order) shorten the whole run.
+type CriticalPath struct {
+	// Makespan is the window length the path explains.
+	Makespan float64
+	// Covered is the portion of the makespan accounted for by Segments;
+	// the remainder is time before the earliest recorded dependency.
+	Covered float64
+	// Segments lists the chain in forward virtual-time order.
+	Segments []Segment
+	// Hops counts rank switches along the path (message or barrier edges).
+	Hops int
+}
+
+// flowKey locates a send event for cross-rank chaining.
+type flowSite struct {
+	rank  int
+	start float64 // sender clock at the send call
+	phase int
+	bytes int64
+}
+
+// CriticalPath walks the event dependency graph backward from the rank that
+// finished the window latest. Busy intervals extend the path on the same
+// rank; a receive wait chains to the sender at its send time (the in-flight
+// interval is charged as a message-transfer segment); a barrier wait chains
+// to the rank whose clock set the release time. The walk stops at the window
+// start.
+func (rec *Recorder) CriticalPath() *CriticalPath {
+	start, end := rec.Window()
+	cp := &CriticalPath{Makespan: end - start}
+	n := len(rec.bufs)
+	if n == 0 || cp.Makespan <= 0 {
+		return cp
+	}
+
+	// Index send events by flow id for receive-wait chaining.
+	flows := make(map[uint64]flowSite)
+	for r := range rec.bufs {
+		for _, e := range rec.bufs[r].ev {
+			if e.Kind == KindSend && e.Flow != 0 {
+				flows[e.Flow] = flowSite{rank: r, start: e.Start, phase: int(e.Phase), bytes: e.Bytes}
+			}
+		}
+	}
+
+	const eps = 1e-12
+	cur := 0
+	for r := 1; r < n; r++ {
+		if rec.finalClock[r] > rec.finalClock[cur] {
+			cur = r
+		}
+	}
+	t := end
+
+	// Walk backward; every iteration either consumes an event or hops to a
+	// peer rank, so the total step count is bounded by events + hops.
+	maxSteps := 0
+	for r := range rec.bufs {
+		maxSteps += len(rec.bufs[r].ev) + 1
+	}
+	var segs []Segment
+	for step := 0; step < maxSteps && t > start+eps; step++ {
+		ev := rec.bufs[cur].ev
+		// Last event beginning strictly before t.
+		i := sort.Search(len(ev), func(k int) bool { return ev[k].Start >= t-eps }) - 1
+		if i < 0 {
+			break // nothing earlier on this rank: unexplained head
+		}
+		e := ev[i]
+		switch {
+		case e.Dur <= eps:
+			// Marker (phase change, recv completion, zero-length wait):
+			// step over it without advancing time past its start.
+			t = min(t, e.Start)
+		case e.Kind == KindWait:
+			// Blocked on an in-flight message: the path runs through the
+			// sender. Charge the wire interval [send, arrival] as a
+			// transfer segment, then continue on the sender at send time.
+			if fs, ok := flows[e.Flow]; ok && fs.rank != cur {
+				arr := e.End()
+				segs = append(segs, Segment{Rank: fs.rank, Phase: fs.phase,
+					Kind: KindSend, Start: fs.start, Dur: arr - fs.start})
+				cur, t = fs.rank, fs.start
+				cp.Hops++
+			} else {
+				// Self-send or unmatched flow: treat as local time.
+				segs = append(segs, Segment{Rank: cur, Phase: int(e.Phase),
+					Kind: e.Kind, Start: e.Start, Dur: e.Dur})
+				t = e.Start
+			}
+		case e.Kind == KindBarrier:
+			// Blocked in a rendezvous until the slowest rank (Peer)
+			// arrived at the release time e.End(); continue on that rank
+			// at the moment it reached the rendezvous. Never move forward
+			// in time: an earlier hop may have landed inside this wait.
+			if p := int(e.Peer); p >= 0 && p != cur {
+				cur = p
+				cp.Hops++
+				t = min(t, e.End())
+			} else {
+				t = e.Start
+			}
+		default:
+			// Busy work on the path.
+			d := e.Dur
+			if e.End() > t+eps {
+				d = t - e.Start // partially consumed by an earlier hop
+			}
+			if d > 0 {
+				segs = append(segs, Segment{Rank: cur, Phase: int(e.Phase),
+					Kind: e.Kind, Start: e.Start, Dur: d})
+			}
+			t = e.Start
+		}
+	}
+
+	// Reverse into forward order and total the coverage.
+	for l, r := 0, len(segs)-1; l < r; l, r = l+1, r-1 {
+		segs[l], segs[r] = segs[r], segs[l]
+	}
+	cp.Segments = segs
+	for _, s := range segs {
+		cp.Covered += s.Dur
+	}
+	return cp
+}
+
+// TimeByRank aggregates path time per rank.
+func (cp *CriticalPath) TimeByRank() map[int]float64 {
+	m := map[int]float64{}
+	for _, s := range cp.Segments {
+		m[s.Rank] += s.Dur
+	}
+	return m
+}
+
+// TimeByPhase aggregates path time per phase int.
+func (cp *CriticalPath) TimeByPhase() map[int]float64 {
+	m := map[int]float64{}
+	for _, s := range cp.Segments {
+		m[s.Phase] += s.Dur
+	}
+	return m
+}
+
+// TimeByRankPhase aggregates path time per (rank, phase).
+func (cp *CriticalPath) TimeByRankPhase() map[[2]int]float64 {
+	m := map[[2]int]float64{}
+	for _, s := range cp.Segments {
+		m[[2]int{s.Rank, s.Phase}] += s.Dur
+	}
+	return m
+}
+
+// CommTime returns the path time spent in message transfers (the wire
+// intervals chained through receive waits).
+func (cp *CriticalPath) CommTime() float64 {
+	t := 0.0
+	for _, s := range cp.Segments {
+		if s.Kind == KindSend {
+			t += s.Dur
+		}
+	}
+	return t
+}
+
+// Dominant returns the (rank, phase) pair holding the most critical-path
+// time, with that time in seconds. Returns rank -1 on an empty path.
+func (cp *CriticalPath) Dominant() (rank, phase int, seconds float64) {
+	rank = -1
+	for rp, d := range cp.TimeByRankPhase() {
+		if d > seconds || (d == seconds && rank >= 0 && (rp[0] < rank || (rp[0] == rank && rp[1] < phase))) {
+			rank, phase, seconds = rp[0], rp[1], d
+		}
+	}
+	return rank, phase, seconds
+}
+
+// Fprint writes a human-readable critical-path report: coverage, dominant
+// contributor, and the per-phase and per-rank path time.
+func (cp *CriticalPath) Fprint(w io.Writer, rec *Recorder) {
+	fmt.Fprintf(w, "critical path: makespan %.4fs, %.4fs on-path (%.0f%%), %d rank hops, comm %.4fs\n",
+		cp.Makespan, cp.Covered, pct(cp.Covered, cp.Makespan), cp.Hops, cp.CommTime())
+	rank, phase, sec := cp.Dominant()
+	if rank < 0 {
+		fmt.Fprintln(w, "  (empty path)")
+		return
+	}
+	fmt.Fprintf(w, "  dominant: rank %d in %s (%.4fs, %.0f%% of path)\n",
+		rank, rec.PhaseLabel(phase), sec, pct(sec, cp.Covered))
+	byPhase := cp.TimeByPhase()
+	phases := make([]int, 0, len(byPhase))
+	for p := range byPhase {
+		phases = append(phases, p)
+	}
+	sort.Ints(phases)
+	fmt.Fprintf(w, "  by phase:")
+	for _, p := range phases {
+		fmt.Fprintf(w, "  %s %.4fs (%.0f%%)", rec.PhaseLabel(p), byPhase[p], pct(byPhase[p], cp.Covered))
+	}
+	fmt.Fprintln(w)
+	byRank := cp.TimeByRank()
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(a, b int) bool { return byRank[ranks[a]] > byRank[ranks[b]] })
+	if len(ranks) > 4 {
+		ranks = ranks[:4]
+	}
+	fmt.Fprintf(w, "  top ranks:")
+	for _, r := range ranks {
+		fmt.Fprintf(w, "  #%d %.4fs", r, byRank[r])
+	}
+	fmt.Fprintln(w)
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the catapult trace-event JSON schema
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Virtual seconds map to microseconds so Perfetto's time axis reads
+// naturally; each rank is one thread track of a single process.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const usPerSec = 1e6
+
+// WriteChromeTrace exports the recorded run in the Chrome trace-event JSON
+// format: one thread track per rank, busy slices named by phase, wait and
+// barrier slices in their own categories, and send→recv flow arrows. The
+// output loads in chrome://tracing and Perfetto.
+func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	emit(chromeEvent{Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": "overd virtual machine"}})
+	for r := 0; r < rec.NRanks(); r++ {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: 0, TID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "thread_sort_index", Ph: "M", PID: 0, TID: r,
+			Args: map[string]any{"sort_index": r}}); err != nil {
+			return err
+		}
+	}
+
+	for r := 0; r < rec.NRanks(); r++ {
+		for _, e := range rec.Events(r) {
+			ce := chromeEvent{PID: 0, TID: r, TS: e.Start * usPerSec}
+			switch e.Kind {
+			case KindCompute, KindElapse:
+				// Busy slices are named by phase so every module gets a
+				// stable color in the viewer.
+				ce.Name, ce.Cat, ce.Ph = rec.PhaseLabel(int(e.Phase)), "compute", "X"
+				ce.Dur = e.Dur * usPerSec
+			case KindSend:
+				ce.Name, ce.Cat, ce.Ph = "send "+rec.TagLabel(int(e.Tag)), "comm", "X"
+				ce.Dur = e.Dur * usPerSec
+				ce.Args = map[string]any{"to": e.Peer, "bytes": e.Bytes}
+				if err := emit(ce); err != nil {
+					return err
+				}
+				if e.Flow == 0 {
+					continue
+				}
+				// Flow start pinned inside the send slice.
+				ce = chromeEvent{Name: "msg", Cat: "comm", Ph: "s", PID: 0, TID: r,
+					TS: e.Start * usPerSec, ID: fmt.Sprintf("%x", e.Flow)}
+			case KindRecv:
+				ce.Name, ce.Cat, ce.Ph = "recv "+rec.TagLabel(int(e.Tag)), "comm", "i"
+				ce.S = "t"
+				ce.Args = map[string]any{"from": e.Peer, "bytes": e.Bytes}
+				if err := emit(ce); err != nil {
+					return err
+				}
+				if e.Flow == 0 {
+					continue
+				}
+				ce = chromeEvent{Name: "msg", Cat: "comm", Ph: "f", BP: "e", PID: 0, TID: r,
+					TS: e.Start * usPerSec, ID: fmt.Sprintf("%x", e.Flow)}
+			case KindWait:
+				ce.Name, ce.Cat, ce.Ph = "recv-wait", "wait", "X"
+				ce.Dur = e.Dur * usPerSec
+				ce.Args = map[string]any{"from": e.Peer, "tag": rec.TagLabel(int(e.Tag))}
+			case KindBarrier:
+				ce.Name, ce.Cat, ce.Ph = "barrier-wait", "barrier", "X"
+				ce.Dur = e.Dur * usPerSec
+				ce.Args = map[string]any{"released_by": e.Peer}
+			case KindSync:
+				ce.Name, ce.Cat, ce.Ph = "barrier-sync", "barrier", "X"
+				ce.Dur = e.Dur * usPerSec
+			case KindGather:
+				ce.Name, ce.Cat, ce.Ph = "allgather", "collective", "X"
+				ce.Dur = e.Dur * usPerSec
+				ce.Args = map[string]any{"bytes": e.Bytes}
+			case KindPhase:
+				ce.Name, ce.Cat, ce.Ph = "phase → "+rec.PhaseLabel(int(e.Phase)), "phase", "i"
+				ce.S = "t"
+			default:
+				continue
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

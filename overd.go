@@ -37,6 +37,7 @@ import (
 	"overd/internal/flow"
 	"overd/internal/geom"
 	"overd/internal/machine"
+	"overd/internal/trace"
 )
 
 // Machine is a performance model of one of the paper's computers.
@@ -105,6 +106,24 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 func EstimateSerialTime(flops float64, m Machine) float64 {
 	return core.EstimateSerialTime(flops, m)
 }
+
+// TraceRecorder collects per-rank virtual-time events when attached through
+// Config.Trace: every compute interval, message, wait and barrier on every
+// rank. After the run it provides the wait/idle decomposition
+// (TraceRecorder.Summarize), the critical path through the message/barrier
+// dependency graph (TraceRecorder.CriticalPath), and Chrome trace-event
+// JSON export for chrome://tracing or Perfetto (WriteChromeTrace). A nil
+// Config.Trace records nothing and leaves virtual times bit-identical.
+type TraceRecorder = trace.Recorder
+
+// TraceSummary is a recorded run's per-rank busy/wait decomposition.
+type TraceSummary = trace.Summary
+
+// TraceCriticalPath is the dependency chain that set a run's makespan.
+type TraceCriticalPath = trace.CriticalPath
+
+// NewTraceRecorder returns an empty recorder ready to set as Config.Trace.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // SampleSpec selects field and surface extraction from a run's final
 // solution (set Config.Sample).

@@ -1,0 +1,53 @@
+package overd
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCriticalPathConnectivityShift reproduces the Table-5 observation on
+// the trace layer: enabling the dynamic scheme (fo = 5) moves connectivity
+// wait off the critical path — the path's connect share and %DCF3D both
+// drop — while the repartition itself shows up as balance time on the path
+// (the paper's conclusion that the scheme costs more overall than it saves).
+func TestCriticalPathConnectivityShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration")
+	}
+	run := func(fo float64) (*Result, *TraceCriticalPath) {
+		rec := NewTraceRecorder()
+		res, err := Run(Config{
+			Case: StoreSeparation(0.2), Nodes: 52, Machine: SP2(),
+			Steps: 6, Fo: fo, CheckInterval: 3, Trace: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := rec.CriticalPath()
+		if math.Abs(cp.Makespan-res.TotalTime) > 1e-9*res.TotalTime {
+			t.Fatalf("fo=%v path makespan %.12g != TotalTime %.12g",
+				fo, cp.Makespan, res.TotalTime)
+		}
+		rank, _, sec := cp.Dominant()
+		if rank < 0 || sec <= 0 {
+			t.Fatalf("fo=%v path has no dominant rank/phase", fo)
+		}
+		return res, cp
+	}
+	resStat, cpStat := run(math.Inf(1))
+	resDyn, cpDyn := run(5)
+	if resDyn.Rebalances == 0 {
+		t.Skip("imbalance below fo=5 threshold at this scale")
+	}
+	// PhaseConnect is core phase 2 on the path; compare its on-path seconds.
+	connStat := cpStat.TimeByPhase()[2]
+	connDyn := cpDyn.TimeByPhase()[2]
+	if connDyn >= connStat {
+		t.Errorf("connect time on critical path did not shrink: static %.4gs dynamic %.4gs",
+			connStat, connDyn)
+	}
+	if resDyn.PctConnect() >= resStat.PctConnect() {
+		t.Errorf("%%DCF3D did not drop: static %.1f%% dynamic %.1f%%",
+			resStat.PctConnect(), resDyn.PctConnect())
+	}
+}
