@@ -6,6 +6,7 @@
 //	overd -case airfoil|deltawing|storesep [-nodes n] [-machine SP2|SP]
 //	      [-steps n] [-scale f] [-fo f] [-dump] [-field out.csv]
 //	      [-trace out.json] [-trace-summary]
+//	      [-faults plan.json] [-checkpoint-every n]
 package main
 
 import (
@@ -34,7 +35,19 @@ func main() {
 	xyzOut := flag.String("xyz", "", "write the grid system as a PLOT3D XYZ file after the run (suffix .g for ASCII, .gb for binary)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
 	traceSummary := flag.Bool("trace-summary", false, "print per-rank busy/wait breakdowns and the critical path")
+	faultsPath := flag.String("faults", "", "JSON fault plan: stragglers, degraded links, message loss, rank crashes (see package fault)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "steps between crash-recovery checkpoints (0 = auto when the plan crashes ranks, negative = off)")
 	flag.Parse()
+
+	if *nodes <= 0 {
+		log.Fatalf("-nodes %d: the simulated machine needs at least one processor", *nodes)
+	}
+	if *steps < 0 {
+		log.Fatalf("-steps %d: the timestep count cannot be negative", *steps)
+	}
+	if *fo < 0 {
+		log.Fatalf("-fo %g: the load-balance factor cannot be negative (use +Inf or 0 to disable)", *fo)
+	}
 
 	var c *overd.Case
 	switch *caseName {
@@ -81,6 +94,17 @@ func main() {
 	cfg := overd.Config{
 		Case: c, Nodes: *nodes, Machine: m, Steps: *steps,
 		Fo: *fo, CheckInterval: *checkEvery,
+		CheckpointEvery: *checkpointEvery,
+	}
+	if *faultsPath != "" {
+		plan, err := overd.LoadFaultPlan(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+		fmt.Printf("fault plan %s: %d stragglers, %d degraded links, %d loss rules, %d crashes (seed %d)\n",
+			*faultsPath, len(plan.Stragglers), len(plan.Links), len(plan.Losses),
+			len(plan.Crashes), plan.Seed)
 	}
 	var rec *overd.TraceRecorder
 	if *traceOut != "" || *traceSummary {
@@ -117,6 +141,19 @@ func main() {
 		res.FlowTime, res.MotionTime, res.ConnectTime, res.BalanceTime)
 	fmt.Printf("avg Mflops/node: %.1f   %%time in DCF3D: %.1f%%\n",
 		res.MflopsPerNode(), res.PctConnect())
+
+	fs := report.FaultStats{
+		Recoveries: res.Recoveries, RecoverySteps: res.RecoverySteps,
+		RecoveryTime: res.RecoveryTime,
+		Checkpoints:  res.Checkpoints, CheckpointTime: res.CheckpointTime,
+		StartNodes: *nodes, FinalNodes: res.FinalNodes,
+		DroppedMsgs: res.DroppedMsgs, SendRetries: res.SendRetries,
+		FaultWaitTime: res.FaultWaitTime,
+	}
+	if cfg.Faults != nil || fs.Any() {
+		fmt.Println()
+		report.FaultSummary(os.Stdout, fs)
+	}
 
 	if rec != nil {
 		if *traceSummary {

@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	tables [-scale f] [-steps n] [-only 1,2,3,4,5,6] [-v] [-json]
+// The extra id "5f" re-runs the Table 5 sweep under a mid-run compute
+// straggler (the robustness experiment; see package fault).
+//
+//	tables [-scale f] [-steps n] [-only 1,2,3,4,5,5f,6] [-v] [-json]
 package main
 
 import (
@@ -50,7 +53,7 @@ func emitPerfJSON(w io.Writer, table string, t *overd.PerfTable) error {
 func main() {
 	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
 	steps := flag.Int("steps", 4, "measured timesteps per run")
-	only := flag.String("only", "1,2,3,4,5,6", "comma-separated tables to run")
+	only := flag.String("only", "1,2,3,4,5,6", "comma-separated tables to run (add 5f for the straggler-faulted Table 5)")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	figures := flag.Bool("figures", false, "render the speedup figures (Figs. 5/7/10) as text plots")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per table row instead of text")
@@ -148,6 +151,20 @@ func main() {
 			}
 		} else {
 			overd.FprintTable5(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+	if want["5f"] {
+		rows, err := overd.RunTable5Faulted(opt)
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			if err := emitJSON(os.Stdout, "5f", rows); err != nil {
+				fail(err)
+			}
+		} else {
+			overd.FprintTable5Faulted(os.Stdout, rows)
 			fmt.Println()
 		}
 	}

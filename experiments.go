@@ -265,6 +265,88 @@ func RunTable5(opt Options) ([]Table5Row, error) {
 	return out, nil
 }
 
+// Table5FaultPlan returns the perturbation of the robustness headline
+// experiment: rank 1 computes at one third of its rated speed from
+// timestep 2 until the end of the run — the virtual-machine analog of a
+// node sharing its CPU with a rogue daemon mid-job.
+func Table5FaultPlan() *FaultPlan {
+	return &FaultPlan{
+		Seed:       1,
+		Stragglers: []FaultStraggler{{Rank: 1, Factor: 3, FromStep: 2}},
+	}
+}
+
+// Table5FaultedRow compares how the static and dynamic (fo = 5) load
+// balancing schemes absorb a mid-run compute straggler: the slowdown each
+// scheme suffers relative to its own clean run, the connectivity share
+// under fault, and how often the dynamic scheme repartitioned while
+// perturbed. The paper's Table 5 verdict — dynamic balancing costs more
+// than it saves — holds for its balanced runs; this sweep probes whether a
+// genuinely imbalanced machine changes the answer.
+type Table5FaultedRow struct {
+	Nodes int
+	// SlowdownStat and SlowdownDyn are faulted-over-clean total virtual
+	// time under each scheme (1 = the straggler was fully hidden).
+	SlowdownStat float64
+	SlowdownDyn  float64
+	// PctDCFStat and PctDCFDyn are the connectivity shares under fault.
+	PctDCFStat float64
+	PctDCFDyn  float64
+	// RebalancesDyn counts the Algorithm-2 repartitions the dynamic
+	// scheme fired during the faulted run.
+	RebalancesDyn int
+}
+
+// RunTable5Faulted re-runs the Table 5 static-versus-dynamic sweep under
+// the Table5FaultPlan straggler (the robustness headline experiment).
+func RunTable5Faulted(opt Options) ([]Table5FaultedRow, error) {
+	return runTable5Faulted(opt, Table5Nodes)
+}
+
+func runTable5Faulted(opt Options, nodes []int) ([]Table5FaultedRow, error) {
+	opt = opt.withDefaults()
+	steps := opt.Steps
+	if steps < 6 {
+		steps = 6 // the dynamic scheme needs check intervals to fire
+	}
+	run := func(n int, fo float64, plan *FaultPlan) (*Result, error) {
+		c := StoreSeparation(opt.Scale)
+		return Run(Config{Case: c, Nodes: n, Machine: SP2(), Steps: steps,
+			Fo: fo, CheckInterval: 3, Faults: plan})
+	}
+	plan := Table5FaultPlan()
+	var out []Table5FaultedRow
+	for _, n := range nodes {
+		opt.logf("Table 5 faulted: %d nodes static clean/straggler...", n)
+		cs, err := run(n, math.Inf(1), nil)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := run(n, math.Inf(1), plan)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("Table 5 faulted: %d nodes dynamic fo=5 clean/straggler...", n)
+		cd, err := run(n, 5, nil)
+		if err != nil {
+			return nil, err
+		}
+		fd, err := run(n, 5, plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table5FaultedRow{
+			Nodes:         n,
+			SlowdownStat:  fs.TotalTime / cs.TotalTime,
+			SlowdownDyn:   fd.TotalTime / cd.TotalTime,
+			PctDCFStat:    fs.PctConnect(),
+			PctDCFDyn:     fd.PctConnect(),
+			RebalancesDyn: fd.Rebalances,
+		})
+	}
+	return out, nil
+}
+
 // Table6Nodes are the wallclock-speedup partitions of Table 6.
 var Table6Nodes = []int{18, 28, 42, 61}
 
@@ -368,6 +450,19 @@ func FprintTable5(w io.Writer, rows []Table5Row) {
 		fmt.Fprintf(tw, "%d\t%.0f%%\t%.0f%%\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			r.Nodes, r.PctDCFDynamic, r.PctDCFStatic,
 			r.DCFSpeedupDyn, r.DCFSpeedupStat, r.CombinedDyn, r.CombinedStat)
+	}
+	tw.Flush()
+}
+
+// FprintTable5Faulted writes the straggler-perturbed Table 5 sweep.
+func FprintTable5Faulted(w io.Writer, rows []Table5FaultedRow) {
+	fmt.Fprintln(w, "Table 5 under a mid-run straggler (rank 1 at 1/3 speed from step 2, SP2)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Nodes\tSlowdown stat\tdyn\t%DCF stat\tdyn\tRebalances dyn")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%.0f%%\t%.0f%%\t%d\n",
+			r.Nodes, r.SlowdownStat, r.SlowdownDyn,
+			r.PctDCFStat, r.PctDCFDyn, r.RebalancesDyn)
 	}
 	tw.Flush()
 }

@@ -8,11 +8,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"overd/internal/balance"
 	"overd/internal/cases"
 	"overd/internal/dcf"
+	"overd/internal/fault"
 	"overd/internal/flow"
 	"overd/internal/geom"
 	"overd/internal/grid"
@@ -43,7 +45,19 @@ type Config struct {
 	// Trace, when non-nil, records every rank's virtual-time events for
 	// wait/idle attribution, critical-path analysis, and Chrome trace
 	// export (see package trace). Nil adds no cost and changes no times.
+	// On a run that restarts after an injected crash, the trace covers the
+	// final (successful) attempt only.
 	Trace *trace.Recorder
+	// Faults, when non-nil, is the deterministic fault plan perturbing the
+	// run (see package fault). Nil — or an empty plan — leaves every
+	// virtual clock and Result number bit-identical to an unfaulted run.
+	Faults *fault.Plan
+	// CheckpointEvery is the number of steps between checkpoint snapshots
+	// used to recover from injected rank crashes. 0 picks a default (5)
+	// when the fault plan schedules crashes and disables checkpointing
+	// otherwise; negative disables it entirely (a crash then restarts the
+	// run from step 0 on the surviving nodes).
+	CheckpointEvery int
 }
 
 // StepStats records one timestep's virtual-time breakdown (seconds, equal
@@ -103,6 +117,32 @@ type Result struct {
 	// Field and Surface hold sampled output when Config.Sample is set.
 	Field   []FieldSample
 	Surface []SurfaceSample
+
+	// Fault and recovery reporting (zero on fault-free runs). TotalTime,
+	// Flops and the phase totals above include the work of crashed
+	// attempts that was later redone — they measure the cost to solution
+	// under the fault plan, not just the final attempt.
+	//
+	// Recoveries counts crash-triggered restarts; RecoverySteps the
+	// timesteps re-executed because they post-dated the last checkpoint;
+	// RecoveryTime the virtual seconds of lost (re-executed) work.
+	Recoveries    int
+	RecoverySteps int
+	RecoveryTime  float64
+	// Checkpoints counts snapshots taken; CheckpointTime is their modeled
+	// virtual cost (rank 0).
+	Checkpoints    int
+	CheckpointTime float64
+	// FinalNodes is the processor count of the successful attempt (smaller
+	// than Config.Nodes after crashes).
+	FinalNodes int
+	// DroppedMsgs counts fault-injected message drops across all ranks and
+	// attempts; SendRetries the reliable-send retransmissions among them;
+	// FaultWaitTime the total virtual seconds (summed over ranks and
+	// attempts) lost to retry backoff and loss discovery.
+	DroppedMsgs   int
+	SendRetries   int
+	FaultWaitTime float64
 }
 
 // MflopsPerNode returns the average per-node Megaflop rate, the paper's
@@ -150,6 +190,13 @@ func (r *Result) TimePerStep() float64 {
 // Run executes the case on the simulated machine and returns the measured
 // statistics. The initial connectivity solution and solver setup are
 // treated as preprocessing and excluded, as in the paper's tables.
+//
+// Under a fault plan with scheduled rank crashes, Run recovers: a crashed
+// rank surfaces as a typed failure, the run rolls back to the last
+// checkpoint (or step 0 without one), the dead rank's work is re-spread
+// over the survivors by the static balancer, and the loop resumes — with
+// the recovery cost recorded in the Result rather than returned as an
+// error. Non-crash rank panics still propagate as panics (they are bugs).
 func Run(cfg Config) (*Result, error) {
 	if cfg.Steps < 1 {
 		return nil, fmt.Errorf("core: need at least 1 step")
@@ -160,27 +207,148 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CFL <= 0 {
 		cfg.CFL = flow.DefaultCFL
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	c := cfg.Case
 	sizes := c.GridSizes()
 	dims := c.GridDims()
 
-	plan, err := balance.Static(sizes, cfg.Nodes)
-	if err != nil {
-		return nil, err
+	eng := fault.NewEngine(cfg.Faults)
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 && cfg.Faults.HasCrashes() {
+		ckEvery = 5
 	}
-	if cfg.SlabDecomp {
-		balance.SubdividePlanSlabs(plan, dims)
-	} else {
-		balance.SubdividePlan(plan, dims)
+	if ckEvery < 0 {
+		ckEvery = 0
 	}
 
-	world := par.NewWorld(cfg.Nodes, cfg.Machine)
-	world.SetTrace(cfg.Trace)
-	st := newRunState(cfg, plan)
+	nodes := cfg.Nodes
+	var rec recovery
+	var ck *checkpoint
+	for {
+		plan, err := balance.Static(sizes, nodes)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SlabDecomp {
+			balance.SubdividePlanSlabs(plan, dims)
+		} else {
+			balance.SubdividePlan(plan, dims)
+		}
 
-	world.Run(func(r *par.Rank) { st.rankMain(r) })
+		// The world's machine copy carries the fault hooks; cfg.Machine
+		// stays clean (nil hooks delegate to the exact unhooked arithmetic,
+		// so a nil or empty plan is bit-identical to no fault layer).
+		mach := cfg.Machine
+		if eng != nil {
+			mach.RateHook = eng.RateScale
+			mach.LinkHook = eng.LinkScale
+			eng.Attach(nodes)
+		}
+		world := par.NewWorld(nodes, mach)
+		world.SetTrace(cfg.Trace)
+		if eng != nil {
+			world.SetFaults(eng)
+		}
+		st := newRunState(cfg, plan)
+		st.eng, st.ckEvery = eng, ckEvery
+		if ck != nil {
+			st.restoreFrom(ck)
+		}
 
-	return st.finish(), nil
+		ranks, err := world.RunErr(func(r *par.Rank) { st.rankMain(r) })
+		for _, rk := range ranks {
+			rec.dropped += rk.Dropped
+			rec.retries += rk.Retries
+			rec.faultWait += rk.TotalFaultWaitTime()
+		}
+		if err == nil {
+			return rec.merge(st.finish()), nil
+		}
+		var rf *par.RankFailure
+		if !errors.As(err, &rf) {
+			panic(err.Error())
+		}
+		crash, isCrash := rf.Crashed()
+		if !isCrash || eng == nil {
+			// A real bug, not a modeled crash: fail as loudly as Run
+			// always has.
+			panic(err.Error())
+		}
+
+		// Account the failed attempt: which step and clock the next attempt
+		// resumes from, how much measured work was lost, and the raw flops
+		// and module times it burned (they are part of the cost to
+		// solution under the fault plan).
+		rec.count++
+		resumeStep, resumeClock := 0, st.measStart
+		if st.ck != nil {
+			resumeStep = st.ck.step
+			if st.ck != ck {
+				// Captured during this attempt: the loss is only the work
+				// since the snapshot, on this attempt's own timeline.
+				resumeClock = st.ck.clock
+			}
+		}
+		rec.steps += crash.Step - resumeStep
+		rec.time += crash.Clock - resumeClock
+		rec.prevTime += crash.Clock - st.measStart
+		for i, rk := range ranks {
+			rec.flops += rk.TotalFlops() - st.preFlops[i]
+		}
+		r0 := ranks[0]
+		for i, p := range [4]par.Phase{par.PhaseFlow, par.PhaseMotion, par.PhaseConnect, par.PhaseBalance} {
+			rec.mod[i] += r0.PhaseTime(p) - st.preMod[i]
+			rec.mod[4+i] += r0.WaitTime(p) - st.preMod[4+i]
+		}
+		rec.checkpoints += st.result.Checkpoints
+		rec.checkpointTime += st.result.CheckpointTime
+		ck = st.ck
+
+		nodes--
+		if nodes < 1 {
+			return nil, fmt.Errorf("core: rank %d crashed at step %d and no nodes remain to restart on", rf.Rank, crash.Step)
+		}
+	}
+}
+
+// recovery accumulates fault bookkeeping across crashed attempts.
+type recovery struct {
+	count, steps     int
+	time, prevTime   float64
+	flops            float64
+	mod              [8]float64 // flow/motion/connect/balance times, then waits
+	checkpoints      int
+	checkpointTime   float64
+	dropped, retries int
+	faultWait        float64
+}
+
+// merge folds the accumulated recovery cost of crashed attempts into the
+// successful attempt's Result.
+func (rec *recovery) merge(res *Result) *Result {
+	res.TotalTime += rec.prevTime
+	res.Flops += rec.flops
+	res.FlowTime += rec.mod[0]
+	res.MotionTime += rec.mod[1]
+	res.ConnectTime += rec.mod[2]
+	res.BalanceTime += rec.mod[3]
+	res.FlowWaitTime += rec.mod[4]
+	res.MotionWaitTime += rec.mod[5]
+	res.ConnectWaitTime += rec.mod[6]
+	res.BalanceWaitTime += rec.mod[7]
+	res.Recoveries = rec.count
+	res.RecoverySteps = rec.steps
+	res.RecoveryTime = rec.time
+	res.Checkpoints += rec.checkpoints
+	res.CheckpointTime += rec.checkpointTime
+	res.DroppedMsgs = rec.dropped
+	res.SendRetries = rec.retries
+	res.FaultWaitTime = rec.faultWait
+	return res
 }
 
 // finish assembles the Result after all ranks have returned.
@@ -192,6 +360,7 @@ func (st *runState) finish() *Result {
 	res.Rebalances = st.rebalances
 	res.Np = append([]int(nil), st.plan.Np...)
 	res.Tau = st.plan.Tau
+	res.FinalNodes = st.plan.NP()
 	if n := len(st.stats); n > 0 {
 		res.IGBPs = st.stats[n-1].IGBPs
 	}
@@ -230,15 +399,31 @@ type runState struct {
 	stats      []StepStats
 	rebalances int
 	result     Result
+
+	// Fault layer (nil/zero on unfaulted runs).
+	eng     *fault.Engine
+	ckEvery int
+	// Restart state primed by restoreFrom before the world starts.
+	startStep int
+	restored  bool
+	restoreQ  [][]float64
+	ck        *checkpoint
+	// Measurement baselines recorded at the top of the timestep loop, read
+	// by Run after the world's goroutines have joined to account the flops
+	// and module times a crashed attempt burned.
+	measStart float64
+	preFlops  []float64
+	preMod    [8]float64
 }
 
 func newRunState(cfg Config, plan *balance.Plan) *runState {
 	n := plan.NP()
 	st := &runState{
-		cfg:     cfg,
-		plan:    plan,
-		blocks:  make([]*flow.Block, n),
-		solvers: make([]*dcf.Solver, n),
+		cfg:      cfg,
+		plan:     plan,
+		blocks:   make([]*flow.Block, n),
+		solvers:  make([]*dcf.Solver, n),
+		preFlops: make([]float64, n),
 	}
 	return st
 }

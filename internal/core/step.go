@@ -21,6 +21,11 @@ func (st *runState) rankMain(r *par.Rank) {
 	r.SetPhase(par.PhaseOther)
 	if r.ID == 0 {
 		st.buildBlocks()
+		if st.restoreQ != nil {
+			// Restarting after an injected crash: reload the checkpointed
+			// conserved field into the new partition's blocks.
+			st.loadQ()
+		}
 	}
 	r.Barrier()
 	st.solvers[r.ID] = dcf.NewSolver(c.Overset, dcfParts(st.plan), r.ID)
@@ -32,15 +37,19 @@ func (st *runState) rankMain(r *par.Rank) {
 	st.blocks[r.ID].ExchangeHalo(r)
 	st.solvers[r.ID].UpdateFringes(r, st.blocks[r.ID])
 	r.Barrier()
-	// Timestep: stability-limited global minimum, held fixed.
-	if r.ID == 0 {
-		st.dt = c.DT
-	}
-	if c.DT <= 0 {
-		local := st.blocks[r.ID].MaxDTLocal(st.cfg.CFL)
-		global := -r.AllReduceMax(-local)
+	// Timestep: stability-limited global minimum, held fixed. A restarted
+	// attempt keeps the checkpointed dt (the run's frozen timestep) so the
+	// resumed trajectory matches the original.
+	if !st.restored {
 		if r.ID == 0 {
-			st.dt = global
+			st.dt = c.DT
+		}
+		if c.DT <= 0 {
+			local := st.blocks[r.ID].MaxDTLocal(st.cfg.CFL)
+			global := -r.AllReduceMax(-local)
+			if r.ID == 0 {
+				st.dt = global
+			}
 		}
 	}
 	r.Barrier()
@@ -59,9 +68,29 @@ func (st *runState) rankMain(r *par.Rank) {
 	s0BalanceW := r.WaitTime(par.PhaseBalance)
 	prevFlow, prevMotion, prevConnect, prevBalance := s0Flow, s0Motion, s0Connect, s0Balance
 	prevFlowW, prevMotionW, prevConnectW, prevBalanceW := s0FlowW, s0MotionW, s0ConnectW, s0BalanceW
+	// Baselines for crash accounting: if this attempt dies, Run reads these
+	// (after the goroutines join) to recover the work it burned. Written in
+	// straight-line code right after the preprocessing barrier, before any
+	// blocking call could observe a peer's crash.
+	st.preFlops[r.ID] = s0Flops
+	if r.ID == 0 {
+		st.measStart = startClock
+		st.preMod = [8]float64{s0Flow, s0Motion, s0Connect, s0Balance,
+			s0FlowW, s0MotionW, s0ConnectW, s0BalanceW}
+	}
 
 	// ---- Timestep loop. ----
-	for step := 0; step < st.cfg.Steps; step++ {
+	for step := st.startStep; step < st.cfg.Steps; step++ {
+		if st.eng != nil {
+			// Scheduled rank crashes fire at the top of the step, where the
+			// module barriers have just equalized every clock; the panic is
+			// typed so Run can tell a modeled crash from a genuine bug.
+			if st.eng.CrashNow(r.ID, step) {
+				panic(par.Crash{Step: step, Clock: r.Clock})
+			}
+			st.eng.BeginStep(r.ID, step)
+		}
+
 		// Module 1: flow solution (includes intergrid BC data exchange).
 		r.SetPhase(par.PhaseFlow)
 		b := st.blocks[r.ID]
@@ -144,6 +173,11 @@ func (st *runState) rankMain(r *par.Rank) {
 					st.cfg.Trace.SetWindow(startClock, r.Clock)
 				}
 			}
+		}
+		if st.ckEvery > 0 && (step+1)%st.ckEvery == 0 && step+1 < st.cfg.Steps {
+			// Peers are quiescent between the stats capture above and the
+			// trailing barrier, so rank 0 may snapshot every block race-free.
+			st.writeCheckpoint(r, step+1)
 		}
 		r.Barrier()
 	}

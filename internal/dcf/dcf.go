@@ -79,6 +79,13 @@ type Solver struct {
 	Hinted, Scratch int
 	// HintMisses counts hinted requests that came back unresolved.
 	HintMisses int
+
+	// Fault-degradation counters, cumulative across solves and fringe
+	// updates (zero on fault-free runs). LostSends counts search-request
+	// batches lost beyond the retry budget, LostReplies reply batches
+	// likewise (their points degrade to orphans), LostFringe fringe-value
+	// batches whose receivers kept previous data.
+	LostSends, LostReplies, LostFringe int
 }
 
 type restartKey struct{ g, i, j, k int }
@@ -141,6 +148,24 @@ func NewSolver(cfg *overset.Config, parts []Part, rank int) *Solver {
 // InvalidateRestart drops the nth-level restart hints (after repartition).
 func (s *Solver) InvalidateRestart() {
 	s.restart = make(map[restartKey]restartHint)
+}
+
+// dropSendEntry removes the interpolation duty owed to origin for the given
+// IGBP id — called when the reply that would have told the origin about the
+// donor was lost, so both sides forget the pairing consistently.
+func (s *Solver) dropSendEntry(origin, id int) {
+	entries := s.sendList[origin]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].id == id {
+			entries = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	if len(entries) == 0 {
+		delete(s.sendList, origin)
+	} else {
+		s.sendList[origin] = entries
+	}
 }
 
 // myBox returns this rank's owned box and grid.

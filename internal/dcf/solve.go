@@ -31,7 +31,14 @@ type pendingPt struct {
 	id         int   // index into s.igbps
 	hier       int   // position in the receiver grid's search order
 	candidates []int // ranks still to try for the current donor grid
+	// lostSends counts request batches for this point lost beyond the
+	// transport's retry budget; maxLostSends of them orphan the point.
+	lostSends int
 }
+
+// maxLostSends bounds per-point request retransmission rounds after
+// transport-level loss before the point degrades to an orphan.
+const maxLostSends = 2
 
 // Solve re-establishes domain connectivity after grid motion: distributed
 // hole cutting, fringe marking, global bounding-box exchange, and the
@@ -118,20 +125,54 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 
 	stats := Stats{LocalIGBPs: len(s.igbps)}
 
-	// Request/serve/reply rounds until no work remains anywhere.
+	// Request/serve/reply rounds until no work remains anywhere. All sends
+	// use the reliable (ack + bounded-retry) transport, which is plain Send
+	// on fault-free runs; because a loss beyond the retry budget is reported
+	// to the SENDER, every loss has a deterministic local compensation and
+	// the protocol degrades to bounded orphans instead of hanging.
 	fwdbox := make(map[int][]ptReq)
+	// lostFwds carries failure replies for forwards whose retransmission
+	// budget ran out, merged with this round's computed replies.
+	var lostFwds map[int][]ptRep
 	for round := 0; round < 64; round++ {
 		stats.Rounds = round + 1
 		// Phase A: send queued requests and forwards, in rank order so the
-		// virtual-time trace is deterministic.
+		// virtual-time trace is deterministic. A request batch lost beyond
+		// the retry budget is re-queued for the next round (bounded per
+		// point); its points orphan when the budget runs out.
+		next := make(map[int][]ptReq)
 		for _, dst := range sortedKeys(outbox) {
 			pts := outbox[dst]
-			r.Send(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts))
+			if r.SendReliable(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts)) {
+				continue
+			}
+			s.LostSends++
+			for _, pt := range pts {
+				p := pendByID[pt.ID]
+				if p.lostSends < maxLostSends {
+					p.lostSends++
+					next[dst] = append(next[dst], pt)
+				} else {
+					s.donors[pt.ID] = overset.Donor{Grid: -1}
+				}
+			}
 		}
-		outbox = make(map[int][]ptReq)
+		outbox = next
+		lostFwds = nil
 		for _, dst := range sortedKeys(fwdbox) {
 			pts := fwdbox[dst]
-			r.Send(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts))
+			if r.SendReliable(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts)) {
+				continue
+			}
+			s.LostSends++
+			// The chain broke between servers: tell each origin its search
+			// failed so it advances the hierarchy instead of waiting forever.
+			if lostFwds == nil {
+				lostFwds = make(map[int][]ptRep)
+			}
+			for _, pt := range pts {
+				lostFwds[pt.Origin] = append(lostFwds[pt.Origin], ptRep{ID: pt.ID, OK: false, Rank: s.Rank})
+			}
 		}
 		fwdbox = make(map[int][]ptReq)
 		r.Barrier()
@@ -149,6 +190,9 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 		}
 		sort.Slice(inbound, func(a, b int) bool { return inbound[a].From < inbound[b].From })
 		replies := make(map[int][]ptRep)
+		for origin, reps := range lostFwds {
+			replies[origin] = append(replies[origin], reps...)
+		}
 		for _, m := range inbound {
 			req := m.Data.(reqMsg)
 			s.ReceivedIGBPs += len(req.Pts)
@@ -166,7 +210,19 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 		}
 		for _, dst := range sortedRepKeys(replies) {
 			reps := replies[dst]
-			r.Send(dst, par.TagSearchRep, repMsg{Results: reps}, bytesPerReply*len(reps))
+			if r.SendReliable(dst, par.TagSearchRep, repMsg{Results: reps}, bytesPerReply*len(reps)) {
+				continue
+			}
+			// Reply batch lost beyond the retry budget: the origin will see
+			// its points finish as orphans (it never re-queues them), so
+			// forget the matching interpolation duties to keep the fringe
+			// exchange lists consistent on both sides.
+			s.LostReplies++
+			for _, rep := range reps {
+				if rep.OK {
+					s.dropSendEntry(dst, rep.ID)
+				}
+			}
 		}
 		r.Barrier()
 

@@ -29,12 +29,25 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 			data := b.packFace(dim, side)
 			// Tag encodes the receiving face so a 2-rank periodic ring
 			// can distinguish its two connections to the same peer.
+			// Reliable send: halo planes are required for correctness, so
+			// under fault injection a dropped plane is retransmitted (with
+			// backed-off ack timeouts) rather than lost.
 			tag := par.TagHalo + par.Tag(10*dim+(1-side))
-			r.Send(nbr.Rank, tag, data, 8*len(data))
+			r.SendReliable(nbr.Rank, tag, data, 8*len(data))
 		}
 	}
+	faulty := r.Faulty()
 	for _, p := range posts {
 		tag := par.TagHalo + par.Tag(10*p.dim+p.side)
+		if faulty {
+			// A plane lost beyond the retry budget degrades to reusing the
+			// previous ghost values (first-order in time) instead of
+			// deadlocking or killing the run.
+			if m, ok := r.RecvTimeout(p.nbr.Rank, tag, 2*r.Model().LatencySec); ok {
+				b.unpackFace(p.dim, p.side, m.Data.([]float64))
+			}
+			continue
+		}
 		m := r.Recv(p.nbr.Rank, tag)
 		b.unpackFace(p.dim, p.side, m.Data.([]float64))
 	}

@@ -37,6 +37,18 @@ type Model struct {
 	ShortLoopBytes float64
 	// PeakMflops is the advertised peak rate, reported for context only.
 	PeakMflops float64
+
+	// RateHook, when non-nil, scales the per-node compute rate for a given
+	// rank at a given virtual time (fault injection: stragglers). It returns
+	// a factor in (0, 1]; 1 means nominal speed. A nil hook is bit-identical
+	// to the unhooked model.
+	RateHook func(rank int, t float64) float64
+	// LinkHook, when non-nil, degrades the point-to-point link from one
+	// rank to another at a given virtual time (fault injection: slow
+	// links). It returns a latency multiplier (>= 1) and a bandwidth
+	// multiplier (<= 1). A nil hook is bit-identical to the unhooked model.
+	// Collectives (barriers, gathers) use the nominal interconnect.
+	LinkHook func(from, to int, t float64) (latScale, bwScale float64)
 }
 
 // SP2 returns a model of the NASA Ames IBM SP2 (RS/6000 POWER2 nodes at
@@ -163,4 +175,39 @@ func (m Model) CommTime(bytes int) float64 {
 		bytes = 0
 	}
 	return m.LatencySec + float64(bytes)/m.BandwidthBps
+}
+
+// ComputeTimeFor is ComputeTime for a specific rank at a specific virtual
+// time, honoring RateHook. With a nil hook it is exactly ComputeTime.
+func (m *Model) ComputeTimeFor(rank int, t, flops, workingSetBytes float64) float64 {
+	if m.RateHook == nil {
+		return m.ComputeTime(flops, workingSetBytes)
+	}
+	if flops <= 0 {
+		return 0
+	}
+	scale := m.RateHook(rank, t)
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return flops / (m.Rate(workingSetBytes) * scale)
+}
+
+// CommTimeFor is CommTime for a specific directed link at a specific
+// virtual time, honoring LinkHook. With a nil hook it is exactly CommTime.
+func (m *Model) CommTimeFor(from, to int, t float64, bytes int) float64 {
+	if m.LinkHook == nil {
+		return m.CommTime(bytes)
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	lat, bw := m.LinkHook(from, to, t)
+	if lat < 1 {
+		lat = 1
+	}
+	if bw <= 0 || bw > 1 {
+		bw = 1
+	}
+	return lat*m.LatencySec + float64(bytes)/(bw*m.BandwidthBps)
 }

@@ -80,8 +80,51 @@ type Msg struct {
 	// Arrive is the virtual time at which the message is available at the
 	// receiver (sender clock at send + modeled transfer time).
 	Arrive float64
+	// Lost marks a fault-injected tombstone: the payload was dropped on the
+	// wire (Data is nil) but the loss itself is deterministically observable
+	// at the receiver, which is what lets RecvTimeout detect a drop in
+	// virtual time without a wall-clock timeout.
+	Lost bool
 	// flow uniquely identifies the message for send→recv tracing edges.
 	flow uint64
+}
+
+// Injector decides, per physical message attempt, whether the fault layer
+// drops it. Implementations must be deterministic functions of their
+// arguments (see internal/fault). Drop is called from the sender's
+// goroutine only.
+type Injector interface {
+	Drop(from, to, tag int, seq uint64) bool
+}
+
+// Crash is the panic value a rank raises to model its own failure (an
+// injected crash). World.RunErr converts it into a typed *RankFailure so
+// callers can checkpoint/restart instead of dying.
+type Crash struct {
+	// Step is the timestep at which the rank died.
+	Step int
+	// Clock is the rank's virtual time at death.
+	Clock float64
+}
+
+// RankFailure is the typed error RunErr returns when a rank panicked: the
+// root-cause rank and its panic value, with poison-induced secondary
+// failures on peer ranks filtered out.
+type RankFailure struct {
+	Rank  int
+	Cause any
+}
+
+// Error formats exactly like the historic World.Run panic string.
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("par: rank %d panicked: %v", e.Rank, e.Cause)
+}
+
+// Crashed reports whether the failure was a modeled crash (a Crash panic)
+// and returns it.
+func (e *RankFailure) Crashed() (Crash, bool) {
+	c, ok := e.Cause.(Crash)
+	return c, ok
 }
 
 // World owns a set of ranks and the shared synchronization state.
@@ -93,6 +136,10 @@ type World struct {
 
 	bar barrier
 
+	// done is closed by poisonAll after a rank panic; senders and
+	// receivers select on it so a failure unblocks the whole world
+	// without closing inboxes out from under in-flight sends.
+	done      chan struct{}
 	closeOnce sync.Once
 
 	// collective scratch, guarded by the barrier's phases
@@ -103,7 +150,15 @@ type World struct {
 	// every rank (see package trace). Nil tracing costs one pointer test
 	// per operation and no allocations.
 	rec *trace.Recorder
+
+	// inj, when non-nil, is the fault layer's message-loss decider. Nil
+	// costs one pointer test per send and no allocations.
+	inj Injector
 }
+
+// SetFaults attaches a message-loss injector before Run. Pass a non-nil
+// Injector only; a nil fault layer should simply not call SetFaults.
+func (w *World) SetFaults(inj Injector) { w.inj = inj }
 
 // SetTrace attaches an event recorder before Run: the recorder is reset for
 // this world's rank count and every rank emits its virtual-time events into
@@ -141,14 +196,12 @@ func tagLabel(t int) string {
 }
 
 // poisonAll unblocks every rank after a peer panic: barrier waiters via the
-// poison flag, Recv waiters by closing inboxes.
+// poison flag, Recv/Send waiters via the done channel. The inboxes
+// themselves are never closed — a close racing an in-flight send is a data
+// race, whereas every blocking channel operation here selects on done.
 func (w *World) poisonAll() {
 	w.bar.poison()
-	w.closeOnce.Do(func() {
-		for _, ch := range w.inbox {
-			close(ch)
-		}
-	})
+	w.closeOnce.Do(func() { close(w.done) })
 }
 
 // queueCap bounds per-rank inbox buffering. Sends block (physically, not in
@@ -162,6 +215,7 @@ func NewWorld(n int, m machine.Model) *World {
 		panic("par: world size must be positive")
 	}
 	w := &World{n: n, model: m}
+	w.done = make(chan struct{})
 	w.inbox = make([]chan Msg, n)
 	for i := range w.inbox {
 		w.inbox[i] = make(chan Msg, queueCap)
@@ -180,6 +234,20 @@ func (w *World) Model() machine.Model { return w.model }
 // Run executes body on every rank concurrently and returns the per-rank
 // states once all ranks have finished. Panics in any rank are propagated.
 func (w *World) Run(body func(r *Rank)) []*Rank {
+	ranks, err := w.RunErr(body)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ranks
+}
+
+// RunErr is Run with a typed failure path: when a rank panics, the
+// root-cause rank and panic value come back as a *RankFailure instead of a
+// process panic, so callers can recover from modeled crashes (Crash panic
+// values) with checkpoint/restart. The returned ranks are the per-rank
+// states as of the failure (clocks and counters are valid; the run is
+// incomplete).
+func (w *World) RunErr(body func(r *Rank)) ([]*Rank, error) {
 	ranks := make([]*Rank, w.n)
 	for i := range ranks {
 		ranks[i] = &Rank{
@@ -212,29 +280,59 @@ func (w *World) Run(body func(r *Rank)) []*Rank {
 	}
 	wg.Wait()
 	// Report the root-cause panic, not the poison panics it induced in
-	// peers blocked on barriers or receives.
-	rootID, root := -1, any(nil)
+	// peers blocked on barriers, receives, or sends to closed inboxes. A
+	// modeled Crash outranks everything: peers may hit real-looking
+	// secondary failures (closed channels) after the poison, and a crash
+	// must stay recoverable.
+	pick := -1
 	for id, p := range panics {
 		if p == nil {
 			continue
 		}
-		if rootID == -1 {
-			rootID, root = id, p
-		}
-		if s, ok := p.(string); !ok || !strings.Contains(s, "poisoned") {
-			rootID, root = id, p
+		if _, ok := p.(Crash); ok {
+			pick = id
 			break
 		}
 	}
-	if root != nil {
-		panic(fmt.Sprintf("par: rank %d panicked: %v", rootID, root))
+	if pick == -1 {
+		for id, p := range panics {
+			if p != nil && !inducedPanic(p) {
+				pick = id
+				break
+			}
+		}
+	}
+	if pick == -1 {
+		for id, p := range panics {
+			if p != nil {
+				pick = id
+				break
+			}
+		}
+	}
+	if pick >= 0 {
+		return ranks, &RankFailure{Rank: pick, Cause: panics[pick]}
 	}
 	if w.rec != nil {
 		for i, r := range ranks {
 			w.rec.SetFinalClock(i, r.Clock)
 		}
 	}
-	return ranks
+	return ranks, nil
+}
+
+// inducedPanic reports whether a rank's panic is a secondary effect of the
+// world being poisoned by another rank's failure: our own poison
+// diagnostics (which all contain "poisoned"), or the runtime's
+// send-on-closed-channel error raised by a Send racing poisonAll.
+func inducedPanic(p any) bool {
+	if s, ok := p.(string); ok {
+		return strings.Contains(s, "poisoned")
+	}
+	if err, ok := p.(error); ok {
+		return strings.Contains(err.Error(), "closed channel")
+	}
+	return false
 }
 
 // Rank is the per-processor handle passed to the Run body. All methods are
@@ -250,18 +348,31 @@ type Rank struct {
 	phaseTime  [numPhases]float64
 	phaseFlops [numPhases]float64
 
-	// waitRecv and waitBar decompose each phase's time into blocked
-	// categories the aggregate phaseTime cannot express: virtual seconds
-	// spent waiting for in-flight messages and for slower ranks at
-	// barriers/collectives. Always maintained, tracer or not.
-	waitRecv [numPhases]float64
-	waitBar  [numPhases]float64
+	// waitRecv, waitBar and waitFault decompose each phase's time into
+	// blocked categories the aggregate phaseTime cannot express: virtual
+	// seconds spent waiting for in-flight messages, for slower ranks at
+	// barriers/collectives, and lost to the fault layer (retry backoff,
+	// loss-discovery grace). Always maintained, tracer or not.
+	waitRecv  [numPhases]float64
+	waitBar   [numPhases]float64
+	waitFault [numPhases]float64
+
+	// Dropped counts fault-injected message drops charged to this rank as
+	// sender (every failed physical attempt, including retries). Retries
+	// counts the reliable-send retransmissions among them.
+	Dropped int
+	Retries int
 
 	// workingSet is the current working-set size in bytes used by the
 	// cache model; set by the solver per kernel.
 	workingSet float64
 
 	pending []Msg // received from inbox but not yet matched
+	// tombs holds fault-injected loss tombstones awaiting discovery by
+	// RecvTimeout. Cleared at every barrier rendezvous: lossy exchanges
+	// must complete between barriers (true of all protocols here), which
+	// bounds tombstone memory in polling protocols that never consume them.
+	tombs []Msg
 
 	// tr is this rank's private trace buffer (nil when tracing is off).
 	tr *trace.RankBuf
@@ -329,7 +440,7 @@ func (r *Rank) Compute(flops float64) {
 		return
 	}
 	r.phaseFlops[r.phase] += flops
-	dt := r.w.model.ComputeTime(flops, r.workingSet)
+	dt := r.w.model.ComputeTimeFor(r.ID, r.Clock, flops, r.workingSet)
 	if r.tr != nil && dt > 0 {
 		r.emit(trace.KindCompute, r.Clock, dt, 0, trace.NoPeer, 0, 0)
 	}
@@ -349,10 +460,13 @@ func (r *Rank) Elapse(seconds float64) {
 func (r *Rank) PhaseTime(p Phase) float64 { return r.phaseTime[p] }
 
 // WaitTime returns the cumulative virtual seconds this rank has spent
-// blocked while phase p was active — waiting for in-flight messages plus
-// waiting at barriers/collectives for slower ranks. It is a subset of
-// PhaseTime(p): the remainder is busy (compute, memory, send-overhead) time.
-func (r *Rank) WaitTime(p Phase) float64 { return r.waitRecv[p] + r.waitBar[p] }
+// blocked while phase p was active — waiting for in-flight messages,
+// waiting at barriers/collectives for slower ranks, and lost to the fault
+// layer. It is a subset of PhaseTime(p): the remainder is busy (compute,
+// memory, send-overhead) time.
+func (r *Rank) WaitTime(p Phase) float64 {
+	return r.waitRecv[p] + r.waitBar[p] + r.waitFault[p]
+}
 
 // RecvWaitTime returns the blocked-on-message component of WaitTime(p).
 func (r *Rank) RecvWaitTime(p Phase) float64 { return r.waitRecv[p] }
@@ -360,13 +474,45 @@ func (r *Rank) RecvWaitTime(p Phase) float64 { return r.waitRecv[p] }
 // BarrierWaitTime returns the blocked-at-barrier component of WaitTime(p).
 func (r *Rank) BarrierWaitTime(p Phase) float64 { return r.waitBar[p] }
 
+// FaultWaitTime returns the fault-layer component of WaitTime(p): reliable
+// send retry backoff and RecvTimeout loss-discovery grace.
+func (r *Rank) FaultWaitTime(p Phase) float64 { return r.waitFault[p] }
+
 // TotalWaitTime returns the rank's cumulative blocked time over all phases.
 func (r *Rank) TotalWaitTime() float64 {
 	var s float64
 	for p := Phase(0); p < numPhases; p++ {
-		s += r.waitRecv[p] + r.waitBar[p]
+		s += r.waitRecv[p] + r.waitBar[p] + r.waitFault[p]
 	}
 	return s
+}
+
+// TotalFaultWaitTime returns the rank's cumulative fault-layer wait over
+// all phases.
+func (r *Rank) TotalFaultWaitTime() float64 {
+	var s float64
+	for p := Phase(0); p < numPhases; p++ {
+		s += r.waitFault[p]
+	}
+	return s
+}
+
+// Faulty reports whether a fault injector is attached to the world, i.e.
+// whether messages on this run can be lost. Protocols consult it to decide
+// between the plain blocking receive and the loss-tolerant path.
+func (r *Rank) Faulty() bool { return r.w.inj != nil }
+
+// chargeFaultWait advances the clock by dt in the current phase,
+// attributing it to the fault-wait category.
+func (r *Rank) chargeFaultWait(dt float64, tag Tag, peer int) {
+	if dt <= 0 {
+		return
+	}
+	if r.tr != nil {
+		r.emit(trace.KindFaultWait, r.Clock, dt, tag, peer, 0, 0)
+	}
+	r.waitFault[r.phase] += dt
+	r.advance(dt)
 }
 
 // PhaseFlops returns the floating-point operations accumulated in phase p.
@@ -396,7 +542,7 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		Tag:    tag,
 		Data:   data,
 		Bytes:  bytes,
-		Arrive: r.Clock + r.w.model.CommTime(bytes),
+		Arrive: r.Clock + r.w.model.CommTimeFor(r.ID, to, r.Clock, bytes),
 		flow:   uint64(r.ID+1)<<40 | r.sendSeq,
 	}
 	if to == r.ID {
@@ -404,7 +550,8 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		// a local buffer hand-off with no wire and no messaging-stack
 		// traversal — its (tiny) memory cost is already inside the compute
 		// model — so no latency share is charged and the message is
-		// available immediately (asserted by TestSelfSendIsFree).
+		// available immediately (asserted by TestSelfSendIsFree). They are
+		// also never dropped: there is no wire to lose them on.
 		m.Arrive = r.Clock
 		if r.tr != nil {
 			r.emit(trace.KindSend, r.Clock, 0, tag, to, bytes, m.flow)
@@ -412,46 +559,178 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		r.pending = append(r.pending, m)
 		return
 	}
+	if r.w.inj != nil && r.w.inj.Drop(r.ID, to, int(tag), r.sendSeq) {
+		// The payload is lost on the wire; a tombstone still arrives so the
+		// receiver can discover the loss in virtual time (RecvTimeout). A
+		// plain Recv on a tombstone panics: unguarded protocols must fail
+		// loudly, not silently read nil data.
+		m.Data, m.Lost = nil, true
+		r.Dropped++
+	}
 	// Sender-side software overhead: a fraction of latency.
 	ov := r.w.model.LatencySec * 0.25
 	if r.tr != nil {
 		r.emit(trace.KindSend, r.Clock, ov, tag, to, bytes, m.flow)
 	}
 	r.advance(ov)
-	r.w.inbox[to] <- m
+	r.deliver(to, tag, m)
+}
+
+// deliver enqueues a message on the destination inbox. The fast path is a
+// plain buffered send; only a full inbox (a protocol bug, or a receiver
+// taken down by a peer panic) falls back to blocking, where the poison
+// channel keeps the sender from deadlocking against a dead world.
+func (r *Rank) deliver(to int, tag Tag, m Msg) {
+	select {
+	case r.w.inbox[to] <- m:
+	default:
+		select {
+		case r.w.inbox[to] <- m:
+		case <-r.w.done:
+			panic(fmt.Sprintf(
+				"par: rank %d: send of %s to rank %d aborted (world poisoned by a peer panic)",
+				r.ID, tagLabel(int(tag)), to))
+		}
+	}
+}
+
+// maxSendRetries bounds SendReliable's retransmissions after the first
+// dropped attempt.
+const maxSendRetries = 3
+
+// SendReliable is Send with a modeled acknowledgment protocol for lossy
+// runs: each dropped attempt costs the sender an exponentially backed-off
+// ack-timeout (charged to the fault-wait category) before retransmitting,
+// up to maxSendRetries retries. It reports whether the payload was
+// delivered; on final failure a loss tombstone is delivered instead so the
+// receiver side can also discover the loss. With no injector attached (or
+// for self-sends, which cannot be lost) it is exactly Send and returns
+// true, so loss-tolerant protocols can use it unconditionally without
+// perturbing fault-free runs.
+func (r *Rank) SendReliable(to int, tag Tag, data any, bytes int) bool {
+	if r.w.inj == nil || to == r.ID {
+		r.Send(to, tag, data, bytes)
+		return true
+	}
+	if to < 0 || to >= r.w.n {
+		panic(fmt.Sprintf("par: send to invalid rank %d", to))
+	}
+	for attempt := 0; ; attempt++ {
+		r.sendSeq++
+		m := Msg{
+			From:   r.ID,
+			To:     to,
+			Tag:    tag,
+			Data:   data,
+			Bytes:  bytes,
+			Arrive: r.Clock + r.w.model.CommTimeFor(r.ID, to, r.Clock, bytes),
+			flow:   uint64(r.ID+1)<<40 | r.sendSeq,
+		}
+		dropped := r.w.inj.Drop(r.ID, to, int(tag), r.sendSeq)
+		if !dropped || attempt == maxSendRetries {
+			if dropped {
+				m.Data, m.Lost = nil, true
+				r.Dropped++
+			}
+			ov := r.w.model.LatencySec * 0.25
+			if r.tr != nil {
+				r.emit(trace.KindSend, r.Clock, ov, tag, to, bytes, m.flow)
+			}
+			r.advance(ov)
+			r.deliver(to, tag, m)
+			return !dropped
+		}
+		r.Dropped++
+		r.Retries++
+		// Ack timeout: one modeled round trip, doubled per attempt.
+		rtt := 2 * r.w.model.CommTimeFor(r.ID, to, r.Clock, bytes)
+		r.chargeFaultWait(rtt*float64(uint(1)<<uint(attempt)), tag, to)
+	}
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
 // (any rank if from == AnyRank). The local clock advances to the message's
-// arrival time if that is later.
+// arrival time if that is later. Receiving a fault-injected loss tombstone
+// with plain Recv panics — a protocol that may lose messages must use
+// RecvTimeout to handle the loss.
 func (r *Rank) Recv(from int, tag Tag) Msg {
 	for {
 		if m, ok := r.takePending(from, tag); ok {
 			r.recvAdvance(m)
 			return m
 		}
-		m, ok := <-r.w.inbox[r.ID]
-		if !ok {
-			panic("par: inbox closed")
+		if t, ok := r.takeTomb(from, tag); ok {
+			panic(fmt.Sprintf(
+				"par: rank %d: message %s from rank %d was dropped by fault injection but awaited with Recv; lossy streams must use RecvTimeout",
+				r.ID, tagLabel(int(tag)), t.From))
 		}
-		r.pending = append(r.pending, m)
+		r.blockingRecv(from, tag)
+	}
+}
+
+// blockingRecv waits for the next physical delivery, panicking with a
+// who-was-waiting-on-what diagnostic if the world is poisoned first.
+func (r *Rank) blockingRecv(from int, tag Tag) {
+	select {
+	case m := <-r.w.inbox[r.ID]:
+		r.stash(m)
+	case <-r.w.done:
+		panic(fmt.Sprintf(
+			"par: rank %d: inbox closed (world poisoned by a peer panic) while receiving %s from %s",
+			r.ID, tagLabel(int(tag)), rankLabel(from)))
+	}
+}
+
+// RecvTimeout is Recv with loss tolerance: if the awaited message was
+// dropped by fault injection, the receiver blocks (in virtual time) until
+// the message's modeled arrival plus the given grace period, charged to
+// the fault-wait category, and returns ok == false. Determinism note:
+// "timeout" here is not a wall-clock race — the transport delivers a
+// tombstone for every loss, so the outcome is a pure function of the fault
+// plan. With no injector attached RecvTimeout never times out and is
+// exactly Recv.
+func (r *Rank) RecvTimeout(from int, tag Tag, grace float64) (Msg, bool) {
+	for {
+		if m, ok := r.takePending(from, tag); ok {
+			r.recvAdvance(m)
+			return m, true
+		}
+		if t, ok := r.takeTomb(from, tag); ok {
+			r.chargeFaultWait(t.Arrive+grace-r.Clock, tag, t.From)
+			return Msg{}, false
+		}
+		r.blockingRecv(from, tag)
 	}
 }
 
 // AnyRank matches any source rank in Recv and TryRecv.
 const AnyRank = -1
 
+// rankLabel names a source-rank matcher for diagnostics.
+func rankLabel(from int) string {
+	if from == AnyRank {
+		return "any rank"
+	}
+	return fmt.Sprintf("rank %d", from)
+}
+
 // TryRecv returns a matching message if one has already been physically
 // delivered, without blocking. The clock advances to the arrival time on
 // success. Used by polling service loops (the paper's asynchronous donor
-// search servicing).
+// search servicing). Loss tombstones are never matched: to a polling
+// protocol a dropped message is simply one that never shows up.
 func (r *Rank) TryRecv(from int, tag Tag) (Msg, bool) {
-	// Drain everything physically available first.
+	// Drain everything physically available first. The poison check keeps
+	// a polling service loop from spinning forever against a dead world.
 	for {
 		select {
 		case m := <-r.w.inbox[r.ID]:
-			r.pending = append(r.pending, m)
+			r.stash(m)
 			continue
+		case <-r.w.done:
+			panic(fmt.Sprintf(
+				"par: rank %d: inbox closed (world poisoned by a peer panic) while polling %s from %s",
+				r.ID, tagLabel(int(tag)), rankLabel(from)))
 		default:
 		}
 		break
@@ -463,10 +742,55 @@ func (r *Rank) TryRecv(from int, tag Tag) (Msg, bool) {
 	return Msg{}, false
 }
 
+// stash routes a physically delivered message to the matchable pending
+// list, or to the tombstone list if it is a fault-injected loss marker.
+func (r *Rank) stash(m Msg) {
+	if m.Lost {
+		r.tombs = append(r.tombs, m)
+		return
+	}
+	r.pending = append(r.pending, m)
+}
+
 func (r *Rank) takePending(from int, tag Tag) (Msg, bool) {
+	if from == AnyRank {
+		// The pending list is in physical-arrival order, which races between
+		// senders; match the deterministic minimum (Arrive, sender, sequence)
+		// instead so wildcard receives — and the trace event streams they
+		// emit — are reproducible run to run. Per-sender FIFO is preserved
+		// (the flow id is monotone per sender).
+		best := -1
+		for i, m := range r.pending {
+			if m.Tag != tag {
+				continue
+			}
+			if best < 0 || m.Arrive < r.pending[best].Arrive ||
+				(m.Arrive == r.pending[best].Arrive && m.flow < r.pending[best].flow) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return Msg{}, false
+		}
+		m := r.pending[best]
+		r.pending = append(r.pending[:best], r.pending[best+1:]...)
+		return m, true
+	}
 	for i, m := range r.pending {
-		if m.Tag == tag && (from == AnyRank || m.From == from) {
+		if m.Tag == tag && m.From == from {
 			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// takeTomb matches and removes a loss tombstone, same matching rule as
+// takePending.
+func (r *Rank) takeTomb(from int, tag Tag) (Msg, bool) {
+	for i, m := range r.tombs {
+		if m.Tag == tag && (from == AnyRank || m.From == from) {
+			r.tombs = append(r.tombs[:i], r.tombs[i+1:]...)
 			return m, true
 		}
 	}
@@ -477,6 +801,12 @@ func (r *Rank) takePending(from int, tag Tag) (Msg, bool) {
 // global max, attributing the jump to barrier wait and tracing the rank
 // whose clock set the release time.
 func (r *Rank) barrierSync() {
+	if len(r.tombs) > 0 {
+		// Loss tombstones do not survive a rendezvous: every lossy exchange
+		// here completes between barriers, so anything left is from a
+		// polling protocol that will never consume it.
+		r.tombs = r.tombs[:0]
+	}
 	maxClock, maxRank := r.w.bar.sync(r.Clock, r.ID)
 	if wait := maxClock - r.Clock; wait > 0 {
 		if r.tr != nil {
@@ -578,15 +908,18 @@ func (b *barrier) init(n int) {
 }
 
 // sync blocks until all n ranks have called it, then returns the maximum
-// clock passed by any rank in this generation and the rank that passed it
-// (ties go to the earliest caller).
+// clock passed by any rank in this generation and the rank that passed it.
+// Equal clocks tie-break to the lowest rank id — never to physical call
+// order, which would make wait attribution (and traced event streams)
+// scheduler-dependent.
 func (b *barrier) sync(clock float64, rank int) (float64, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
 		panic("par: barrier poisoned by peer rank panic")
 	}
-	if b.waiting == 0 || clock > b.maxClock {
+	if b.waiting == 0 || clock > b.maxClock ||
+		(clock == b.maxClock && rank < b.maxRank) {
 		b.maxClock = clock
 		b.maxRank = rank
 	}

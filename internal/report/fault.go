@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// FaultStats is the fault/recovery slice of a run's statistics, decoupled
+// from the core Result type so report stays a pure rendering package.
+type FaultStats struct {
+	// Recoveries counts crash-triggered restarts; RecoverySteps the
+	// timesteps re-executed; RecoveryTime the virtual seconds of lost work.
+	Recoveries    int
+	RecoverySteps int
+	RecoveryTime  float64
+	// Checkpoints counts snapshots taken; CheckpointTime their virtual cost.
+	Checkpoints    int
+	CheckpointTime float64
+	// StartNodes and FinalNodes bracket the processor count (crashes shrink
+	// the machine).
+	StartNodes, FinalNodes int
+	// DroppedMsgs counts fault-injected message drops; SendRetries the
+	// retransmissions among them; FaultWaitTime the rank-seconds lost to
+	// retry backoff and loss discovery.
+	DroppedMsgs   int
+	SendRetries   int
+	FaultWaitTime float64
+}
+
+// Any reports whether the run recorded fault activity worth a table.
+func (s FaultStats) Any() bool {
+	return s.Recoveries > 0 || s.Checkpoints > 0 || s.DroppedMsgs > 0 ||
+		s.SendRetries > 0 || s.FaultWaitTime > 0
+}
+
+// FaultSummary renders the fault/recovery table of a perturbed run: what
+// the injected faults cost in crashes recovered, checkpoints, re-executed
+// work, dropped traffic and retry stalls.
+func FaultSummary(w io.Writer, s FaultStats) {
+	fmt.Fprintln(w, "fault / recovery summary")
+	if s.Recoveries > 0 {
+		fmt.Fprintf(w, "  rank crashes recovered  %6d   (%d -> %d nodes)\n",
+			s.Recoveries, s.StartNodes, s.FinalNodes)
+		fmt.Fprintf(w, "  timesteps re-executed   %6d   (%.3fs of lost work)\n",
+			s.RecoverySteps, s.RecoveryTime)
+	}
+	if s.Checkpoints > 0 {
+		fmt.Fprintf(w, "  checkpoints taken       %6d   (%.3fs virtual cost)\n",
+			s.Checkpoints, s.CheckpointTime)
+	}
+	if s.DroppedMsgs > 0 || s.SendRetries > 0 {
+		fmt.Fprintf(w, "  messages dropped        %6d   (%d retransmissions)\n",
+			s.DroppedMsgs, s.SendRetries)
+	}
+	if s.FaultWaitTime > 0 {
+		fmt.Fprintf(w, "  fault wait              %9.3fs rank-seconds (backoff + loss discovery)\n",
+			s.FaultWaitTime)
+	}
+	if !s.Any() {
+		fmt.Fprintln(w, "  (no fault activity)")
+	}
+}

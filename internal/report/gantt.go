@@ -52,6 +52,7 @@ func PhaseWaitTable(w io.Writer, s *trace.Summary, label func(int) string) {
 		pb    trace.PhaseBreakdown
 	}
 	var rows []row
+	anyFault := false
 	for p := 0; p < nPhase; p++ {
 		var pb trace.PhaseBreakdown
 		for _, r := range s.Ranks {
@@ -59,16 +60,32 @@ func PhaseWaitTable(w io.Writer, s *trace.Summary, label func(int) string) {
 				pb.Busy += r.ByPhase[p].Busy
 				pb.RecvWait += r.ByPhase[p].RecvWait
 				pb.BarrierWait += r.ByPhase[p].BarrierWait
+				pb.FaultWait += r.ByPhase[p].FaultWait
 			}
+		}
+		if pb.FaultWait > 0 {
+			anyFault = true
 		}
 		if pb.Total() > 0 {
 			rows = append(rows, row{p, pb})
 		}
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].pb.Total() > rows[b].pb.Total() })
-	fmt.Fprintln(w, "phase         busy        recv-wait   barrier-wait  wait share (rank-seconds)")
+	// The fault-wait column appears only when fault injection charged time,
+	// so fault-free reports keep the familiar shape.
+	if anyFault {
+		fmt.Fprintln(w, "phase         busy        recv-wait   barrier-wait  fault-wait   wait share (rank-seconds)")
+	} else {
+		fmt.Fprintln(w, "phase         busy        recv-wait   barrier-wait  wait share (rank-seconds)")
+	}
 	for _, r := range rows {
-		wait := r.pb.RecvWait + r.pb.BarrierWait
+		wait := r.pb.RecvWait + r.pb.BarrierWait + r.pb.FaultWait
+		if anyFault {
+			fmt.Fprintf(w, "%-12s  %9.3fs  %9.3fs  %9.3fs  %9.3fs     %5.1f%%\n",
+				label(r.phase), r.pb.Busy, r.pb.RecvWait, r.pb.BarrierWait,
+				r.pb.FaultWait, 100*wait/r.pb.Total())
+			continue
+		}
 		fmt.Fprintf(w, "%-12s  %9.3fs  %9.3fs  %9.3fs     %5.1f%%\n",
 			label(r.phase), r.pb.Busy, r.pb.RecvWait, r.pb.BarrierWait,
 			100*wait/r.pb.Total())

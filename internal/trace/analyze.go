@@ -12,10 +12,13 @@ type PhaseBreakdown struct {
 	Busy        float64 // compute, elapse, send overhead, collective work
 	RecvWait    float64 // blocked on messages still in flight
 	BarrierWait float64 // blocked in barriers/collectives for slower ranks
+	FaultWait   float64 // retry backoff and loss-discovery time (fault layer)
 }
 
 // Total returns all virtual time attributed to the phase.
-func (p PhaseBreakdown) Total() float64 { return p.Busy + p.RecvWait + p.BarrierWait }
+func (p PhaseBreakdown) Total() float64 {
+	return p.Busy + p.RecvWait + p.BarrierWait + p.FaultWait
+}
 
 // RankSummary is one rank's wait/idle decomposition over the window.
 type RankSummary struct {
@@ -65,6 +68,9 @@ func (rec *Recorder) Summarize() *Summary {
 			case e.Kind == KindBarrier:
 				rs.BarrierWait += d
 				pb.BarrierWait += d
+			case e.Kind == KindFaultWait:
+				rs.FaultWait += d
+				pb.FaultWait += d
 			case e.Kind.Busy():
 				rs.Busy += d
 				pb.Busy += d

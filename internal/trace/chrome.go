@@ -117,6 +117,10 @@ func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
 				ce.Name, ce.Cat, ce.Ph = "allgather", "collective", "X"
 				ce.Dur = e.Dur * usPerSec
 				ce.Args = map[string]any{"bytes": e.Bytes}
+			case KindFaultWait:
+				ce.Name, ce.Cat, ce.Ph = "fault-wait", "wait", "X"
+				ce.Dur = e.Dur * usPerSec
+				ce.Args = map[string]any{"peer": e.Peer, "tag": rec.TagLabel(int(e.Tag))}
 			case KindPhase:
 				ce.Name, ce.Cat, ce.Ph = "phase → "+rec.PhaseLabel(int(e.Phase)), "phase", "i"
 				ce.S = "t"

@@ -52,6 +52,11 @@ const (
 	KindGather
 	// KindPhase is a zero-duration marker recording a phase change.
 	KindPhase
+	// KindFaultWait is virtual time lost to the fault layer: retry backoff
+	// after a dropped message acknowledgment, or the grace period spent
+	// discovering a loss in a timed-out receive. Peer is the unreachable
+	// rank; Tag is the afflicted message stream.
+	KindFaultWait
 	numKinds
 )
 
@@ -76,6 +81,8 @@ func (k Kind) String() string {
 		return "allgather"
 	case KindPhase:
 		return "phase"
+	case KindFaultWait:
+		return "fault-wait"
 	}
 	return "kind(?)"
 }
@@ -92,7 +99,7 @@ func (k Kind) Busy() bool {
 }
 
 // Wait reports whether the kind represents time blocked on a peer.
-func (k Kind) Wait() bool { return k == KindWait || k == KindBarrier }
+func (k Kind) Wait() bool { return k == KindWait || k == KindBarrier || k == KindFaultWait }
 
 // NoPeer is the Peer value of events not caused by another rank.
 const NoPeer = -1

@@ -34,6 +34,7 @@ import (
 	"overd/internal/balance"
 	"overd/internal/cases"
 	"overd/internal/core"
+	"overd/internal/fault"
 	"overd/internal/flow"
 	"overd/internal/geom"
 	"overd/internal/machine"
@@ -124,6 +125,30 @@ type TraceCriticalPath = trace.CriticalPath
 
 // NewTraceRecorder returns an empty recorder ready to set as Config.Trace.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// FaultPlan is a deterministic fault schedule perturbing a run: per-rank
+// compute stragglers, degraded links, seeded message loss and scheduled
+// rank crashes, all expressed against the virtual clock (set Config.Faults;
+// see package fault). A run under a plan with crashes recovers through
+// periodic checkpoints (Config.CheckpointEvery) — the crashed rank's work
+// is re-spread over the survivors and the recovery cost lands in the
+// Result. A nil plan leaves the run bit-identical to an unfaulted one.
+type FaultPlan = fault.Plan
+
+// FaultStraggler, FaultLink, FaultLoss and FaultCrash are the plan's
+// building blocks.
+type (
+	FaultStraggler = fault.Straggler
+	FaultLink      = fault.LinkFault
+	FaultLoss      = fault.Loss
+	FaultCrash     = fault.Crash
+)
+
+// ParseFaultPlan decodes and validates a JSON fault plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.ParsePlan(data) }
+
+// LoadFaultPlan reads, decodes and validates a JSON fault-plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.LoadPlan(path) }
 
 // SampleSpec selects field and surface extraction from a run's final
 // solution (set Config.Sample).
