@@ -1,0 +1,101 @@
+// Command bench runs the repository's table-regeneration benchmarks
+// (`Benchmark*` in the root package) under -benchmem and writes the parsed
+// results as a machine-readable JSON trajectory file (BENCH_*.json).
+//
+// The wall-clock numbers are host-dependent; the point of the file is the
+// allocation columns (allocs/op, B/op), which the hot-path optimization
+// passes drive down while TestPerfPassBitIdentical pins the virtual-time
+// results exactly.
+//
+// Usage:
+//
+//	bench [-bench regex] [-scale f] [-steps n] [-benchtime 1x] [-out BENCH_3.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+)
+
+// benchFile is the BENCH_*.json document shape.
+type benchFile struct {
+	Harness   string        `json:"harness"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Scale     float64       `json:"scale"`
+	Steps     int           `json:"steps"`
+	BenchTime string        `json:"benchtime"`
+	Results   []BenchResult `json:"results"`
+}
+
+func main() {
+	benchRe := flag.String("bench", "BenchmarkTable", "benchmark regex passed to go test -bench")
+	scale := flag.Float64("scale", 0.1, "OVERD_BENCH_SCALE for the run (gridpoint budget multiplier)")
+	steps := flag.Int("steps", 2, "OVERD_BENCH_STEPS for the run (measured timesteps)")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if *scale <= 0 {
+		fail(fmt.Errorf("-scale must be > 0 (got %g)", *scale))
+	}
+	if *steps <= 0 {
+		fail(fmt.Errorf("-steps must be > 0 (got %d)", *steps))
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
+	cmd.Env = append(os.Environ(),
+		fmt.Sprintf("OVERD_BENCH_SCALE=%g", *scale),
+		fmt.Sprintf("OVERD_BENCH_STEPS=%d", *steps))
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go test -run '^$' -bench %q -benchmem -benchtime %s %s (scale %g, %d steps)\n",
+		*benchRe, *benchtime, *pkg, *scale, *steps)
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(buf.Bytes())
+		fail(fmt.Errorf("go test -bench: %w", err))
+	}
+
+	results, err := parseBenchOutput(buf.String())
+	if err != nil {
+		os.Stderr.Write(buf.Bytes())
+		fail(err)
+	}
+
+	doc := benchFile{
+		Harness:   "cmd/bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     *scale,
+		Steps:     *steps,
+		BenchTime: *benchtime,
+		Results:   results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-28s %14.0f ns/op %14d B/op %10d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+}

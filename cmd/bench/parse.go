@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` result line.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkTable4_StoreSep-8 -> Table4_StoreSep).
+	Name string `json:"name"`
+	// Iters is the measured iteration count (b.N).
+	Iters int `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// columns; BytesPerOp/AllocsPerOp are -1 when -benchmem was off.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds the b.ReportMetric extras in order of appearance.
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Metric is one custom b.ReportMetric value.
+type Metric struct {
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// parseBenchOutput extracts result lines from `go test -bench -benchmem`
+// output. Lines it does not recognize (logs, PASS, ok) are skipped.
+func parseBenchOutput(out string) ([]BenchResult, error) {
+	var results []BenchResult
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iters, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		r := BenchResult{Name: name, Iters: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %q: bad value %q for unit %q", line, val, unit)
+			}
+			switch unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				r.Metrics = append(r.Metrics, Metric{Unit: unit, Value: v})
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in output")
+	}
+	return results, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: overd
+cpu: SomeCPU @ 2.40GHz
+BenchmarkTable1_OscAirfoil-8   	       1	1234567890 ns/op	 22334455 B/op	  334455 allocs/op	        14.21 Mflops/node@base	         1.50 speedup@max
+--- BENCH: BenchmarkTable1_OscAirfoil-8
+    bench_test.go:35: options: scale 0.1, 2 steps
+BenchmarkTable4_StoreSep-8     	       1	9777293443 ns/op	4346849736 B/op	  605307 allocs/op
+PASS
+ok  	overd	21.5s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+
+	r := results[0]
+	if r.Name != "Table1_OscAirfoil" {
+		t.Errorf("name = %q, want Table1_OscAirfoil (suffix stripped)", r.Name)
+	}
+	if r.Iters != 1 || r.NsPerOp != 1234567890 || r.BytesPerOp != 22334455 || r.AllocsPerOp != 334455 {
+		t.Errorf("standard columns wrong: %+v", r)
+	}
+	if len(r.Metrics) != 2 || r.Metrics[0].Unit != "Mflops/node@base" || r.Metrics[0].Value != 14.21 ||
+		r.Metrics[1].Unit != "speedup@max" || r.Metrics[1].Value != 1.5 {
+		t.Errorf("custom metrics wrong: %+v", r.Metrics)
+	}
+
+	r = results[1]
+	if r.Name != "Table4_StoreSep" || r.AllocsPerOp != 605307 || len(r.Metrics) != 0 {
+		t.Errorf("second result wrong: %+v", r)
+	}
+}
+
+func TestParseBenchOutputNoBenchmem(t *testing.T) {
+	results, err := parseBenchOutput("BenchmarkX-4 \t 2 \t 500 ns/op\nPASS\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem columns should be -1, got %+v", r)
+	}
+}
+
+func TestParseBenchOutputErrors(t *testing.T) {
+	if _, err := parseBenchOutput("PASS\nok  \tsomething\t1.2s\n"); err == nil {
+		t.Error("want error when no benchmark lines present")
+	}
+	_, err := parseBenchOutput("BenchmarkY-4 \t 1 \t bogus ns/op\n")
+	if err == nil || !strings.Contains(err.Error(), "bad value") {
+		t.Errorf("want bad-value error, got %v", err)
+	}
+}

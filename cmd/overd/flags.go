@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+
+	"overd"
+)
+
+// runFlags carries the raw command-line values; validateRunFlags turns them
+// into runnable pieces or a clear error. Keeping validation out of main()
+// makes the edge cases testable without spawning the binary.
+type runFlags struct {
+	caseName        string
+	nodes           int
+	machineName     string
+	steps           int
+	scale           float64
+	fo              float64
+	checkEvery      int
+	checkpointEvery int
+	faultsPath      string
+	fieldOut        string
+}
+
+// validated holds the parts of the config that validation resolves.
+type validated struct {
+	c         *overd.Case
+	m         overd.Machine
+	fieldGrid int
+	fieldFile string
+}
+
+func validateRunFlags(f runFlags) (validated, error) {
+	var v validated
+	if f.nodes <= 0 {
+		return v, fmt.Errorf("-nodes %d: the simulated machine needs at least one processor", f.nodes)
+	}
+	if f.steps < 0 {
+		return v, fmt.Errorf("-steps %d: the timestep count cannot be negative", f.steps)
+	}
+	if f.scale <= 0 {
+		return v, fmt.Errorf("-scale %g: the gridpoint budget multiplier must be positive", f.scale)
+	}
+	if f.fo < 0 {
+		return v, fmt.Errorf("-fo %g: the load-balance factor cannot be negative (use +Inf or 0 to disable)", f.fo)
+	}
+	if f.checkEvery <= 0 {
+		return v, fmt.Errorf("-check %d: the balance-check interval must be positive", f.checkEvery)
+	}
+	if f.checkpointEvery > 0 && f.faultsPath == "" {
+		return v, fmt.Errorf("-checkpoint-every %d without -faults: checkpoints only matter when the fault plan can crash ranks", f.checkpointEvery)
+	}
+
+	switch f.caseName {
+	case "airfoil":
+		v.c = overd.OscillatingAirfoil(f.scale)
+	case "deltawing":
+		v.c = overd.DescendingDeltaWing(f.scale)
+	case "storesep":
+		v.c = overd.StoreSeparation(f.scale)
+	default:
+		return v, fmt.Errorf("unknown case %q (valid: airfoil, deltawing, storesep)", f.caseName)
+	}
+
+	m, err := overd.MachineByName(f.machineName)
+	if err != nil {
+		return v, err
+	}
+	v.m = m
+
+	v.fieldGrid = -1
+	if f.fieldOut != "" {
+		var gid int
+		var file string
+		if _, err := fmt.Sscanf(f.fieldOut, "%d:%s", &gid, &file); err != nil {
+			return v, fmt.Errorf("-field wants gridID:file.csv (got %q): %v", f.fieldOut, err)
+		}
+		if gid < 0 || gid >= len(v.c.Sys.Grids) {
+			return v, fmt.Errorf("-field grid %d out of range: case %s has grids 0..%d", gid, v.c.Name, len(v.c.Sys.Grids)-1)
+		}
+		v.fieldGrid = gid
+		v.fieldFile = file
+	}
+	return v, nil
+}

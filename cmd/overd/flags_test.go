@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// good returns a valid baseline flag set; each case mutates one field.
+func good() runFlags {
+	return runFlags{
+		caseName: "airfoil", nodes: 12, machineName: "SP2",
+		steps: 5, scale: 1, fo: math.Inf(1), checkEvery: 5,
+	}
+}
+
+func TestValidateRunFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*runFlags)
+		wantErr string // substring of the error, "" = must succeed
+	}{
+		{"baseline", func(f *runFlags) {}, ""},
+		{"zero nodes", func(f *runFlags) { f.nodes = 0 }, "at least one processor"},
+		{"negative nodes", func(f *runFlags) { f.nodes = -4 }, "at least one processor"},
+		{"negative steps", func(f *runFlags) { f.steps = -1 }, "cannot be negative"},
+		{"zero steps ok", func(f *runFlags) { f.steps = 0 }, ""},
+		{"zero scale", func(f *runFlags) { f.scale = 0 }, "must be positive"},
+		{"negative scale", func(f *runFlags) { f.scale = -0.5 }, "must be positive"},
+		{"negative fo", func(f *runFlags) { f.fo = -1 }, "cannot be negative"},
+		{"zero fo ok", func(f *runFlags) { f.fo = 0 }, ""},
+		{"zero check interval", func(f *runFlags) { f.checkEvery = 0 }, "must be positive"},
+		{"checkpoint without faults", func(f *runFlags) { f.checkpointEvery = 3 }, "without -faults"},
+		{"checkpoint with faults ok", func(f *runFlags) {
+			f.checkpointEvery = 3
+			f.faultsPath = "plan.json"
+		}, ""},
+		{"checkpoint auto without faults ok", func(f *runFlags) { f.checkpointEvery = 0 }, ""},
+		{"checkpoint disabled without faults ok", func(f *runFlags) { f.checkpointEvery = -1 }, ""},
+		{"unknown case", func(f *runFlags) { f.caseName = "wing47" }, `unknown case "wing47"`},
+		{"unknown machine", func(f *runFlags) { f.machineName = "CM5" }, "CM5"},
+		{"deltawing ok", func(f *runFlags) { f.caseName = "deltawing" }, ""},
+		{"storesep on SP ok", func(f *runFlags) {
+			f.caseName = "storesep"
+			f.machineName = "SP"
+		}, ""},
+		{"bad field format", func(f *runFlags) { f.fieldOut = "out.csv" }, "gridID:file.csv"},
+		{"field grid out of range", func(f *runFlags) { f.fieldOut = "99:out.csv" }, "out of range"},
+		{"field ok", func(f *runFlags) { f.fieldOut = "0:out.csv" }, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := good()
+			c.mut(&f)
+			v, err := validateRunFlags(f)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if v.c == nil {
+					t.Fatal("valid flags returned nil case")
+				}
+				if v.m.Name == "" {
+					t.Fatal("valid flags returned zero machine")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}

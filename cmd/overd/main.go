@@ -39,31 +39,16 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "steps between crash-recovery checkpoints (0 = auto when the plan crashes ranks, negative = off)")
 	flag.Parse()
 
-	if *nodes <= 0 {
-		log.Fatalf("-nodes %d: the simulated machine needs at least one processor", *nodes)
-	}
-	if *steps < 0 {
-		log.Fatalf("-steps %d: the timestep count cannot be negative", *steps)
-	}
-	if *fo < 0 {
-		log.Fatalf("-fo %g: the load-balance factor cannot be negative (use +Inf or 0 to disable)", *fo)
-	}
-
-	var c *overd.Case
-	switch *caseName {
-	case "airfoil":
-		c = overd.OscillatingAirfoil(*scale)
-	case "deltawing":
-		c = overd.DescendingDeltaWing(*scale)
-	case "storesep":
-		c = overd.StoreSeparation(*scale)
-	default:
-		log.Fatalf("unknown case %q", *caseName)
-	}
-	m, err := overd.MachineByName(*machineName)
+	v, err := validateRunFlags(runFlags{
+		caseName: *caseName, nodes: *nodes, machineName: *machineName,
+		steps: *steps, scale: *scale, fo: *fo,
+		checkEvery: *checkEvery, checkpointEvery: *checkpointEvery,
+		faultsPath: *faultsPath, fieldOut: *fieldOut,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	c, m := v.c, v.m
 
 	fmt.Printf("case %s: %d grids, %d composite gridpoints\n",
 		c.Name, len(c.Sys.Grids), c.Sys.NPoints())
@@ -113,15 +98,10 @@ func main() {
 	}
 	var spec overd.SampleSpec
 	spec.FieldGrid, spec.FieldK, spec.SurfaceGrid = -1, -1, -1
-	if *fieldOut != "" {
-		var gid int
-		var file string
-		if _, err := fmt.Sscanf(*fieldOut, "%d:%s", &gid, &file); err != nil {
-			log.Fatalf("-field wants gridID:file.csv: %v", err)
-		}
-		spec.FieldGrid = gid
+	if v.fieldGrid >= 0 {
+		spec.FieldGrid = v.fieldGrid
 		cfg.Sample = &spec
-		defer func() { writeField(file, cfg) }()
+		defer func() { writeField(v.fieldFile, cfg) }()
 	}
 
 	res, err := overd.Run(cfg)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTablesFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		scale   float64
+		steps   int
+		only    string
+		figures bool
+		asJSON  bool
+		wantErr string // substring, "" = must succeed
+	}{
+		{"defaults", 1, 4, "1,2,3,4,5,6", false, false, ""},
+		{"json mode", 0.05, 2, "4", false, true, ""},
+		{"faulted table", 1, 4, "5f", false, false, ""},
+		{"zero scale", 0, 4, "1", false, false, "-scale must be > 0"},
+		{"negative scale", -1, 4, "1", false, false, "-scale must be > 0"},
+		{"zero steps", 1, 0, "1", false, false, "-steps must be > 0"},
+		{"negative steps", 1, -2, "1", false, false, "-steps must be > 0"},
+		{"unknown table", 1, 4, "1,9", false, false, `unknown table "9"`},
+		{"garbage table", 1, 4, "five", false, false, `unknown table "five"`},
+		{"empty selection", 1, 4, "", false, false, "empty table selection"},
+		{"figures with json", 1, 4, "1", true, true, "no effect with -json"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := validateTablesFlags(c.scale, c.steps, c.only, c.figures, c.asJSON, nil)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if len(cfg.want) == 0 {
+					t.Fatal("valid flags produced empty selection")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -10,44 +10,45 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"reflect"
-	"strings"
 
 	"overd"
 )
 
-// emitJSON writes one JSON object per table row to w (JSON-lines), tagging
-// each with its table id so downstream tooling can append rows from many
-// runs into one BENCH_*.json trajectory file.
-func emitJSON(w io.Writer, table string, rows any) error {
-	enc := json.NewEncoder(w)
-	v := reflect.ValueOf(rows)
-	for i := 0; i < v.Len(); i++ {
-		if err := enc.Encode(struct {
-			Table string `json:"table"`
-			Row   any    `json:"row"`
-		}{table, v.Index(i).Interface()}); err != nil {
-			return err
-		}
-	}
-	return nil
+// tablesConfig is the validated form of the command-line flags.
+type tablesConfig struct {
+	opt     overd.Options
+	want    map[string]bool
+	figures bool
+	asJSON  bool
 }
 
-// emitPerfJSON writes a PerfTable's rows plus its per-module speedup figure
-// series (the Figs. 5/7/10 points) as JSON lines.
-func emitPerfJSON(w io.Writer, table string, t *overd.PerfTable) error {
-	if err := emitJSON(w, table, t.Rows); err != nil {
-		return err
+// validateTablesFlags turns raw flag values into a runnable config,
+// rejecting nonsensical inputs with a clear error instead of letting them
+// degrade into silent defaults or a hung run.
+func validateTablesFlags(scale float64, steps int, only string, figures, asJSON bool, logw io.Writer) (tablesConfig, error) {
+	if scale <= 0 {
+		return tablesConfig{}, fmt.Errorf("-scale must be > 0 (got %g)", scale)
 	}
-	if err := emitJSON(w, table+".fig.SP2", t.FigSP2); err != nil {
-		return err
+	if steps <= 0 {
+		return tablesConfig{}, fmt.Errorf("-steps must be > 0 (got %d)", steps)
 	}
-	return emitJSON(w, table+".fig.SP", t.FigSP)
+	if figures && asJSON {
+		return tablesConfig{}, fmt.Errorf("-figures has no effect with -json; pick one output mode")
+	}
+	want, err := overd.ParseTableSelection(only)
+	if err != nil {
+		return tablesConfig{}, err
+	}
+	return tablesConfig{
+		opt:     overd.Options{Scale: scale, Steps: steps, Log: logw},
+		want:    want,
+		figures: figures,
+		asJSON:  asJSON,
+	}, nil
 }
 
 func main() {
@@ -63,123 +64,88 @@ func main() {
 	if *verbose {
 		logw = os.Stderr
 	}
-	opt := overd.Options{Scale: *scale, Steps: *steps, Log: logw}
-	want := map[string]bool{}
-	for _, t := range strings.Split(*only, ",") {
-		want[strings.TrimSpace(t)] = true
-	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 
-	if want["1"] {
-		t, err := overd.RunTable1(opt)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			if err := emitPerfJSON(os.Stdout, "1", t); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintPerfTable(os.Stdout, t)
-			if *figures {
-				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 5 left
-				overd.FprintSpeedupFigure(os.Stdout, t, "SP")  // Fig. 5 right
-			}
-			fmt.Println()
-		}
+	cfg, err := validateTablesFlags(*scale, *steps, *only, *figures, *asJSON, logw)
+	if err != nil {
+		fail(err)
 	}
-	if want["2"] {
-		rows, err := overd.RunTable2(opt)
-		if err != nil {
+
+	if cfg.asJSON {
+		if err := overd.EmitTablesJSON(os.Stdout, cfg.opt, cfg.want); err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitJSON(os.Stdout, "2", rows); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintTable2(os.Stdout, rows)
-			fmt.Println()
-		}
+		return
 	}
-	if want["3"] {
-		t, err := overd.RunTable3(opt)
+
+	if cfg.want["1"] {
+		t, err := overd.RunTable1(cfg.opt)
 		if err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitPerfJSON(os.Stdout, "3", t); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintPerfTable(os.Stdout, t)
-			if *figures {
-				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 7
-			}
-			fmt.Println()
+		overd.FprintPerfTable(os.Stdout, t)
+		if cfg.figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 5 left
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP")  // Fig. 5 right
 		}
+		fmt.Println()
 	}
-	if want["4"] {
-		t, err := overd.RunTable4(opt)
+	if cfg.want["2"] {
+		rows, err := overd.RunTable2(cfg.opt)
 		if err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitPerfJSON(os.Stdout, "4", t); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintPerfTable(os.Stdout, t)
-			if *figures {
-				overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 10
-			}
-			fmt.Println()
-		}
+		overd.FprintTable2(os.Stdout, rows)
+		fmt.Println()
 	}
-	if want["5"] {
-		rows, err := overd.RunTable5(opt)
+	if cfg.want["3"] {
+		t, err := overd.RunTable3(cfg.opt)
 		if err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitJSON(os.Stdout, "5", rows); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintTable5(os.Stdout, rows)
-			fmt.Println()
+		overd.FprintPerfTable(os.Stdout, t)
+		if cfg.figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 7
 		}
+		fmt.Println()
 	}
-	if want["5f"] {
-		rows, err := overd.RunTable5Faulted(opt)
+	if cfg.want["4"] {
+		t, err := overd.RunTable4(cfg.opt)
 		if err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitJSON(os.Stdout, "5f", rows); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintTable5Faulted(os.Stdout, rows)
-			fmt.Println()
+		overd.FprintPerfTable(os.Stdout, t)
+		if cfg.figures {
+			overd.FprintSpeedupFigure(os.Stdout, t, "SP2") // Fig. 10
 		}
+		fmt.Println()
 	}
-	if want["6"] {
-		rows, err := overd.RunTable6(opt)
+	if cfg.want["5"] {
+		rows, err := overd.RunTable5(cfg.opt)
 		if err != nil {
 			fail(err)
 		}
-		if *asJSON {
-			if err := emitJSON(os.Stdout, "6", rows); err != nil {
-				fail(err)
-			}
-		} else {
-			overd.FprintTable6(os.Stdout, rows)
-			fmt.Println()
+		overd.FprintTable5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if cfg.want["5f"] {
+		rows, err := overd.RunTable5Faulted(cfg.opt)
+		if err != nil {
+			fail(err)
 		}
+		overd.FprintTable5Faulted(os.Stdout, rows)
+		fmt.Println()
+	}
+	if cfg.want["6"] {
+		rows, err := overd.RunTable6(cfg.opt)
+		if err != nil {
+			fail(err)
+		}
+		overd.FprintTable6(os.Stdout, rows)
+		fmt.Println()
 	}
 }

@@ -68,6 +68,27 @@ type PerfTable struct {
 	FigSP  []ModuleSpeedup
 }
 
+// ratio returns num/den, or NaN when the denominator is zero — a baseline
+// or module time of zero (degenerate zero-step runs) must not leak an
+// untagged Inf/NaN into a speedup column. Renderers show NaN as "—" and
+// the JSON emitter nulls it to 0, so degenerate statistics are visible as
+// such instead of crashing the encoder or printing "NaN%".
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// fmtStat formats a statistic with the given verb, rendering non-finite
+// values (degenerate ratios) as an em dash.
+func fmtStat(format string, v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "—"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // runPerfTable executes a case constructor over node counts on both
 // machines and assembles the paper-style table.
 func runPerfTable(title string, mk func(float64) *Case, nodes []int, opt Options) (*PerfTable, error) {
@@ -103,22 +124,22 @@ func runPerfTable(title string, mk func(float64) *Case, nodes []int, opt Options
 			PtsPerNode:  np / n,
 			MflopsSP2:   r2.MflopsPerNode(),
 			MflopsSP:    rs.MflopsPerNode(),
-			SpeedupSP2:  base2.TotalTime / r2.TotalTime,
-			SpeedupSP:   baseS.TotalTime / rs.TotalTime,
+			SpeedupSP2:  ratio(base2.TotalTime, r2.TotalTime),
+			SpeedupSP:   ratio(baseS.TotalTime, rs.TotalTime),
 			PctDCF3DSP2: r2.PctConnect(),
 			PctDCF3DSP:  rs.PctConnect(),
 		})
 		t.FigSP2 = append(t.FigSP2, ModuleSpeedup{
 			Nodes:    n,
-			Flow:     base2.FlowTime / r2.FlowTime,
-			Connect:  base2.ConnectTime / r2.ConnectTime,
-			Combined: base2.TotalTime / r2.TotalTime,
+			Flow:     ratio(base2.FlowTime, r2.FlowTime),
+			Connect:  ratio(base2.ConnectTime, r2.ConnectTime),
+			Combined: ratio(base2.TotalTime, r2.TotalTime),
 		})
 		t.FigSP = append(t.FigSP, ModuleSpeedup{
 			Nodes:    n,
-			Flow:     baseS.FlowTime / rs.FlowTime,
-			Connect:  baseS.ConnectTime / rs.ConnectTime,
-			Combined: baseS.TotalTime / rs.TotalTime,
+			Flow:     ratio(baseS.FlowTime, rs.FlowTime),
+			Connect:  ratio(baseS.ConnectTime, rs.ConnectTime),
+			Combined: ratio(baseS.TotalTime, rs.TotalTime),
 		})
 	}
 	return t, nil
@@ -254,12 +275,12 @@ func RunTable5(opt Options) ([]Table5Row, error) {
 			Nodes:          n,
 			PctDCFStatic:   rs.PctConnect(),
 			PctDCFDynamic:  rd.PctConnect(),
-			DCFSpeedupStat: baseStat.ConnectTime / rs.ConnectTime,
-			DCFSpeedupDyn:  baseDyn.ConnectTime / rd.ConnectTime,
-			CombinedStat:   baseStat.TotalTime / rs.TotalTime,
-			CombinedDyn:    baseDyn.TotalTime / rd.TotalTime,
-			FlowStat:       baseStat.FlowTime / rs.FlowTime,
-			FlowDyn:        baseDyn.FlowTime / rd.FlowTime,
+			DCFSpeedupStat: ratio(baseStat.ConnectTime, rs.ConnectTime),
+			DCFSpeedupDyn:  ratio(baseDyn.ConnectTime, rd.ConnectTime),
+			CombinedStat:   ratio(baseStat.TotalTime, rs.TotalTime),
+			CombinedDyn:    ratio(baseDyn.TotalTime, rd.TotalTime),
+			FlowStat:       ratio(baseStat.FlowTime, rs.FlowTime),
+			FlowDyn:        ratio(baseDyn.FlowTime, rd.FlowTime),
 		})
 	}
 	return out, nil
@@ -337,8 +358,8 @@ func runTable5Faulted(opt Options, nodes []int) ([]Table5FaultedRow, error) {
 		}
 		out = append(out, Table5FaultedRow{
 			Nodes:         n,
-			SlowdownStat:  fs.TotalTime / cs.TotalTime,
-			SlowdownDyn:   fd.TotalTime / cd.TotalTime,
+			SlowdownStat:  ratio(fs.TotalTime, cs.TotalTime),
+			SlowdownDyn:   ratio(fd.TotalTime, cd.TotalTime),
 			PctDCFStat:    fs.PctConnect(),
 			PctDCFDyn:     fd.PctConnect(),
 			RebalancesDyn: fd.Rebalances,
@@ -378,7 +399,7 @@ func RunTable6(opt Options) ([]Table6Row, error) {
 				return nil, err
 			}
 			ympT := EstimateSerialTime(res.Flops, YMP864())
-			overall := ympT / res.TotalTime
+			overall := ratio(ympT, res.TotalTime)
 			if m.Name == "SP2" {
 				row.OverallSP2 = overall
 				row.PerNodeSP2 = overall / float64(n)
@@ -386,7 +407,7 @@ func RunTable6(opt Options) ([]Table6Row, error) {
 				row.OverallSP = overall
 				row.PerNodeSP = overall / float64(n)
 			}
-			row.YMPTimeStep = ympT / float64(len(res.Steps))
+			row.YMPTimeStep = ratio(ympT, float64(len(res.Steps)))
 		}
 		out = append(out, row)
 	}
@@ -399,14 +420,16 @@ func FprintPerfTable(w io.Writer, t *PerfTable) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Nodes\tPts/node\tMflops/node SP2\tSP\tSpeedup SP2\tSP\t%DCF3D SP2\tSP")
 	for _, r := range t.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.0f%%\t%.0f%%\n",
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
 			r.Nodes, r.PtsPerNode, r.MflopsSP2, r.MflopsSP,
-			r.SpeedupSP2, r.SpeedupSP, r.PctDCF3DSP2, r.PctDCF3DSP)
+			fmtStat("%.2f", r.SpeedupSP2), fmtStat("%.2f", r.SpeedupSP),
+			fmtStat("%.0f%%", r.PctDCF3DSP2), fmtStat("%.0f%%", r.PctDCF3DSP))
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "Module speedups (SP2): nodes flow(OVERFLOW) connect(DCF3D) combined")
 	for _, f := range t.FigSP2 {
-		fmt.Fprintf(w, "  %3d  %6.2f  %6.2f  %6.2f\n", f.Nodes, f.Flow, f.Connect, f.Combined)
+		fmt.Fprintf(w, "  %3d  %6s  %6s  %6s\n", f.Nodes,
+			fmtStat("%.2f", f.Flow), fmtStat("%.2f", f.Connect), fmtStat("%.2f", f.Combined))
 	}
 }
 
@@ -434,9 +457,10 @@ func FprintTable2(w io.Writer, rows []ScaleupRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Case\tPoints\tPts/node\tTime/step SP2\tSP\t%DCF3D SP2\tSP")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s - %d nodes\t%d\t%d\t%.3f\t%.3f\t%.0f%%\t%.0f%%\n",
+		fmt.Fprintf(tw, "%s - %d nodes\t%d\t%d\t%.3f\t%.3f\t%s\t%s\n",
 			r.Name, r.Nodes, r.Points, r.PtsPerNode,
-			r.SecStepSP2, r.SecStepSP, r.PctDCF3DSP2, r.PctDCF3DSP)
+			r.SecStepSP2, r.SecStepSP,
+			fmtStat("%.0f%%", r.PctDCF3DSP2), fmtStat("%.0f%%", r.PctDCF3DSP))
 	}
 	tw.Flush()
 }
@@ -447,9 +471,10 @@ func FprintTable5(w io.Writer, rows []Table5Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Nodes\t%DCF dyn\t%DCF stat\tDCF speedup dyn\tstat\tcombined dyn\tstat")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.0f%%\t%.0f%%\t%.2f\t%.2f\t%.2f\t%.2f\n",
-			r.Nodes, r.PctDCFDynamic, r.PctDCFStatic,
-			r.DCFSpeedupDyn, r.DCFSpeedupStat, r.CombinedDyn, r.CombinedStat)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Nodes, fmtStat("%.0f%%", r.PctDCFDynamic), fmtStat("%.0f%%", r.PctDCFStatic),
+			fmtStat("%.2f", r.DCFSpeedupDyn), fmtStat("%.2f", r.DCFSpeedupStat),
+			fmtStat("%.2f", r.CombinedDyn), fmtStat("%.2f", r.CombinedStat))
 	}
 	tw.Flush()
 }
@@ -460,9 +485,9 @@ func FprintTable5Faulted(w io.Writer, rows []Table5FaultedRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Nodes\tSlowdown stat\tdyn\t%DCF stat\tdyn\tRebalances dyn")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%.0f%%\t%.0f%%\t%d\n",
-			r.Nodes, r.SlowdownStat, r.SlowdownDyn,
-			r.PctDCFStat, r.PctDCFDyn, r.RebalancesDyn)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%d\n",
+			r.Nodes, fmtStat("%.2fx", r.SlowdownStat), fmtStat("%.2fx", r.SlowdownDyn),
+			fmtStat("%.0f%%", r.PctDCFStat), fmtStat("%.0f%%", r.PctDCFDyn), r.RebalancesDyn)
 	}
 	tw.Flush()
 }
@@ -473,8 +498,9 @@ func FprintTable6(w io.Writer, rows []Table6Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Nodes\tOverall SP2\tSP\tPer node SP2\tSP")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2f\t%.2f\n",
-			r.Nodes, r.OverallSP2, r.OverallSP, r.PerNodeSP2, r.PerNodeSP)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\n",
+			r.Nodes, fmtStat("%.1f", r.OverallSP2), fmtStat("%.1f", r.OverallSP),
+			fmtStat("%.2f", r.PerNodeSP2), fmtStat("%.2f", r.PerNodeSP))
 	}
 	tw.Flush()
 }

@@ -12,6 +12,7 @@ import (
 	"overd/internal/geom"
 	"overd/internal/grid"
 	"overd/internal/overset"
+	"overd/internal/par"
 )
 
 // Approximate flop costs of connectivity work, for virtual-time accounting.
@@ -58,12 +59,13 @@ type Solver struct {
 	// donorRank is the rank that serves each donor.
 	donorRank []int
 
-	// restart: previous donors per IGBP key for nth-level restart.
+	// restart: previous donors per packed IGBP key for nth-level restart.
 	restart map[restartKey]restartHint
 
 	// sendList: interpolation duties this rank owes others, rebuilt each
-	// connectivity solve: receiver rank -> entries.
-	sendList map[int][]sendEntry
+	// connectivity solve. Indexed by receiver rank; an empty slice means no
+	// duties (dense per-rank buckets, reused across solves).
+	sendList [][]sendEntry
 
 	// ReceivedIGBPs is I(p): the number of non-local IGBP search requests
 	// this rank serviced in the latest solve.
@@ -86,9 +88,37 @@ type Solver struct {
 	// likewise (their points degrade to orphans), LostFringe fringe-value
 	// batches whose receivers kept previous data.
 	LostSends, LostReplies, LostFringe int
+
+	// Reusable per-solve scratch. Everything below changes host allocation
+	// behavior only, never modeled time (see DESIGN.md, "Wall-clock vs
+	// virtual time"). The per-destination request/reply buckets are dense
+	// rank-indexed slices: iterating them in index order IS the sorted-key
+	// order the old map-based buckets had to sort into, so sends stay
+	// deterministic by construction.
+	pend        []pendingPt // dense, indexed by IGBP id
+	outbox      [][]ptReq   // destination rank -> queued requests
+	outboxNext  [][]ptReq   // double buffer for lost-send requeues
+	fwdbox      [][]ptReq   // destination rank -> forwards
+	replies     [][]ptRep   // origin rank -> computed replies
+	lostFwds    [][]ptRep   // origin rank -> broken-chain failure replies
+	anyLostFwds bool
+	rankBounds  []geom.Box
+	inbound     []par.Msg
+	cands       []int     // candidate-rank scratch for advance
+	candD       []float64 // distances parallel to cands
+	gridIx      overset.GridRankIndex
+	gridOf      []int  // scratch for rebuilding gridIx: grid per rank
+	expect      []bool // fringe-update receive set, indexed by rank
 }
 
-type restartKey struct{ g, i, j, k int }
+// restartKey is an IGBP identity (grid, i, j, k) packed into one word: map
+// lookups hash 8 bytes instead of a 4-word struct. 16 bits per field is
+// far beyond any component grid dimension here.
+type restartKey uint64
+
+func packRestartKey(g, i, j, k int) restartKey {
+	return restartKey(uint64(g)<<48 | uint64(i)<<32 | uint64(j)<<16 | uint64(k))
+}
 
 type restartHint struct {
 	donor overset.Donor
@@ -121,6 +151,16 @@ const chainRestartBudget = 3
 
 type reqMsg struct{ Pts []ptReq }
 
+// Message envelope pools (see par.Pool): senders copy their batch into a
+// recycled envelope; receivers copy the contents out and return it. The
+// solver's own per-destination buckets never leave the rank, so their reuse
+// needs no cross-rank lifetime reasoning.
+var (
+	reqPool par.Pool[reqMsg]
+	repPool par.Pool[repMsg]
+	valPool par.Pool[valMsg]
+)
+
 type ptRep struct {
 	ID    int
 	OK    bool
@@ -147,7 +187,29 @@ func NewSolver(cfg *overset.Config, parts []Part, rank int) *Solver {
 
 // InvalidateRestart drops the nth-level restart hints (after repartition).
 func (s *Solver) InvalidateRestart() {
-	s.restart = make(map[restartKey]restartHint)
+	clear(s.restart)
+}
+
+// ensureWorld sizes the per-rank scratch buckets and builds the per-grid
+// rank index (the donor-grid candidate lookup accelerator: advance and
+// rankOfCell scan only the ranks owning the donor grid instead of every
+// part). Idempotent while the world size is stable.
+func (s *Solver) ensureWorld() {
+	n := len(s.Parts)
+	if len(s.outbox) != n {
+		s.outbox = make([][]ptReq, n)
+		s.outboxNext = make([][]ptReq, n)
+		s.fwdbox = make([][]ptReq, n)
+		s.replies = make([][]ptRep, n)
+		s.lostFwds = make([][]ptRep, n)
+		s.sendList = make([][]sendEntry, n)
+		s.expect = make([]bool, n)
+	}
+	s.gridOf = s.gridOf[:0]
+	for _, p := range s.Parts { // Parts is rank-indexed: ascending ranks
+		s.gridOf = append(s.gridOf, p.Grid)
+	}
+	s.gridIx = overset.BuildGridRankIndex(len(s.Cfg.Sys.Grids), s.gridOf, s.gridIx)
 }
 
 // dropSendEntry removes the interpolation duty owed to origin for the given
@@ -161,11 +223,7 @@ func (s *Solver) dropSendEntry(origin, id int) {
 			break
 		}
 	}
-	if len(entries) == 0 {
-		delete(s.sendList, origin)
-	} else {
-		s.sendList[origin] = entries
-	}
+	s.sendList[origin] = entries
 }
 
 // myBox returns this rank's owned box and grid.
@@ -175,8 +233,17 @@ func (s *Solver) myBox() (int, grid.IBox) {
 }
 
 // rankOfCell returns the rank owning the given cell (by its base point) of
-// the given grid, or -1.
+// the given grid, or -1. With the per-grid rank index built it scans only
+// that grid's ranks, in the same ascending order as the full-part scan.
 func (s *Solver) rankOfCell(gi int, cell [3]int) int {
+	if s.gridIx.Built() {
+		for _, rk := range s.gridIx.Of(gi) {
+			if s.Parts[rk].Box.Contains(cell[0], cell[1], cell[2]) {
+				return rk
+			}
+		}
+		return -1
+	}
 	for _, p := range s.Parts {
 		if p.Grid == gi && p.Box.Contains(cell[0], cell[1], cell[2]) {
 			return p.Rank

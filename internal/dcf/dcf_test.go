@@ -213,7 +213,7 @@ func TestUpdateFringesDeliversInterpolatedData(t *testing.T) {
 func TestInvalidateRestart(t *testing.T) {
 	cfg, parts, _ := testSystem(t, 3)
 	s := NewSolver(cfg, parts, 0)
-	s.restart[restartKey{0, 1, 2, 0}] = restartHint{}
+	s.restart[packRestartKey(0, 1, 2, 0)] = restartHint{}
 	s.InvalidateRestart()
 	if len(s.restart) != 0 {
 		t.Error("restart map should be empty")

@@ -26,15 +26,29 @@ type Stats struct {
 	Rounds int
 }
 
-// pendingPt tracks an unresolved local IGBP's search progression.
+// pendingPt tracks an unresolved local IGBP's search progression. The
+// candidate ranks for the current donor grid live in a fixed-size array
+// (advance keeps at most 3), so the dense pending table allocates nothing
+// per point.
 type pendingPt struct {
-	id         int   // index into s.igbps
-	hier       int   // position in the receiver grid's search order
-	candidates []int // ranks still to try for the current donor grid
+	id           int // index into s.igbps
+	hier         int // position in the receiver grid's search order
+	cand         [3]int
+	chead, ncand int8
 	// lostSends counts request batches for this point lost beyond the
 	// transport's retry budget; maxLostSends of them orphan the point.
 	lostSends int
 }
+
+// popCand removes and returns the next candidate rank to try.
+func (p *pendingPt) popCand() int {
+	dst := p.cand[p.chead]
+	p.chead++
+	return dst
+}
+
+// candsLeft reports whether any candidate ranks remain.
+func (p *pendingPt) candsLeft() bool { return p.chead < p.ncand }
 
 // maxLostSends bounds per-point request retransmission rounds after
 // transport-level loss before the point degrades to an orphan.
@@ -75,10 +89,15 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			}
 		}
 	}
-	s.donors = make([]overset.Donor, len(s.igbps))
-	s.donorRank = make([]int, len(s.igbps))
+	n := len(s.igbps)
+	if cap(s.donors) < n {
+		s.donors = make([]overset.Donor, n)
+		s.donorRank = make([]int, n)
+	}
+	s.donors = s.donors[:n]
+	s.donorRank = s.donorRank[:n]
 	for i := range s.donors {
-		s.donors[i].Grid = -1
+		s.donors[i] = overset.Donor{Grid: -1}
 		s.donorRank[i] = -1
 	}
 
@@ -86,7 +105,10 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	myBounds := g.BoundsOf(box)
 	r.Compute(float64(box.Count()) * 2)
 	raw := r.AllGather(myBounds, 48)
-	rankBounds := make([]geom.Box, len(raw))
+	if cap(s.rankBounds) < len(raw) {
+		s.rankBounds = make([]geom.Box, len(raw))
+	}
+	rankBounds := s.rankBounds[:len(raw)]
 	for i, v := range raw {
 		// Inflate so near-boundary donors are still routed to this rank.
 		rb := v.(geom.Box)
@@ -94,16 +116,25 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	}
 
 	// Initial pending set, honoring restart hints.
-	s.sendList = make(map[int][]sendEntry)
+	s.ensureWorld()
+	for i := range s.sendList {
+		s.sendList[i] = s.sendList[i][:0]
+	}
 	s.ReceivedIGBPs = 0
 	s.Forwards = 0
 	s.SearchSteps = 0
 	s.Hinted, s.Scratch, s.HintMisses = 0, 0, 0
-	outbox := make(map[int][]ptReq) // destination rank -> requests
-	pendByID := make(map[int]*pendingPt, len(s.igbps))
+	outbox := s.outbox // destination rank -> requests
+	for dst := range outbox {
+		outbox[dst] = outbox[dst][:0]
+	}
+	if cap(s.pend) < n {
+		s.pend = make([]pendingPt, n)
+	}
+	s.pend = s.pend[:n]
 	for id, pt := range s.igbps {
-		p := &pendingPt{id: id, hier: -1}
-		pendByID[id] = p
+		s.pend[id] = pendingPt{id: id, hier: -1}
+		p := &s.pend[id]
 		if hint, ok := s.hintFor(pt); ok {
 			s.Hinted++
 			outbox[hint.rank] = append(outbox[hint.rank], ptReq{
@@ -118,8 +149,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			continue
 		}
 		s.Scratch++
-		dst := p.candidates[0]
-		p.candidates = p.candidates[1:]
+		dst := p.popCand()
 		outbox[dst] = append(outbox[dst], s.scratchReq(id, pt, p))
 	}
 
@@ -130,25 +160,33 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	// on fault-free runs; because a loss beyond the retry budget is reported
 	// to the SENDER, every loss has a deterministic local compensation and
 	// the protocol degrades to bounded orphans instead of hanging.
-	fwdbox := make(map[int][]ptReq)
-	// lostFwds carries failure replies for forwards whose retransmission
+	fwdbox := s.fwdbox
+	for dst := range fwdbox {
+		fwdbox[dst] = fwdbox[dst][:0]
+	}
+	// s.lostFwds carries failure replies for forwards whose retransmission
 	// budget ran out, merged with this round's computed replies.
-	var lostFwds map[int][]ptRep
 	for round := 0; round < 64; round++ {
 		stats.Rounds = round + 1
-		// Phase A: send queued requests and forwards, in rank order so the
-		// virtual-time trace is deterministic. A request batch lost beyond
-		// the retry budget is re-queued for the next round (bounded per
-		// point); its points orphan when the budget runs out.
-		next := make(map[int][]ptReq)
-		for _, dst := range sortedKeys(outbox) {
-			pts := outbox[dst]
-			if r.SendReliable(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts)) {
+		// Phase A: send queued requests and forwards, in ascending rank
+		// order (dense bucket iteration) so the virtual-time trace is
+		// deterministic. A request batch lost beyond the retry budget is
+		// re-queued for the next round (bounded per point); its points
+		// orphan when the budget runs out.
+		next := s.outboxNext
+		for dst := range next {
+			next[dst] = next[dst][:0]
+		}
+		for dst, pts := range outbox {
+			if len(pts) == 0 {
+				continue
+			}
+			if sendReqBatch(r, dst, pts) {
 				continue
 			}
 			s.LostSends++
 			for _, pt := range pts {
-				p := pendByID[pt.ID]
+				p := &s.pend[pt.ID]
 				if p.lostSends < maxLostSends {
 					p.lostSends++
 					next[dst] = append(next[dst], pt)
@@ -157,30 +195,37 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 				}
 			}
 		}
-		outbox = next
-		lostFwds = nil
-		for _, dst := range sortedKeys(fwdbox) {
-			pts := fwdbox[dst]
-			if r.SendReliable(dst, par.TagSearchReq, reqMsg{Pts: pts}, bytesPerRequest*len(pts)) {
+		outbox, s.outbox, s.outboxNext = next, next, outbox
+		s.anyLostFwds = false
+		for dst, pts := range fwdbox {
+			if len(pts) == 0 {
+				continue
+			}
+			if sendReqBatch(r, dst, pts) {
 				continue
 			}
 			s.LostSends++
 			// The chain broke between servers: tell each origin its search
 			// failed so it advances the hierarchy instead of waiting forever.
-			if lostFwds == nil {
-				lostFwds = make(map[int][]ptRep)
+			if !s.anyLostFwds {
+				s.anyLostFwds = true
+				for origin := range s.lostFwds {
+					s.lostFwds[origin] = s.lostFwds[origin][:0]
+				}
 			}
 			for _, pt := range pts {
-				lostFwds[pt.Origin] = append(lostFwds[pt.Origin], ptRep{ID: pt.ID, OK: false, Rank: s.Rank})
+				s.lostFwds[pt.Origin] = append(s.lostFwds[pt.Origin], ptRep{ID: pt.ID, OK: false, Rank: s.Rank})
 			}
 		}
-		fwdbox = make(map[int][]ptReq)
+		for dst := range fwdbox {
+			fwdbox[dst] = fwdbox[dst][:0]
+		}
 		r.Barrier()
 
 		// Phase B: service everything that arrived this round. Drain every
 		// message before doing any work so the clock's max-over-arrivals is
 		// independent of delivery order, then sort by sender.
-		var inbound []par.Msg
+		inbound := s.inbound[:0]
 		for {
 			m, ok := r.TryRecv(par.AnyRank, par.TagSearchReq)
 			if !ok {
@@ -188,13 +233,22 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			}
 			inbound = append(inbound, m)
 		}
+		s.inbound = inbound
 		sort.Slice(inbound, func(a, b int) bool { return inbound[a].From < inbound[b].From })
-		replies := make(map[int][]ptRep)
-		for origin, reps := range lostFwds {
-			replies[origin] = append(replies[origin], reps...)
+		replies := s.replies
+		for origin := range replies {
+			replies[origin] = replies[origin][:0]
+		}
+		if s.anyLostFwds {
+			// Ascending-origin merge of broken-chain failures; each origin's
+			// bucket keeps lost-forward entries ahead of served replies,
+			// exactly as the map-based merge ordered them.
+			for origin, reps := range s.lostFwds {
+				replies[origin] = append(replies[origin], reps...)
+			}
 		}
 		for _, m := range inbound {
-			req := m.Data.(reqMsg)
+			req := m.Data.(*reqMsg)
 			s.ReceivedIGBPs += len(req.Pts)
 			for _, pt := range req.Pts {
 				rep, fwd, fwdTo := s.serve(r, gi, box, pt)
@@ -207,10 +261,15 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 				}
 				replies[pt.Origin] = append(replies[pt.Origin], rep)
 			}
+			reqPool.Put(req)
 		}
-		for _, dst := range sortedRepKeys(replies) {
-			reps := replies[dst]
-			if r.SendReliable(dst, par.TagSearchRep, repMsg{Results: reps}, bytesPerReply*len(reps)) {
+		for dst, reps := range replies {
+			if len(reps) == 0 {
+				continue
+			}
+			env := repPool.Get()
+			env.Results = append(env.Results[:0], reps...)
+			if r.SendReliable(dst, par.TagSearchRep, env, bytesPerReply*len(reps)) {
 				continue
 			}
 			// Reply batch lost beyond the retry budget: the origin will see
@@ -227,7 +286,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 		r.Barrier()
 
 		// Phase C: absorb replies; failed points advance their hierarchy.
-		var inRep []par.Msg
+		inRep := s.inbound[:0]
 		for {
 			m, ok := r.TryRecv(par.AnyRank, par.TagSearchRep)
 			if !ok {
@@ -235,30 +294,31 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			}
 			inRep = append(inRep, m)
 		}
+		s.inbound = inRep
 		sort.Slice(inRep, func(a, b int) bool { return inRep[a].From < inRep[b].From })
 		for _, m := range inRep {
-			rep := m.Data.(repMsg)
+			rep := m.Data.(*repMsg)
 			for _, res := range rep.Results {
 				pt := s.igbps[res.ID]
 				if res.OK {
 					s.donors[res.ID] = res.Donor
 					s.donorRank[res.ID] = res.Rank
-					s.restart[restartKey{pt.Grid, pt.I, pt.J, pt.K}] =
+					s.restart[packRestartKey(pt.Grid, pt.I, pt.J, pt.K)] =
 						restartHint{donor: res.Donor, rank: res.Rank}
 					continue
 				}
-				p := pendByID[res.ID]
+				p := &s.pend[res.ID]
 				if p.hier < 0 {
 					s.HintMisses++
 				}
-				if len(p.candidates) == 0 && !s.advance(p, pt, rankBounds) {
+				if !p.candsLeft() && !s.advance(p, pt, rankBounds) {
 					s.donors[res.ID] = overset.Donor{Grid: -1}
 					continue
 				}
-				dst := p.candidates[0]
-				p.candidates = p.candidates[1:]
+				dst := p.popCand()
 				outbox[dst] = append(outbox[dst], s.scratchReq(res.ID, pt, p))
 			}
+			repPool.Put(rep)
 		}
 
 		work := 0
@@ -285,17 +345,20 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	return stats
 }
 
-// sortedKeys returns map keys in ascending order (deterministic sends).
-func sortedKeys(m map[int][]ptReq) []int {
-	ks := make([]int, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Ints(ks)
-	return ks
+// sendReqBatch copies a request batch into a pooled envelope and ships it
+// on the reliable transport.
+func sendReqBatch(r *par.Rank, dst int, pts []ptReq) bool {
+	env := reqPool.Get()
+	env.Pts = append(env.Pts[:0], pts...)
+	return r.SendReliable(dst, par.TagSearchReq, env, bytesPerRequest*len(pts))
 }
 
-func sortedRepKeys(m map[int][]ptRep) []int {
+// sortedKeys returns the keys of any int-keyed map in ascending order.
+// Every send loop driven by a map MUST iterate via this helper (or an
+// equivalently ordered dense structure): Go map iteration order is
+// randomized, and an unsorted send loop would leak that randomness into
+// message timing, trace event order, and ultimately the virtual clocks.
+func sortedKeys[V any](m map[int]V) []int {
 	ks := make([]int, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)
@@ -309,7 +372,7 @@ func (s *Solver) hintFor(pt overset.IGBP) (restartHint, bool) {
 	if s.Cfg.DisableRestart {
 		return restartHint{}, false
 	}
-	h, ok := s.restart[restartKey{pt.Grid, pt.I, pt.J, pt.K}]
+	h, ok := s.restart[packRestartKey(pt.Grid, pt.I, pt.J, pt.K)]
 	return h, ok
 }
 
@@ -339,29 +402,64 @@ func (s *Solver) advance(p *pendingPt, pt overset.IGBP, rankBounds []geom.Box) b
 			continue
 		}
 		// Candidate ranks: those of grid dg whose bounding box contains
-		// the point, nearest box center first.
-		var cands []int
-		for _, part := range s.Parts {
-			if part.Grid == dg && rankBounds[part.Rank].Contains(pt.Pos) {
-				cands = append(cands, part.Rank)
+		// the point, nearest box center first. The per-grid rank index
+		// restricts the scan to ranks owning parts of dg, in the same
+		// ascending-rank order a full part scan would visit them.
+		cands := s.cands[:0]
+		candD := s.candD[:0]
+		for _, rk := range s.gridIx.Of(dg) {
+			if rankBounds[rk].Contains(pt.Pos) {
+				cands = append(cands, rk)
+				candD = append(candD, rankBounds[rk].Center().Sub(pt.Pos).Norm2())
 			}
 		}
+		s.cands, s.candD = cands, candD
 		if len(cands) == 0 {
 			continue
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			da := rankBounds[cands[a]].Center().Sub(pt.Pos).Norm2()
-			db := rankBounds[cands[b]].Center().Sub(pt.Pos).Norm2()
-			return da < db
-		})
+		sortCandsByDist(cands, candD)
 		// Forwarding reaches the rest of the grid from any entry rank, so
 		// only the nearest few candidates are worth separate requests.
-		if len(cands) > 3 {
-			cands = cands[:3]
+		nc := len(cands)
+		if nc > 3 {
+			nc = 3
 		}
-		p.candidates = cands
+		for i := 0; i < nc; i++ {
+			p.cand[i] = cands[i]
+		}
+		p.chead, p.ncand = 0, int8(nc)
 		return true
 	}
+}
+
+// sortCandsByDist orders candidate ranks by ascending distance. For short
+// lists it runs the same insertion sort sort.Slice uses below its pdqsort
+// cutoff (n <= 12), so the permutation of equal-distance candidates — and
+// therefore the request routing — is bit-compatible with the historical
+// sort.Slice call; longer lists (rare) go through sort.Slice itself.
+func sortCandsByDist(cands []int, d []float64) {
+	if len(cands) <= 12 {
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && d[j] < d[j-1]; j-- {
+				d[j], d[j-1] = d[j-1], d[j]
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		return
+	}
+	sort.Sort(&candSorter{cands, d})
+}
+
+type candSorter struct {
+	cands []int
+	d     []float64
+}
+
+func (c *candSorter) Len() int           { return len(c.cands) }
+func (c *candSorter) Less(a, b int) bool { return c.d[a] < c.d[b] }
+func (c *candSorter) Swap(a, b int) {
+	c.cands[a], c.cands[b] = c.cands[b], c.cands[a]
+	c.d[a], c.d[b] = c.d[b], c.d[a]
 }
 
 // serve performs one donor search on behalf of a requester. It returns a

@@ -1,8 +1,6 @@
 package dcf
 
 import (
-	"sort"
-
 	"overd/internal/flow"
 	"overd/internal/par"
 )
@@ -15,17 +13,17 @@ import (
 // ghost layers are current. Time is charged to the flow phase, where the
 // paper accounts intergrid boundary-condition updates.
 func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
-	// Serve my send list, destinations in rank order for determinism.
-	dsts := make([]int, 0, len(s.sendList))
-	for dst := range s.sendList {
-		dsts = append(dsts, dst)
-	}
-	sort.Ints(dsts)
+	// Serve my send list: the dense per-rank buckets iterate destinations
+	// in ascending rank order, the deterministic order the old map-keyed
+	// list had to sort into.
 	interp := 0
-	for _, dst := range dsts {
-		entries := s.sendList[dst]
-		ids := make([]int, 0, len(entries))
-		vals := make([]float64, 0, 5*len(entries))
+	for dst, entries := range s.sendList {
+		if len(entries) == 0 {
+			continue
+		}
+		env := valPool.Get()
+		ids := env.IDs[:0]
+		vals := env.Vals[:0]
 		for _, e := range entries {
 			d := e.donor
 			q, ok := b.InterpolateCell(d.I, d.J, d.K, d.A, d.B, d.C)
@@ -36,27 +34,32 @@ func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
 			ids = append(ids, e.id)
 			vals = append(vals, q[:]...)
 		}
+		env.IDs, env.Vals = ids, vals
 		// Reliable under fault injection (plain Send otherwise); a batch
 		// lost beyond the retry budget arrives as a tombstone, which the
 		// receiver's RecvTimeout below turns into "keep previous data".
-		r.SendReliable(dst, par.TagUser+1, valMsg{IDs: ids, Vals: vals}, bytesPerValue*len(ids))
+		r.SendReliable(dst, par.TagUser+1, env, bytesPerValue*len(ids))
 	}
 	r.Compute(float64(interp) * flopsPerInterp)
 
-	// Receive from every distinct donor rank (sorted for determinism).
-	expect := map[int]bool{}
+	// Receive from every distinct donor rank, in ascending rank order for
+	// determinism (dense membership array instead of a per-step map).
+	expect := s.expect
+	if len(expect) < r.Size() {
+		expect = make([]bool, r.Size())
+		s.expect = expect
+	}
+	clear(expect)
 	for id := range s.igbps {
 		if s.donors[id].Grid >= 0 && s.donorRank[id] >= 0 {
 			expect[s.donorRank[id]] = true
 		}
 	}
-	froms := make([]int, 0, len(expect))
-	for from := range expect {
-		froms = append(froms, from)
-	}
-	sort.Ints(froms)
 	faulty := r.Faulty()
-	for _, from := range froms {
+	for from, want := range expect {
+		if !want {
+			continue
+		}
 		var m par.Msg
 		if faulty {
 			var ok bool
@@ -72,13 +75,14 @@ func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
 		} else {
 			m = r.Recv(from, par.TagUser+1)
 		}
-		vm := m.Data.(valMsg)
+		vm := m.Data.(*valMsg)
 		for n, id := range vm.IDs {
 			pt := s.igbps[id]
 			var q [5]float64
 			copy(q[:], vm.Vals[5*n:5*n+5])
 			b.SetFringe(pt.I, pt.J, pt.K, q)
 		}
+		valPool.Put(vm)
 	}
 }
 

@@ -77,12 +77,17 @@ func (b *Block) lineSet(d int) (nLines int, lineStart func(idx int) (base, strid
 
 // pipeMsg carries the Thomas recurrence state across a rank boundary for a
 // batch of lines: forward messages hold (c', d') per line per component;
-// backward messages hold the solved x per line per component.
+// backward messages hold the solved x per line per component. Envelopes are
+// pooled (see par.Pool): the receiver copies Vals out and returns the
+// envelope, so steady-state sweeps allocate nothing per batch.
 type pipeMsg struct {
 	Dir   int
 	Batch int
 	Vals  []float64
 }
+
+// pipePool recycles pipeMsg envelopes across all ranks and blocks.
+var pipePool par.Pool[pipeMsg]
 
 // sweepDirection applies one ADI factor along direction d.
 func (b *Block) sweepDirection(r *par.Rank, d int, dt float64) float64 {
@@ -149,15 +154,24 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 	flops := 0.0
 
 	// Storage for cross-boundary state per line: entering (c', d') and the
-	// back-substituted x from downstream.
-	cIn := make([]float64, nLines*5)
-	dIn := make([]float64, nLines*5)
-	cOut := make([]float64, nLines*5)
-	dOut := make([]float64, nLines*5)
-	xIn := make([]float64, nLines*5)
+	// back-substituted x from downstream. Reused from the block's scratch
+	// across directions and steps; every element is written before it is
+	// read within a sweep, so stale contents are harmless.
+	if cap(s.cIn) < nLines*5 {
+		s.cIn = make([]float64, nLines*5)
+		s.dIn = make([]float64, nLines*5)
+		s.cOut = make([]float64, nLines*5)
+		s.dOut = make([]float64, nLines*5)
+		s.xIn = make([]float64, nLines*5)
+	}
+	cIn := s.cIn[:nLines*5]
+	dIn := s.dIn[:nLines*5]
+	cOut := s.cOut[:nLines*5]
+	dOut := s.dOut[:nLines*5]
+	xIn := s.xIn[:nLines*5]
 
 	// cpAll stores the full c' field (needed again for back substitution).
-	cpAll := make([]float64, b.NPointsLocal()*5)
+	cpAll := s.cpAll
 
 	batchRange := func(bi int) (lo, hi int) {
 		lo = bi * nLines / batches
@@ -170,9 +184,10 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		lo, hi := batchRange(bi)
 		if prevRank >= 0 {
 			m := r.Recv(prevRank, par.TagPipeline)
-			pm := m.Data.(pipeMsg)
+			pm := m.Data.(*pipeMsg)
 			copy(cIn[lo*5:(hi+1)*5], pm.Vals[:5*(hi-lo+1)])
 			copy(dIn[lo*5:(hi+1)*5], pm.Vals[5*(hi-lo+1):])
+			pipePool.Put(pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
 			base, stride, count := lineAt(ln)
@@ -211,10 +226,11 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		}
 		if nextRank >= 0 {
 			nv := hi - lo + 1
-			vals := make([]float64, 10*nv)
-			copy(vals[:5*nv], cOut[lo*5:(hi+1)*5])
-			copy(vals[5*nv:], dOut[lo*5:(hi+1)*5])
-			r.Send(nextRank, par.TagPipeline, pipeMsg{Dir: d, Batch: bi, Vals: vals}, 8*len(vals))
+			pm := pipePool.Get()
+			pm.Dir, pm.Batch = d, bi
+			pm.Vals = append(pm.Vals[:0], cOut[lo*5:(hi+1)*5]...)
+			pm.Vals = append(pm.Vals, dOut[lo*5:(hi+1)*5]...)
+			r.Send(nextRank, par.TagPipeline, pm, 8*10*nv)
 		}
 	}
 
@@ -223,8 +239,9 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		lo, hi := batchRange(bi)
 		if nextRank >= 0 {
 			m := r.Recv(nextRank, par.TagPipeline)
-			pm := m.Data.(pipeMsg)
+			pm := m.Data.(*pipeMsg)
 			copy(xIn[lo*5:(hi+1)*5], pm.Vals)
+			pipePool.Put(pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
 			base, stride, count := lineAt(ln)
@@ -245,9 +262,10 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		}
 		if prevRank >= 0 {
 			nv := hi - lo + 1
-			vals := make([]float64, 5*nv)
-			copy(vals, xIn[lo*5:(hi+1)*5])
-			r.Send(prevRank, par.TagPipeline, pipeMsg{Dir: d, Batch: bi, Vals: vals}, 8*len(vals))
+			pm := pipePool.Get()
+			pm.Dir, pm.Batch = d, bi
+			pm.Vals = append(pm.Vals[:0], xIn[lo*5:(hi+1)*5]...)
+			r.Send(prevRank, par.TagPipeline, pm, 8*5*nv)
 		}
 	}
 	return flops

@@ -4,6 +4,16 @@ import (
 	"overd/internal/par"
 )
 
+// faceMsg is the pooled envelope for one halo plane. The receiver copies
+// vals into its ghost layer and returns the envelope to facePool, so
+// steady-state exchanges allocate nothing per face.
+type faceMsg struct {
+	vals []float64
+}
+
+// facePool recycles faceMsg envelopes across all ranks and blocks.
+var facePool par.Pool[faceMsg]
+
 // ExchangeHalo swaps the Halo-deep boundary planes of Q with the face
 // neighbors of this block (including periodic wrap neighbors). All sends
 // are posted first (asynchronous, as in the MPI original), then receives
@@ -15,7 +25,9 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 		dim, side int
 		nbr       Neighbor
 	}
-	var posts []post
+	// At most 6 faces; a fixed array keeps the post list off the heap.
+	var posts [6]post
+	nposts := 0
 	for dim := 0; dim < 3; dim++ {
 		if b.TwoD && dim == 2 {
 			continue
@@ -25,31 +37,37 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 			if nbr.Rank < 0 {
 				continue
 			}
-			posts = append(posts, post{dim, side, nbr})
-			data := b.packFace(dim, side)
+			posts[nposts] = post{dim, side, nbr}
+			nposts++
+			fm := facePool.Get()
+			fm.vals = b.packFace(fm.vals[:0], dim, side)
 			// Tag encodes the receiving face so a 2-rank periodic ring
 			// can distinguish its two connections to the same peer.
 			// Reliable send: halo planes are required for correctness, so
 			// under fault injection a dropped plane is retransmitted (with
 			// backed-off ack timeouts) rather than lost.
 			tag := par.TagHalo + par.Tag(10*dim+(1-side))
-			r.SendReliable(nbr.Rank, tag, data, 8*len(data))
+			r.SendReliable(nbr.Rank, tag, fm, 8*len(fm.vals))
 		}
 	}
 	faulty := r.Faulty()
-	for _, p := range posts {
+	for _, p := range posts[:nposts] {
 		tag := par.TagHalo + par.Tag(10*p.dim+p.side)
 		if faulty {
 			// A plane lost beyond the retry budget degrades to reusing the
 			// previous ghost values (first-order in time) instead of
 			// deadlocking or killing the run.
 			if m, ok := r.RecvTimeout(p.nbr.Rank, tag, 2*r.Model().LatencySec); ok {
-				b.unpackFace(p.dim, p.side, m.Data.([]float64))
+				fm := m.Data.(*faceMsg)
+				b.unpackFace(p.dim, p.side, fm.vals)
+				facePool.Put(fm)
 			}
 			continue
 		}
 		m := r.Recv(p.nbr.Rank, tag)
-		b.unpackFace(p.dim, p.side, m.Data.([]float64))
+		fm := m.Data.(*faceMsg)
+		b.unpackFace(p.dim, p.side, fm.vals)
+		facePool.Put(fm)
 	}
 }
 
@@ -86,12 +104,13 @@ func (b *Block) faceSlabBounds(dim, side int, owned bool) (ilo, ihi, jlo, jhi, k
 	return
 }
 
-// packFace copies the owned boundary slab of face (dim, side) of Q into a
-// fresh buffer.
-func (b *Block) packFace(dim, side int) []float64 {
+// packFace appends the owned boundary slab of face (dim, side) of Q to out
+// (normally a recycled envelope buffer) and returns it.
+func (b *Block) packFace(out []float64, dim, side int) []float64 {
 	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, true)
-	n := (ihi - ilo + 1) * (jhi - jlo + 1) * (khi - klo + 1)
-	out := make([]float64, 0, 5*n)
+	if n := (ihi - ilo + 1) * (jhi - jlo + 1) * (khi - klo + 1); cap(out) < 5*n {
+		out = make([]float64, 0, 5*n)
+	}
 	for lk := klo; lk <= khi; lk++ {
 		for lj := jlo; lj <= jhi; lj++ {
 			for li := ilo; li <= ihi; li++ {

@@ -14,6 +14,17 @@ type scratch struct {
 	upd  []bool       // point is updated by the implicit scheme
 	stv  []bool       // point is valid for difference stencils
 	rhs0 []float64    // cached freestream residual (5 per point)
+
+	// Pipelined Thomas-solve state, hoisted out of lineSolves so the three
+	// sweeps per step reuse one set of buffers instead of allocating six
+	// arrays per direction. cpAll caches the full c' field for back
+	// substitution (5 per point); the rest hold 5 values per transverse
+	// line and are grown to the largest direction's line count on first use.
+	// Every element read during a sweep is written earlier in the same
+	// sweep, so no zeroing between reuses is needed.
+	cpAll                []float64
+	cIn, dIn, cOut, dOut []float64
+	xIn                  []float64
 }
 
 func (b *Block) ensureScratch() {
@@ -22,11 +33,12 @@ func (b *Block) ensureScratch() {
 	}
 	n := b.NPointsLocal()
 	s := &scratch{
-		fw:   make([]float64, 5*n),
-		pr:   make([]float64, n),
-		upd:  make([]bool, n),
-		stv:  make([]bool, n),
-		rhs0: make([]float64, 5*n),
+		fw:    make([]float64, 5*n),
+		pr:    make([]float64, n),
+		upd:   make([]bool, n),
+		stv:   make([]bool, n),
+		rhs0:  make([]float64, 5*n),
+		cpAll: make([]float64, 5*n),
 	}
 	for d := 0; d < 3; d++ {
 		s.sig[d] = make([]float64, n)

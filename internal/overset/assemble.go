@@ -104,8 +104,13 @@ func (c *Config) RefreshBounds() {
 	}
 }
 
-type igbpKey struct {
-	grid, i, j, k int
+// igbpKey is an IGBP identity (grid, i, j, k) packed into one word so the
+// restart cache hashes 8 bytes instead of a 4-word struct. 16 bits per
+// field is far beyond any component grid dimension here.
+type igbpKey uint64
+
+func packIGBPKey(grid, i, j, k int) igbpKey {
+	return igbpKey(uint64(grid)<<48 | uint64(i)<<32 | uint64(j)<<16 | uint64(k))
 }
 
 // CutHoles recomputes the iblank field of every grid: points inside a
@@ -307,7 +312,7 @@ func (c *Config) Assemble() *Connectivity {
 		conn.Steps += res.Steps
 		if res.OK {
 			conn.Donors[n] = res.Donor
-			newRestart[igbpKey{pt.Grid, pt.I, pt.J, pt.K}] = res.Donor
+			newRestart[packIGBPKey(pt.Grid, pt.I, pt.J, pt.K)] = res.Donor
 		} else {
 			conn.Donors[n] = Donor{Grid: -1}
 			conn.Orphans++
@@ -320,7 +325,7 @@ func (c *Config) Assemble() *Connectivity {
 // SearchIGBP performs the hierarchical donor search for one IGBP, using the
 // previous donor as the starting guess when available (nth-level restart).
 func (c *Config) SearchIGBP(pt IGBP) SearchResult {
-	key := igbpKey{pt.Grid, pt.I, pt.J, pt.K}
+	key := packIGBPKey(pt.Grid, pt.I, pt.J, pt.K)
 	var prev *Donor
 	if !c.DisableRestart && c.restart != nil {
 		if d, ok := c.restart[key]; ok {

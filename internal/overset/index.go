@@ -1,0 +1,44 @@
+package overset
+
+// GridRankIndex accelerates donor-grid candidate lookup in a partitioned
+// system: it maps each component grid to the ranks owning parts of it, in
+// ascending rank order. A donor search that must route a point to the ranks
+// of grid g scans Of(g) — typically a handful of ranks — instead of every
+// part in the system. Because the per-grid lists preserve ascending rank
+// order, a scan over Of(g) visits candidates in exactly the order a full
+// rank-indexed part scan filtered by grid would, so routing decisions (and
+// with them message order and virtual time) are unchanged.
+type GridRankIndex struct {
+	byGrid [][]int
+}
+
+// BuildGridRankIndex constructs the index from gridOf, which gives the
+// component grid owned by each rank (index = rank). Reuses prev's storage
+// when possible; pass the previous index (or the zero value) and keep the
+// result.
+func BuildGridRankIndex(ngrids int, gridOf []int, prev GridRankIndex) GridRankIndex {
+	byGrid := prev.byGrid
+	if len(byGrid) != ngrids {
+		byGrid = make([][]int, ngrids)
+	} else {
+		for g := range byGrid {
+			byGrid[g] = byGrid[g][:0]
+		}
+	}
+	for rank, g := range gridOf {
+		byGrid[g] = append(byGrid[g], rank)
+	}
+	return GridRankIndex{byGrid: byGrid}
+}
+
+// Of returns the ranks owning parts of grid g, ascending. The slice is
+// owned by the index; callers must not modify it.
+func (ix GridRankIndex) Of(g int) []int {
+	if g < 0 || g >= len(ix.byGrid) {
+		return nil
+	}
+	return ix.byGrid[g]
+}
+
+// Built reports whether the index holds any grids.
+func (ix GridRankIndex) Built() bool { return len(ix.byGrid) > 0 }

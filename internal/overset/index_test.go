@@ -1,0 +1,59 @@
+package overset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGridRankIndex(t *testing.T) {
+	// Ranks 0..5 owning grids 1,0,1,2,0,1.
+	ix := BuildGridRankIndex(3, []int{1, 0, 1, 2, 0, 1}, GridRankIndex{})
+	if !ix.Built() {
+		t.Fatal("index should report Built")
+	}
+	want := [][]int{{1, 4}, {0, 2, 5}, {3}}
+	for g, w := range want {
+		if got := ix.Of(g); !reflect.DeepEqual(got, w) {
+			t.Errorf("Of(%d) = %v, want %v (ascending rank order)", g, got, w)
+		}
+	}
+	if got := ix.Of(-1); got != nil {
+		t.Errorf("Of(-1) = %v, want nil", got)
+	}
+	if got := ix.Of(3); got != nil {
+		t.Errorf("Of(3) = %v, want nil", got)
+	}
+}
+
+func TestGridRankIndexRebuildReusesStorage(t *testing.T) {
+	ix := BuildGridRankIndex(2, []int{0, 1, 0}, GridRankIndex{})
+	first := ix.Of(0)
+	ix = BuildGridRankIndex(2, []int{0, 0, 1}, ix)
+	if got, want := ix.Of(0), []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("rebuilt Of(0) = %v, want %v", got, want)
+	}
+	if cap(first) > 0 && &first[:cap(first)][0] != &ix.Of(0)[:1][0] {
+		// Same backing array is an implementation detail, but the rebuild
+		// path must at least produce correct contents; nothing to assert
+		// beyond that if the runtime chose to reallocate.
+		t.Log("storage was reallocated (allowed)")
+	}
+	var zero GridRankIndex
+	if zero.Built() {
+		t.Error("zero index should not report Built")
+	}
+}
+
+func TestPackIGBPKeyDistinct(t *testing.T) {
+	seen := map[igbpKey][4]int{}
+	for _, q := range [][4]int{
+		{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0},
+		{1, 0, 0, 0}, {3, 200, 150, 99}, {3, 150, 200, 99},
+	} {
+		k := packIGBPKey(q[0], q[1], q[2], q[3])
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision: %v and %v both pack to %#x", prev, q, uint64(k))
+		}
+		seen[k] = q
+	}
+}

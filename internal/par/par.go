@@ -142,9 +142,12 @@ type World struct {
 	done      chan struct{}
 	closeOnce sync.Once
 
-	// collective scratch, guarded by the barrier's phases
+	// collective scratch, guarded by the barrier's phases. collectF is the
+	// alloc-free fast path for float64 reductions (the common case); collect
+	// carries arbitrary boxed payloads for AllGather.
 	collectMu sync.Mutex
 	collect   []any
+	collectF  []float64
 
 	// rec, when non-nil, receives one trace event per clock advance on
 	// every rank (see package trace). Nil tracing costs one pointer test
@@ -222,6 +225,7 @@ func NewWorld(n int, m machine.Model) *World {
 	}
 	w.bar.init(n)
 	w.collect = make([]any, n)
+	w.collectF = make([]float64, n)
 	return w
 }
 
@@ -846,6 +850,15 @@ func (r *Rank) AllGather(x any, bytesPerItem int) []any {
 	// Second rendezvous so no rank overwrites w.collect for a subsequent
 	// collective before everyone has copied.
 	r.barrierSync()
+	r.gatherCost(bytesPerItem)
+	return out
+}
+
+// gatherCost charges the modeled log-depth tree cost of one gather-style
+// collective. Shared by AllGather and the typed reductions so both advance
+// virtual time and emit trace events identically.
+func (r *Rank) gatherCost(bytesPerItem int) {
+	w := r.w
 	if w.n > 1 {
 		depth := log2ceil(w.n)
 		dt := depth * (w.model.LatencySec + float64(bytesPerItem*w.n)/w.model.BandwidthBps)
@@ -854,28 +867,50 @@ func (r *Rank) AllGather(x any, bytesPerItem int) []any {
 		}
 		r.advance(dt)
 	}
-	return out
 }
 
-// AllReduceSum sums a float64 across ranks.
+// gatherF runs the AllGather rendezvous protocol on the world's float64
+// scratch (no boxing, no per-call slice) and invokes fold on the collected
+// rank-indexed values while they are stable between the two rendezvous.
+// The modeled cost is identical to AllGather(x, 8).
+func (r *Rank) gatherF(x float64, fold func(vals []float64)) {
+	w := r.w
+	w.collectMu.Lock()
+	w.collectF[r.ID] = x
+	w.collectMu.Unlock()
+	r.barrierSync()
+	w.collectMu.Lock()
+	fold(w.collectF)
+	w.collectMu.Unlock()
+	// Second rendezvous so no rank overwrites w.collectF for a subsequent
+	// collective before everyone has folded.
+	r.barrierSync()
+	r.gatherCost(8)
+}
+
+// AllReduceSum sums a float64 across ranks without allocating.
 func (r *Rank) AllReduceSum(x float64) float64 {
-	vals := r.AllGather(x, 8)
 	var s float64
-	for _, v := range vals {
-		s += v.(float64)
-	}
+	r.gatherF(x, func(vals []float64) {
+		// Rank-index order, matching the historical AllGather-based
+		// reduction bit for bit.
+		for _, v := range vals {
+			s += v
+		}
+	})
 	return s
 }
 
-// AllReduceMax maximizes a float64 across ranks.
+// AllReduceMax maximizes a float64 across ranks without allocating.
 func (r *Rank) AllReduceMax(x float64) float64 {
-	vals := r.AllGather(x, 8)
 	m := x
-	for _, v := range vals {
-		if f := v.(float64); f > m {
-			m = f
+	r.gatherF(x, func(vals []float64) {
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
 		}
-	}
+	})
 	return m
 }
 

@@ -1,0 +1,40 @@
+package par
+
+import "sync"
+
+// Pool recycles pointer message envelopes across ranks. Payloads cross ranks
+// by reference, so an envelope can only be recycled by the side that has
+// finished reading it: senders Get an envelope, fill it, and hand it to Send;
+// the receiver copies the contents out and Puts it back. Pointer envelopes
+// box into the `any` message slot without allocating, so a protocol whose
+// envelope types own their internal buffers (slices reused via append(x[:0]))
+// runs alloc-free at steady state.
+//
+// Envelopes that are never received — dropped by fault injection or stranded
+// by a crash-recovery teardown — are simply collected by the GC; the pool
+// does not require every Get to be matched by a Put.
+//
+// Pooling changes host allocation behavior only: message bytes, arrival
+// times, and virtual clocks are computed from the declared wire size, never
+// from the envelope. The zero value is ready to use and safe for concurrent
+// use by all ranks.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a recycled envelope, or a zero-valued one if the pool is
+// empty. Internal buffers keep their capacity; callers must reset lengths
+// (append to x[:0]) before filling.
+func (p *Pool[T]) Get() *T {
+	if v, ok := p.p.Get().(*T); ok {
+		return v
+	}
+	return new(T)
+}
+
+// Put returns an envelope for reuse. The caller must not touch it afterwards.
+func (p *Pool[T]) Put(x *T) {
+	if x != nil {
+		p.p.Put(x)
+	}
+}

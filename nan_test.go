@@ -1,0 +1,93 @@
+package overd
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRatioGuardsZeroDenominator(t *testing.T) {
+	if got := ratio(6, 3); got != 2 {
+		t.Errorf("ratio(6,3) = %v, want 2", got)
+	}
+	if got := ratio(0, 0); !math.IsNaN(got) {
+		t.Errorf("ratio(0,0) = %v, want NaN", got)
+	}
+	if got := ratio(5, 0); !math.IsNaN(got) {
+		t.Errorf("ratio(5,0) = %v, want NaN (not +Inf)", got)
+	}
+	// Bit-identity contract: for a nonzero denominator, ratio must be
+	// exactly the hardware division it replaced.
+	n, d := 0.12345678901234567, 0.9876543210987654
+	if got, want := ratio(n, d), n/d; got != want {
+		t.Errorf("ratio(%v,%v) = %v, want exact quotient %v", n, d, got, want)
+	}
+}
+
+func TestFmtStatRendersDashForNonFinite(t *testing.T) {
+	if got := fmtStat("%.0f%%", 28.4); got != "28%" {
+		t.Errorf("fmtStat finite = %q, want \"28%%\"", got)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := fmtStat("%.2f", v); got != "—" {
+			t.Errorf("fmtStat(%v) = %q, want em dash", v, got)
+		}
+	}
+}
+
+// TestRenderersNeverPrintNaN drives each table renderer with rows holding
+// degenerate (NaN/Inf) statistics — what a zero-time module would have
+// produced before ratio() — and asserts the output shows em dashes, never
+// "NaN%" or "+Inf".
+func TestRenderersNeverPrintNaN(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	var b bytes.Buffer
+
+	FprintPerfTable(&b, &PerfTable{
+		Title: "degenerate",
+		Rows: []PerfRow{{
+			Nodes: 4, PtsPerNode: 100,
+			SpeedupSP2: nan, SpeedupSP: inf, PctDCF3DSP2: nan, PctDCF3DSP: 12,
+		}},
+		FigSP2: []ModuleSpeedup{{Nodes: 4, Flow: nan, Connect: inf, Combined: 1}},
+	})
+	FprintTable2(&b, []ScaleupRow{{Name: "X", Nodes: 3, PctDCF3DSP2: nan, PctDCF3DSP: inf}})
+	FprintTable5(&b, []Table5Row{{Nodes: 16, PctDCFDynamic: nan, DCFSpeedupStat: inf, CombinedDyn: nan}})
+	FprintTable5Faulted(&b, []Table5FaultedRow{{Nodes: 16, SlowdownStat: nan, SlowdownDyn: inf, PctDCFStat: nan}})
+	FprintTable6(&b, []Table6Row{{Nodes: 18, OverallSP2: nan, OverallSP: inf, PerNodeSP2: nan}})
+
+	out := b.String()
+	for _, bad := range []string{"NaN", "Inf", "inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("renderer output contains %q:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "—") {
+		t.Fatalf("renderer output shows no em dash for degenerate stats:\n%s", out)
+	}
+}
+
+// TestEmitRowsJSONSanitizesNonFinite pins the JSON emitter against the
+// encoder's hard NaN/Inf rejection: degenerate fields become 0 and the
+// emission succeeds; finite rows pass through bit-for-bit.
+func TestEmitRowsJSONSanitizesNonFinite(t *testing.T) {
+	var b bytes.Buffer
+	rows := []Table6Row{
+		{Nodes: 18, OverallSP2: 1.5, OverallSP: 2.5, PerNodeSP2: 0.083, PerNodeSP: 0.089},
+		{Nodes: 28, OverallSP2: math.NaN(), OverallSP: math.Inf(1), PerNodeSP2: math.Inf(-1)},
+	}
+	if err := EmitRowsJSON(&b, "6", rows); err != nil {
+		t.Fatalf("EmitRowsJSON with non-finite fields: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	if want := `{"table":"6","row":{"Nodes":18,"OverallSP2":1.5,"OverallSP":2.5,"PerNodeSP2":0.083,"PerNodeSP":0.089,"YMPTimeStep":0}}`; lines[0] != want {
+		t.Errorf("finite row changed encoding:\n got %s\nwant %s", lines[0], want)
+	}
+	if want := `{"table":"6","row":{"Nodes":28,"OverallSP2":0,"OverallSP":0,"PerNodeSP2":0,"PerNodeSP":0,"YMPTimeStep":0}}`; lines[1] != want {
+		t.Errorf("degenerate row not sanitized:\n got %s\nwant %s", lines[1], want)
+	}
+}

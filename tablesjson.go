@@ -1,0 +1,177 @@
+package overd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// ValidTableIDs is the set of table identifiers accepted by -only: the
+// paper's Tables 1-6 plus "5f", the straggler-faulted Table 5 rerun.
+var ValidTableIDs = map[string]bool{
+	"1": true, "2": true, "3": true, "4": true, "5": true, "5f": true, "6": true,
+}
+
+// ParseTableSelection parses a comma-separated table list ("1,2,5f") into a
+// selection set, rejecting unknown ids with an error naming the bad id and
+// the valid choices.
+func ParseTableSelection(only string) (map[string]bool, error) {
+	want := map[string]bool{}
+	for _, t := range strings.Split(only, ",") {
+		id := strings.TrimSpace(t)
+		if id == "" {
+			continue
+		}
+		if !ValidTableIDs[id] {
+			valid := make([]string, 0, len(ValidTableIDs))
+			for k := range ValidTableIDs {
+				valid = append(valid, k)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("unknown table %q (valid: %s)", id, strings.Join(valid, ", "))
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("empty table selection %q", only)
+	}
+	return want, nil
+}
+
+// sanitizeRow replaces any non-finite float64 field of a row struct with 0:
+// encoding/json rejects NaN/Inf outright, so one degenerate ratio (see
+// ratio) must not abort the whole emission. Rows with only finite fields
+// are returned untouched, so normal output bytes are unaffected.
+func sanitizeRow(row any) any {
+	v := reflect.ValueOf(row)
+	if v.Kind() != reflect.Struct {
+		return row
+	}
+	dirty := false
+	for i := 0; i < v.NumField(); i++ {
+		if f := v.Field(i); f.Kind() == reflect.Float64 {
+			if x := f.Float(); math.IsNaN(x) || math.IsInf(x, 0) {
+				dirty = true
+				break
+			}
+		}
+	}
+	if !dirty {
+		return row
+	}
+	c := reflect.New(v.Type()).Elem()
+	c.Set(v)
+	for i := 0; i < c.NumField(); i++ {
+		if f := c.Field(i); f.Kind() == reflect.Float64 {
+			if x := f.Float(); math.IsNaN(x) || math.IsInf(x, 0) {
+				f.SetFloat(0)
+			}
+		}
+	}
+	return c.Interface()
+}
+
+// EmitRowsJSON writes one JSON object per table row to w (JSON-lines),
+// tagging each with its table id so downstream tooling can append rows from
+// many runs into one BENCH_*.json trajectory file.
+func EmitRowsJSON(w io.Writer, table string, rows any) error {
+	enc := json.NewEncoder(w)
+	v := reflect.ValueOf(rows)
+	for i := 0; i < v.Len(); i++ {
+		if err := enc.Encode(struct {
+			Table string `json:"table"`
+			Row   any    `json:"row"`
+		}{table, sanitizeRow(v.Index(i).Interface())}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitPerfTableJSON writes a PerfTable's rows plus its per-module speedup
+// figure series (the Figs. 5/7/10 points) as JSON lines.
+func EmitPerfTableJSON(w io.Writer, table string, t *PerfTable) error {
+	if err := EmitRowsJSON(w, table, t.Rows); err != nil {
+		return err
+	}
+	if err := EmitRowsJSON(w, table+".fig.SP2", t.FigSP2); err != nil {
+		return err
+	}
+	return EmitRowsJSON(w, table+".fig.SP", t.FigSP)
+}
+
+// EmitTablesJSON runs the selected tables (in fixed 1,2,3,4,5,5f,6 order)
+// and writes their rows as JSON lines. This is the single code path behind
+// `tables -json` and the bit-identity golden test: any change to the
+// simulation that alters a virtual clock, a table row, or a figure point
+// changes these bytes.
+func EmitTablesJSON(w io.Writer, opt Options, want map[string]bool) error {
+	if want["1"] {
+		t, err := RunTable1(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitPerfTableJSON(w, "1", t); err != nil {
+			return err
+		}
+	}
+	if want["2"] {
+		rows, err := RunTable2(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitRowsJSON(w, "2", rows); err != nil {
+			return err
+		}
+	}
+	if want["3"] {
+		t, err := RunTable3(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitPerfTableJSON(w, "3", t); err != nil {
+			return err
+		}
+	}
+	if want["4"] {
+		t, err := RunTable4(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitPerfTableJSON(w, "4", t); err != nil {
+			return err
+		}
+	}
+	if want["5"] {
+		rows, err := RunTable5(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitRowsJSON(w, "5", rows); err != nil {
+			return err
+		}
+	}
+	if want["5f"] {
+		rows, err := RunTable5Faulted(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitRowsJSON(w, "5f", rows); err != nil {
+			return err
+		}
+	}
+	if want["6"] {
+		rows, err := RunTable6(opt)
+		if err != nil {
+			return err
+		}
+		if err := EmitRowsJSON(w, "6", rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
