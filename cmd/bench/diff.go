@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// thresholds are the relative regression limits for -diff. A new value more
+// than (1+limit)× the old one is a regression; improvements never fail.
+type thresholds struct {
+	ns     float64 // ns/op — wall clock, noisy, so the default is loose
+	allocs float64 // allocs/op — deterministic per run, tight default
+	bytes  float64 // B/op — mostly deterministic, tight default
+}
+
+// diffRow is one benchmark's old/new comparison.
+type diffRow struct {
+	Name       string
+	Old, New   *BenchResult // nil when the side is missing
+	Regression bool
+	Notes      []string
+}
+
+func loadBenchFile(path string) (benchFile, error) {
+	var doc benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return doc, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return doc, nil
+}
+
+// relDelta returns (new-old)/old; +Inf when old is zero and new is not.
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return new // treated as infinite growth; any positive value trips
+	}
+	return (new - old) / old
+}
+
+// diffBench compares two benchmark documents by benchmark name and flags
+// regressions beyond the thresholds. Benchmarks present only in the new file
+// are noted but never regressions (new coverage is fine); benchmarks that
+// disappeared ARE regressions (lost coverage).
+func diffBench(old, new benchFile, t thresholds) (rows []diffRow, regressions int) {
+	newByName := map[string]*BenchResult{}
+	for i := range new.Results {
+		newByName[new.Results[i].Name] = &new.Results[i]
+	}
+	seen := map[string]bool{}
+	for i := range old.Results {
+		o := &old.Results[i]
+		seen[o.Name] = true
+		row := diffRow{Name: o.Name, Old: o, New: newByName[o.Name]}
+		if row.New == nil {
+			row.Regression = true
+			row.Notes = append(row.Notes, "benchmark missing from new file")
+			rows = append(rows, row)
+			regressions++
+			continue
+		}
+		n := row.New
+		if d := relDelta(o.NsPerOp, n.NsPerOp); d > t.ns {
+			row.Regression = true
+			row.Notes = append(row.Notes, fmt.Sprintf("ns/op %+.1f%% (limit %+.0f%%)", 100*d, 100*t.ns))
+		}
+		if o.AllocsPerOp >= 0 && n.AllocsPerOp >= 0 {
+			if d := relDelta(float64(o.AllocsPerOp), float64(n.AllocsPerOp)); d > t.allocs {
+				row.Regression = true
+				row.Notes = append(row.Notes, fmt.Sprintf("allocs/op %d -> %d (%+.1f%%, limit %+.0f%%)",
+					o.AllocsPerOp, n.AllocsPerOp, 100*d, 100*t.allocs))
+			}
+		}
+		if o.BytesPerOp >= 0 && n.BytesPerOp >= 0 {
+			if d := relDelta(float64(o.BytesPerOp), float64(n.BytesPerOp)); d > t.bytes {
+				row.Regression = true
+				row.Notes = append(row.Notes, fmt.Sprintf("B/op %d -> %d (%+.1f%%, limit %+.0f%%)",
+					o.BytesPerOp, n.BytesPerOp, 100*d, 100*t.bytes))
+			}
+		}
+		if row.Regression {
+			regressions++
+		}
+		rows = append(rows, row)
+	}
+	for i := range new.Results {
+		n := &new.Results[i]
+		if !seen[n.Name] {
+			rows = append(rows, diffRow{Name: n.Name, New: n,
+				Notes: []string{"new benchmark (no baseline)"}})
+		}
+	}
+	return rows, regressions
+}
+
+func printDiff(w io.Writer, rows []diffRow) {
+	for _, r := range rows {
+		status := "ok"
+		if r.Regression {
+			status = "REGRESSION"
+		} else if r.Old == nil {
+			status = "new"
+		}
+		switch {
+		case r.Old != nil && r.New != nil:
+			fmt.Fprintf(w, "%-11s %-28s ns/op %12.0f -> %-12.0f B/op %10d -> %-10d allocs/op %7d -> %-7d\n",
+				status, r.Name, r.Old.NsPerOp, r.New.NsPerOp,
+				r.Old.BytesPerOp, r.New.BytesPerOp, r.Old.AllocsPerOp, r.New.AllocsPerOp)
+		case r.Old != nil:
+			fmt.Fprintf(w, "%-11s %-28s (only in old file)\n", status, r.Name)
+		default:
+			fmt.Fprintf(w, "%-11s %-28s ns/op %12.0f B/op %10d allocs/op %7d\n",
+				status, r.Name, r.New.NsPerOp, r.New.BytesPerOp, r.New.AllocsPerOp)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "            %s\n", n)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func benchDoc(results ...BenchResult) benchFile {
+	return benchFile{Harness: "cmd/bench", Scale: 0.1, Steps: 2, Results: results}
+}
+
+func defThresholds() thresholds {
+	return thresholds{ns: 0.30, allocs: 0.10, bytes: 0.10}
+}
+
+func TestDiffBenchDetectsAllocsRegression(t *testing.T) {
+	old := benchDoc(
+		BenchResult{Name: "BenchmarkTable1", NsPerOp: 1e8, BytesPerOp: 4 << 20, AllocsPerOp: 1000},
+		BenchResult{Name: "BenchmarkTable4", NsPerOp: 2e8, BytesPerOp: 8 << 20, AllocsPerOp: 5000},
+	)
+	// Table4 allocs grow 25% — past the 10% default limit; Table1 is stable
+	// and ns/op noise inside the 30% limit must not trip.
+	cur := benchDoc(
+		BenchResult{Name: "BenchmarkTable1", NsPerOp: 1.2e8, BytesPerOp: 4 << 20, AllocsPerOp: 1000},
+		BenchResult{Name: "BenchmarkTable4", NsPerOp: 2e8, BytesPerOp: 8 << 20, AllocsPerOp: 6250},
+	)
+	rows, regressions := diffBench(old, cur, defThresholds())
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	var hit *diffRow
+	for i := range rows {
+		if rows[i].Name == "BenchmarkTable4" {
+			hit = &rows[i]
+		}
+	}
+	if hit == nil || !hit.Regression {
+		t.Fatalf("BenchmarkTable4 not flagged: %+v", rows)
+	}
+	if len(hit.Notes) != 1 || !strings.Contains(hit.Notes[0], "allocs/op") {
+		t.Errorf("notes = %v, want a single allocs/op note", hit.Notes)
+	}
+	var buf bytes.Buffer
+	printDiff(&buf, rows)
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("printDiff output lacks REGRESSION marker:\n%s", buf.String())
+	}
+}
+
+func TestDiffBenchIdenticalDocsPass(t *testing.T) {
+	doc := benchDoc(
+		BenchResult{Name: "BenchmarkTable1", NsPerOp: 1e8, BytesPerOp: 4 << 20, AllocsPerOp: 1000},
+		BenchResult{Name: "BenchmarkTable6", NsPerOp: 3e8, BytesPerOp: 1 << 20, AllocsPerOp: 42},
+	)
+	rows, regressions := diffBench(doc, doc, defThresholds())
+	if regressions != 0 {
+		t.Fatalf("identical docs report %d regressions: %+v", regressions, rows)
+	}
+}
+
+func TestDiffBenchImprovementsNeverFail(t *testing.T) {
+	old := benchDoc(BenchResult{Name: "B", NsPerOp: 1e8, BytesPerOp: 1 << 20, AllocsPerOp: 1000})
+	cur := benchDoc(BenchResult{Name: "B", NsPerOp: 1e7, BytesPerOp: 1 << 10, AllocsPerOp: 10})
+	if _, regressions := diffBench(old, cur, defThresholds()); regressions != 0 {
+		t.Fatalf("improvement counted as regression")
+	}
+}
+
+func TestDiffBenchMissingAndNewBenchmarks(t *testing.T) {
+	old := benchDoc(
+		BenchResult{Name: "BenchmarkGone", NsPerOp: 1e8, AllocsPerOp: 100},
+		BenchResult{Name: "BenchmarkKept", NsPerOp: 1e8, AllocsPerOp: 100},
+	)
+	cur := benchDoc(
+		BenchResult{Name: "BenchmarkKept", NsPerOp: 1e8, AllocsPerOp: 100},
+		BenchResult{Name: "BenchmarkAdded", NsPerOp: 1e8, AllocsPerOp: 100},
+	)
+	rows, regressions := diffBench(old, cur, defThresholds())
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (missing benchmark)", regressions)
+	}
+	var gone, added bool
+	for _, r := range rows {
+		if r.Name == "BenchmarkGone" && r.Regression {
+			gone = true
+		}
+		if r.Name == "BenchmarkAdded" && !r.Regression && r.Old == nil {
+			added = true
+		}
+	}
+	if !gone || !added {
+		t.Errorf("gone=%v added=%v rows=%+v", gone, added, rows)
+	}
+}
+
+func TestDiffBenchZeroAllocBaseline(t *testing.T) {
+	old := benchDoc(BenchResult{Name: "B", NsPerOp: 1e6, AllocsPerOp: 0})
+	cur := benchDoc(BenchResult{Name: "B", NsPerOp: 1e6, AllocsPerOp: 3})
+	if _, regressions := diffBench(old, cur, defThresholds()); regressions != 1 {
+		t.Fatal("0 -> 3 allocs/op not flagged as a regression")
+	}
+}
+
+// TestDiffBenchCommittedBaselineAgainstItself pins the CI contract: the
+// committed trajectory file always passes a self-diff, so the advisory
+// bench-diff job can only fail on a genuine change.
+func TestDiffBenchCommittedBaselineAgainstItself(t *testing.T) {
+	doc, err := loadBenchFile("../../BENCH_3.json")
+	if err != nil {
+		t.Fatalf("loading committed baseline: %v", err)
+	}
+	rows, regressions := diffBench(doc, doc, defThresholds())
+	if regressions != 0 {
+		var buf bytes.Buffer
+		printDiff(&buf, rows)
+		t.Fatalf("BENCH_3.json vs itself reports %d regressions:\n%s", regressions, buf.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows compared")
+	}
+}

@@ -10,6 +10,12 @@
 // Usage:
 //
 //	bench [-bench regex] [-scale f] [-steps n] [-benchtime 1x] [-out BENCH_3.json]
+//	bench -diff [-ns-threshold f] [-allocs-threshold f] [-bytes-threshold f] old.json new.json
+//
+// In -diff mode the two positional files are compared benchmark-by-benchmark
+// and the exit status is 1 when any result regressed beyond the thresholds —
+// a CI tripwire against re-introducing the allocations the perf passes
+// removed.
 package main
 
 import (
@@ -41,11 +47,38 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json files (old new) instead of running benchmarks")
+	nsThreshold := flag.Float64("ns-threshold", 0.30, "-diff: relative ns/op growth that counts as a regression")
+	allocsThreshold := flag.Float64("allocs-threshold", 0.10, "-diff: relative allocs/op growth that counts as a regression")
+	bytesThreshold := flag.Float64("bytes-threshold", 0.10, "-diff: relative B/op growth that counts as a regression")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-diff wants exactly two files: old.json new.json (got %d args)", flag.NArg()))
+		}
+		oldDoc, err := loadBenchFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		newDoc, err := loadBenchFile(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		rows, regressions := diffBench(oldDoc, newDoc,
+			thresholds{ns: *nsThreshold, allocs: *allocsThreshold, bytes: *bytesThreshold})
+		printDiff(os.Stdout, rows)
+		if regressions > 0 {
+			fail(fmt.Errorf("%d benchmark regression(s) beyond thresholds (ns %.0f%%, allocs %.0f%%, B %.0f%%)",
+				regressions, 100**nsThreshold, 100**allocsThreshold, 100**bytesThreshold))
+		}
+		fmt.Printf("no regressions across %d benchmarks (%s vs %s)\n",
+			len(rows), flag.Arg(0), flag.Arg(1))
+		return
 	}
 	if *scale <= 0 {
 		fail(fmt.Errorf("-scale must be > 0 (got %g)", *scale))

@@ -2,6 +2,10 @@ package main
 
 import (
 	"fmt"
+	"net"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"overd"
 )
@@ -20,6 +24,8 @@ type runFlags struct {
 	checkpointEvery int
 	faultsPath      string
 	fieldOut        string
+	metricsOut      string
+	serveAddr       string
 }
 
 // validated holds the parts of the config that validation resolves.
@@ -49,6 +55,26 @@ func validateRunFlags(f runFlags) (validated, error) {
 	}
 	if f.checkpointEvery > 0 && f.faultsPath == "" {
 		return v, fmt.Errorf("-checkpoint-every %d without -faults: checkpoints only matter when the fault plan can crash ranks", f.checkpointEvery)
+	}
+	if f.metricsOut != "" {
+		switch ext := strings.ToLower(filepath.Ext(f.metricsOut)); ext {
+		case ".prom", ".txt", ".json":
+		default:
+			return v, fmt.Errorf("-metrics %q: want a .prom/.txt (Prometheus text) or .json extension, got %q", f.metricsOut, ext)
+		}
+	}
+	if f.serveAddr != "" {
+		if f.metricsOut == "" {
+			return v, fmt.Errorf("-serve %q without -metrics: the live endpoint serves the metrics registry, so there must be one", f.serveAddr)
+		}
+		host, port, err := net.SplitHostPort(f.serveAddr)
+		if err != nil {
+			return v, fmt.Errorf("-serve %q: want host:port (e.g. :9090 or localhost:9090): %v", f.serveAddr, err)
+		}
+		if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+			return v, fmt.Errorf("-serve %q: port %q is not a number in 0..65535", f.serveAddr, port)
+		}
+		_ = host // empty host = all interfaces, fine
 	}
 
 	switch f.caseName {

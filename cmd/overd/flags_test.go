@@ -47,6 +47,32 @@ func TestValidateRunFlags(t *testing.T) {
 		{"bad field format", func(f *runFlags) { f.fieldOut = "out.csv" }, "gridID:file.csv"},
 		{"field grid out of range", func(f *runFlags) { f.fieldOut = "99:out.csv" }, "out of range"},
 		{"field ok", func(f *runFlags) { f.fieldOut = "0:out.csv" }, ""},
+		{"metrics prom ok", func(f *runFlags) { f.metricsOut = "run.prom" }, ""},
+		{"metrics txt ok", func(f *runFlags) { f.metricsOut = "run.txt" }, ""},
+		{"metrics json ok", func(f *runFlags) { f.metricsOut = "run.json" }, ""},
+		{"metrics bad extension", func(f *runFlags) { f.metricsOut = "run.csv" }, ".prom/.txt"},
+		{"metrics no extension", func(f *runFlags) { f.metricsOut = "metricsfile" }, ".prom/.txt"},
+		{"serve without metrics", func(f *runFlags) { f.serveAddr = ":9090" }, "without -metrics"},
+		{"serve ok", func(f *runFlags) {
+			f.metricsOut = "run.prom"
+			f.serveAddr = ":9090"
+		}, ""},
+		{"serve host ok", func(f *runFlags) {
+			f.metricsOut = "run.prom"
+			f.serveAddr = "localhost:0"
+		}, ""},
+		{"serve missing port", func(f *runFlags) {
+			f.metricsOut = "run.prom"
+			f.serveAddr = "localhost"
+		}, "host:port"},
+		{"serve non-numeric port", func(f *runFlags) {
+			f.metricsOut = "run.prom"
+			f.serveAddr = ":http"
+		}, "0..65535"},
+		{"serve port out of range", func(f *runFlags) {
+			f.metricsOut = "run.prom"
+			f.serveAddr = ":70000"
+		}, "0..65535"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -6,6 +6,7 @@
 //	overd -case airfoil|deltawing|storesep [-nodes n] [-machine SP2|SP]
 //	      [-steps n] [-scale f] [-fo f] [-dump] [-field out.csv]
 //	      [-trace out.json] [-trace-summary]
+//	      [-metrics out.prom|out.json] [-serve :9090]
 //	      [-faults plan.json] [-checkpoint-every n]
 package main
 
@@ -37,6 +38,8 @@ func main() {
 	traceSummary := flag.Bool("trace-summary", false, "print per-rank busy/wait breakdowns and the critical path")
 	faultsPath := flag.String("faults", "", "JSON fault plan: stragglers, degraded links, message loss, rank crashes (see package fault)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "steps between crash-recovery checkpoints (0 = auto when the plan crashes ranks, negative = off)")
+	metricsOut := flag.String("metrics", "", "write run metrics after the run (.prom/.txt = Prometheus text, .json = JSON)")
+	serveAddr := flag.String("serve", "", "serve live /metrics, /debug/vars and /debug/pprof on this host:port during the run (requires -metrics)")
 	flag.Parse()
 
 	v, err := validateRunFlags(runFlags{
@@ -44,6 +47,7 @@ func main() {
 		steps: *steps, scale: *scale, fo: *fo,
 		checkEvery: *checkEvery, checkpointEvery: *checkpointEvery,
 		faultsPath: *faultsPath, fieldOut: *fieldOut,
+		metricsOut: *metricsOut, serveAddr: *serveAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +99,24 @@ func main() {
 	if *traceOut != "" || *traceSummary {
 		rec = overd.NewTraceRecorder()
 		cfg.Trace = rec
+	}
+	var reg *overd.MetricsRegistry
+	if *metricsOut != "" {
+		reg = overd.NewMetricsRegistry()
+		cfg.Metrics = reg
+		if cfg.Trace == nil {
+			// The post-run roll-up copies per-rank busy/wait totals out of
+			// the trace summary; attach a recorder so they are present even
+			// when no trace output was requested.
+			cfg.Trace = overd.NewTraceRecorder()
+		}
+		if *serveAddr != "" {
+			bound, err := startMetricsServer(*serveAddr, reg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("serving live metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		}
 	}
 	var spec overd.SampleSpec
 	spec.FieldGrid, spec.FieldK, spec.SurfaceGrid = -1, -1, -1
@@ -162,6 +184,26 @@ func main() {
 			fmt.Printf("wrote Chrome trace (%d ranks) to %s — open in chrome://tracing or https://ui.perfetto.dev\n",
 				rec.NRanks(), *traceOut)
 		}
+	}
+
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := error(nil)
+		if strings.HasSuffix(strings.ToLower(*metricsOut), ".json") {
+			werr = reg.WriteJSON(f)
+		} else {
+			werr = reg.WritePrometheus(f)
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote run metrics (%d ranks) to %s\n", reg.NRanks(), *metricsOut)
 	}
 
 	if *xyzOut != "" {

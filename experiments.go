@@ -19,6 +19,10 @@ type Options struct {
 	Steps int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Metrics, when non-nil, is attached to every run (Config.Metrics).
+	// Each run resets it, so after a table sweep it holds the last run's
+	// series; attaching it never changes virtual times or table values.
+	Metrics *MetricsRegistry
 }
 
 func (o Options) withDefaults() Options {
@@ -101,7 +105,7 @@ func runPerfTable(title string, mk func(float64) *Case, nodes []int, opt Options
 			c := mk(opt.Scale)
 			res, err := Run(Config{
 				Case: c, Nodes: n, Machine: m, Steps: opt.Steps,
-				Fo: math.Inf(1),
+				Fo: math.Inf(1), Metrics: opt.Metrics,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s on %d %s nodes: %w", title, n, m.Name, err)
@@ -204,7 +208,7 @@ func RunTable2(opt Options) ([]ScaleupRow, error) {
 			opt.logf("Table 2: %s on %s...", rw.name, m.Name)
 			c := OscillatingAirfoil(rw.scale)
 			res, err := Run(Config{Case: c, Nodes: rw.nodes, Machine: m,
-				Steps: opt.Steps, Fo: math.Inf(1)})
+				Steps: opt.Steps, Fo: math.Inf(1), Metrics: opt.Metrics})
 			if err != nil {
 				return nil, err
 			}
@@ -253,7 +257,7 @@ func RunTable5(opt Options) ([]Table5Row, error) {
 	run := func(nodes int, fo float64) (*Result, error) {
 		c := StoreSeparation(opt.Scale)
 		return Run(Config{Case: c, Nodes: nodes, Machine: SP2(), Steps: steps,
-			Fo: fo, CheckInterval: 3})
+			Fo: fo, CheckInterval: 3, Metrics: opt.Metrics})
 	}
 	var out []Table5Row
 	var baseStat, baseDyn *Result
@@ -333,7 +337,7 @@ func runTable5Faulted(opt Options, nodes []int) ([]Table5FaultedRow, error) {
 	run := func(n int, fo float64, plan *FaultPlan) (*Result, error) {
 		c := StoreSeparation(opt.Scale)
 		return Run(Config{Case: c, Nodes: n, Machine: SP2(), Steps: steps,
-			Fo: fo, CheckInterval: 3, Faults: plan})
+			Fo: fo, CheckInterval: 3, Faults: plan, Metrics: opt.Metrics})
 	}
 	plan := Table5FaultPlan()
 	var out []Table5FaultedRow
@@ -394,7 +398,7 @@ func RunTable6(opt Options) ([]Table6Row, error) {
 			opt.logf("Table 6: %d nodes on %s...", n, m.Name)
 			c := StoreSeparation(opt.Scale)
 			res, err := Run(Config{Case: c, Nodes: n, Machine: m,
-				Steps: opt.Steps, Fo: math.Inf(1)})
+				Steps: opt.Steps, Fo: math.Inf(1), Metrics: opt.Metrics})
 			if err != nil {
 				return nil, err
 			}

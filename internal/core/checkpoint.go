@@ -2,6 +2,7 @@ package core
 
 import (
 	"overd/internal/geom"
+	"overd/internal/metrics"
 	"overd/internal/par"
 	"overd/internal/sixdof"
 )
@@ -48,6 +49,13 @@ func (st *runState) writeCheckpoint(r *par.Rank, stepDone int) {
 	st.ck = st.capture(r, stepDone)
 	st.result.Checkpoints++
 	st.result.CheckpointTime += r.Clock - t0
+	if reg := r.MetricsRegistry(); reg != nil {
+		// Live view for -serve scrapes; the authoritative cross-attempt
+		// totals are the Result-derived overd_fault_checkpoints_total.
+		reg.Gauge("overd_checkpoint_writes", metrics.Opts{
+			Help: "checkpoint snapshots taken in the current attempt", Global: true,
+		}).Set(0, float64(st.result.Checkpoints), r.Clock)
+	}
 }
 
 // capture builds the snapshot (rank 0 only; peers quiescent).

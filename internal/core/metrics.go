@@ -1,0 +1,112 @@
+package core
+
+import (
+	"overd/internal/metrics"
+	"overd/internal/par"
+)
+
+// moduleName labels the paper's timestep modules for Result-derived gauges.
+func moduleName(i int) string {
+	switch i {
+	case 0:
+		return "flow"
+	case 1:
+		return "motion"
+	case 2:
+		return "connect"
+	case 3:
+		return "balance"
+	}
+	return "other"
+}
+
+// publishRunMetrics writes the Result-derived roll-up into the registry
+// after a run completes. These are global (rank-less), non-windowed series:
+// unlike the live per-rank counters — which cover the final attempt's
+// measured window — they include cross-attempt fault accounting, because
+// Result is the layer that survives crash-restarts.
+func publishRunMetrics(reg *metrics.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	ts := res.TotalTime
+	g := func(name, help string, v float64) {
+		reg.Gauge(name, metrics.Opts{Help: help, Global: true}).Set(0, v, ts)
+	}
+	c := func(name, help string, v float64) {
+		reg.Counter(name, metrics.Opts{Help: help, Global: true}).Add(0, v)
+	}
+	g("overd_run_virtual_seconds", "measured-step virtual seconds (includes re-executed crashed work)", res.TotalTime)
+	g("overd_run_flops", "floating-point work over the measured steps", res.Flops)
+	g("overd_run_steps", "measured timesteps", float64(len(res.Steps)))
+	g("overd_run_final_nodes", "processor count of the successful attempt", float64(res.FinalNodes))
+	g("overd_run_igbps", "steady-state composite fringe (intergrid boundary point) count", float64(res.IGBPs))
+	g("overd_run_orphans", "final orphan count", float64(res.Orphans))
+	g("overd_run_static_tau", "static balancer converged tolerance factor", res.Tau)
+	c("overd_run_rebalances_total", "dynamic-scheme repartitions", float64(res.Rebalances))
+
+	mod := reg.Gauge("overd_run_module_seconds", metrics.Opts{
+		Help: "virtual seconds per timestep module (rank 0)", Global: true,
+		Labels: []metrics.Label{{Name: "module", Namer: moduleName}},
+	})
+	modWait := reg.Gauge("overd_run_module_wait_seconds", metrics.Opts{
+		Help: "blocked virtual seconds per timestep module (rank 0)", Global: true,
+		Labels: []metrics.Label{{Name: "module", Namer: moduleName}},
+	})
+	times := [4]float64{res.FlowTime, res.MotionTime, res.ConnectTime, res.BalanceTime}
+	waits := [4]float64{res.FlowWaitTime, res.MotionWaitTime, res.ConnectWaitTime, res.BalanceWaitTime}
+	for i := 0; i < 4; i++ {
+		mod.Set1(0, i, times[i], ts)
+		modWait.Set1(0, i, waits[i], ts)
+	}
+
+	c("overd_fault_recoveries_total", "crash-triggered restarts", float64(res.Recoveries))
+	c("overd_fault_recovery_steps_total", "timesteps re-executed after crashes", float64(res.RecoverySteps))
+	c("overd_fault_recovery_seconds_total", "virtual seconds of lost (re-executed) work", res.RecoveryTime)
+	c("overd_fault_checkpoints_total", "checkpoint snapshots taken", float64(res.Checkpoints))
+	c("overd_fault_checkpoint_seconds_total", "modeled checkpoint cost in virtual seconds", res.CheckpointTime)
+	c("overd_fault_dropped_msgs_total", "fault-injected message drops across all ranks and attempts", float64(res.DroppedMsgs))
+	c("overd_fault_send_retries_total", "reliable-send retransmissions across all ranks and attempts", float64(res.SendRetries))
+	c("overd_fault_wait_seconds_total", "virtual seconds lost to retry backoff and loss discovery", res.FaultWaitTime)
+}
+
+// publishStepMetrics records rank 0's per-step live gauges (imbalance ratio
+// and composite fringe size), stamped with the shared post-barrier clock.
+func publishStepMetrics(reg *metrics.Registry, maxF float64, igbps int, vclock float64) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("overd_step_imbalance_ratio", metrics.Opts{
+		Help: "per-step donor-search load imbalance MAXF (max/avg received IGBPs)", Global: true,
+	}).Set(0, maxF, vclock)
+	reg.Gauge("overd_step_igbps", metrics.Opts{
+		Help: "per-step composite fringe (intergrid boundary point) count", Global: true,
+	}).Set(0, float64(igbps), vclock)
+}
+
+// publishRankGridpoints records each rank's local gridpoint load, labeled by
+// component grid — the distribution quantity behind the paper's imbalance
+// ratios.
+func publishRankGridpoints(reg *metrics.Registry, r *par.Rank, grid, npts int) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("overd_rank_gridpoints", metrics.Opts{
+		Help:   "local gridpoints (including ghosts) per rank",
+		Labels: []metrics.Label{{Name: "grid"}},
+	}).Set1(r.ID, grid, float64(npts), r.Clock)
+}
+
+// rollupMetrics reconciles the metrics plane with the trace plane after a
+// successful run: Result-derived globals plus gauges copied from the trace
+// summary (see metrics.RollupTrace).
+func rollupMetrics(cfg Config, res *Result) {
+	if cfg.Metrics == nil {
+		return
+	}
+	publishRunMetrics(cfg.Metrics, res)
+	if cfg.Trace != nil {
+		metrics.RollupTrace(cfg.Metrics, cfg.Trace.Summarize(),
+			func(p int) string { return par.Phase(p).String() })
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"overd/internal/geom"
 	"overd/internal/grid"
 	"overd/internal/machine"
+	"overd/internal/metrics"
 	"overd/internal/par"
 	"overd/internal/trace"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// On a run that restarts after an injected crash, the trace covers the
 	// final (successful) attempt only.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives typed counters/gauges/histograms
+	// from the runtime and numerical layers (see package metrics), plus a
+	// post-run roll-up derived from Result and — when Trace is also set —
+	// from the trace summary. Nil adds no cost and changes no times; like
+	// Trace, live per-rank series cover the final attempt only.
+	Metrics *metrics.Registry
 	// Faults, when non-nil, is the deterministic fault plan perturbing the
 	// run (see package fault). Nil — or an empty plan — leaves every
 	// virtual clock and Result number bit-identical to an unfaulted run.
@@ -250,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		world := par.NewWorld(nodes, mach)
 		world.SetTrace(cfg.Trace)
+		world.SetMetrics(cfg.Metrics)
 		if eng != nil {
 			world.SetFaults(eng)
 		}
@@ -266,7 +274,9 @@ func Run(cfg Config) (*Result, error) {
 			rec.faultWait += rk.TotalFaultWaitTime()
 		}
 		if err == nil {
-			return rec.merge(st.finish()), nil
+			res := rec.merge(st.finish())
+			rollupMetrics(cfg, res)
+			return res, nil
 		}
 		var rf *par.RankFailure
 		if !errors.As(err, &rf) {

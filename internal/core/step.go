@@ -57,6 +57,15 @@ func (st *runState) rankMain(r *par.Rank) {
 	// Statistics measure the timestep loop only; record the preprocessing
 	// baselines to subtract (the paper's tables exclude preprocessing).
 	startClock := r.Clock
+	// Open the metrics window at the same instant: windowed metrics zero
+	// here so their totals reconcile exactly with the trace summary, whose
+	// window is [startClock, last-step capture] (all clocks equal after
+	// the preprocessing barrier above).
+	r.MetricsWindowStart()
+	if reg := r.MetricsRegistry(); reg != nil {
+		publishRankGridpoints(reg, r, st.plan.Parts[r.ID].Grid,
+			st.blocks[r.ID].NPointsLocal())
+	}
 	s0Flow := r.PhaseTime(par.PhaseFlow)
 	s0Motion := r.PhaseTime(par.PhaseMotion)
 	s0Connect := r.PhaseTime(par.PhaseConnect)
@@ -117,6 +126,13 @@ func (st *runState) rankMain(r *par.Rank) {
 			st.dynamicCheck(r)
 		}
 		r.Barrier()
+		if step == st.cfg.Steps-1 {
+			// Close the metrics window where the trace window closes: the
+			// barrier above equalized every clock at what will be recorded
+			// as TotalTime; the trailing synchronization and the post-loop
+			// flops reduction are bookkeeping outside the measured window.
+			r.MetricsWindowEnd()
+		}
 
 		// Record the step's phase deltas (equal across ranks after the
 		// barriers; rank 0 writes).
@@ -152,6 +168,7 @@ func (st *runState) rankMain(r *par.Rank) {
 			})
 			prevFlow, prevMotion, prevConnect, prevBalance = ft, mt, ct, bt
 			prevFlowW, prevMotionW, prevConnectW, prevBalanceW = fw, mw, cw, bw
+			publishStepMetrics(r.MetricsRegistry(), maxF, igbps, r.Clock)
 			if step == st.cfg.Steps-1 {
 				// End-of-run capture from the same snapshot, so phase
 				// sums, step totals and TotalTime agree exactly; the

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"overd/internal/metrics"
 	"overd/internal/trace"
 )
 
@@ -39,6 +40,8 @@ func TestTraceSummaryReconcilesWithResult(t *testing.T) {
 	cfg := smallAirfoil(3, math.Inf(1), 3)
 	rec := trace.NewRecorder()
 	cfg.Trace = rec
+	reg := metrics.New()
+	cfg.Metrics = reg
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +89,95 @@ func TestTraceSummaryReconcilesWithResult(t *testing.T) {
 	if res.FlowWaitTime > res.FlowTime || res.ConnectWaitTime > res.ConnectTime {
 		t.Errorf("wait exceeds phase time: flow %.4g/%.4g connect %.4g/%.4g",
 			res.FlowWaitTime, res.FlowTime, res.ConnectWaitTime, res.ConnectTime)
+	}
+
+	// ---- Metrics plane reconciles with both layers. ----
+	//
+	// The live windowed histograms observe the same wait values at the same
+	// emit sites, in the same per-(rank,phase) order the analyzer clips and
+	// accumulates events, so their sums are EXACTLY equal (==, no
+	// tolerance). Likewise the message/byte counters mirror the KindSend
+	// emit sites inside the window.
+	for _, rs := range s.Ranks {
+		for p := range rs.ByPhase {
+			pb := rs.ByPhase[p]
+			if _, sum := reg.HistogramStats("overd_par_recv_wait_seconds", rs.Rank, p); sum != pb.RecvWait {
+				t.Errorf("rank %d phase %d: metrics recv wait %.17g != trace %.17g", rs.Rank, p, sum, pb.RecvWait)
+			}
+			if _, sum := reg.HistogramStats("overd_par_barrier_wait_seconds", rs.Rank, p); sum != pb.BarrierWait {
+				t.Errorf("rank %d phase %d: metrics barrier wait %.17g != trace %.17g", rs.Rank, p, sum, pb.BarrierWait)
+			}
+			if _, sum := reg.HistogramStats("overd_par_fault_wait_seconds", rs.Rank, p); sum != pb.FaultWait {
+				t.Errorf("rank %d phase %d: metrics fault wait %.17g != trace %.17g", rs.Rank, p, sum, pb.FaultWait)
+			}
+		}
+		if got := reg.SumSeries("overd_par_msgs_sent_total", rs.Rank); got != float64(rs.MsgsSent) {
+			t.Errorf("rank %d: metrics msgs %.0f != trace %d", rs.Rank, got, rs.MsgsSent)
+		}
+		if got := reg.SumSeries("overd_par_bytes_sent_total", rs.Rank); got != float64(rs.BytesSent) {
+			t.Errorf("rank %d: metrics bytes %.0f != trace %d", rs.Rank, got, rs.BytesSent)
+		}
+		// The post-run roll-up copies the summary's per-rank totals, so
+		// busy/wait gauges are bit-identical to the trace aggregates.
+		for _, chk := range []struct {
+			metric string
+			want   float64
+		}{
+			{"overd_trace_rank_busy_seconds", rs.Busy},
+			{"overd_trace_rank_recv_wait_seconds", rs.RecvWait},
+			{"overd_trace_rank_barrier_wait_seconds", rs.BarrierWait},
+			{"overd_trace_rank_fault_wait_seconds", rs.FaultWait},
+		} {
+			if got, _ := reg.GaugeValue(chk.metric, rs.Rank); got != chk.want {
+				t.Errorf("rank %d: %s %.17g != summary %.17g", rs.Rank, chk.metric, got, chk.want)
+			}
+		}
+	}
+	// Rank 0's metrics wait totals also reconcile with the always-on
+	// Result wait columns (same tolerance as the trace comparison above:
+	// Result accumulates per-phase float counters in a different order).
+	var metWait0 float64
+	for p := range s.Ranks[0].ByPhase {
+		_, rsum := reg.HistogramStats("overd_par_recv_wait_seconds", 0, p)
+		_, bsum := reg.HistogramStats("overd_par_barrier_wait_seconds", 0, p)
+		metWait0 += rsum + bsum
+	}
+	if math.Abs(metWait0-res.TotalWaitTime()) > tol {
+		t.Errorf("rank 0 metrics wait %.12g != Result wait %.12g", metWait0, res.TotalWaitTime())
+	}
+	// And the rolled-up window gauge matches the summary window.
+	if win, _ := reg.GaugeValue("overd_trace_window_seconds", 0); win != s.WindowEnd-s.WindowStart {
+		t.Errorf("window gauge %.17g != summary window %.17g", win, s.WindowEnd-s.WindowStart)
+	}
+}
+
+// TestMetricsRunIsBitIdentical: attaching a metrics registry (with or
+// without tracing) must not perturb the virtual clocks — the registry
+// observes the run, it does not participate in it.
+func TestMetricsRunIsBitIdentical(t *testing.T) {
+	plain, err := Run(smallAirfoil(3, math.Inf(1), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallAirfoil(3, math.Inf(1), 3)
+	cfg.Metrics = metrics.New()
+	metered, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalTime != metered.TotalTime ||
+		plain.FlowTime != metered.FlowTime ||
+		plain.ConnectTime != metered.ConnectTime ||
+		plain.Flops != metered.Flops {
+		t.Errorf("metered run diverged: total %.17g vs %.17g, flow %.17g vs %.17g",
+			plain.TotalTime, metered.TotalTime, plain.FlowTime, metered.FlowTime)
+	}
+	// Result-derived roll-up is published even without a trace recorder.
+	if v, _ := cfg.Metrics.GaugeValue("overd_run_virtual_seconds", 0); v != metered.TotalTime {
+		t.Errorf("overd_run_virtual_seconds %.17g != TotalTime %.17g", v, metered.TotalTime)
+	}
+	if v := cfg.Metrics.CounterValue("overd_fault_recoveries_total", 0); v != 0 {
+		t.Errorf("fault-free run reports %v recoveries", v)
 	}
 }
 

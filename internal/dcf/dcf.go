@@ -89,6 +89,10 @@ type Solver struct {
 	// batches whose receivers kept previous data.
 	LostSends, LostReplies, LostFringe int
 
+	// met caches metric handles when a registry is attached to the world
+	// (nil otherwise; see metrics.go).
+	met *solverMetrics
+
 	// Reusable per-solve scratch. Everything below changes host allocation
 	// behavior only, never modeled time (see DESIGN.md, "Wall-clock vs
 	// virtual time"). The per-destination request/reply buckets are dense

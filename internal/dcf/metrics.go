@@ -1,0 +1,101 @@
+package dcf
+
+import (
+	"overd/internal/metrics"
+	"overd/internal/par"
+)
+
+// solverMetrics caches this solver's metric handles so the per-solve and
+// per-step publish paths skip the registry lookup after the first use. The
+// counters are windowed: core's measurement window zeroes them at the first
+// measured step, so preprocessing connectivity solves are excluded exactly
+// like the paper's tables exclude preprocessing.
+type solverMetrics struct {
+	reg *metrics.Registry
+
+	searches   metrics.Counter // {grid} donor searches issued (hinted + scratch)
+	hinted     metrics.Counter // {grid} searches restarted from a hint
+	hintMisses metrics.Counter // {grid} hinted searches that came back unresolved
+	steps      metrics.Counter // {grid} stencil-walk steps (candidates scanned)
+	received   metrics.Counter // {grid} non-local search requests serviced: I(p)
+	forwards   metrics.Counter // {grid} requests forwarded across rank boundaries
+	fringeVals metrics.Counter // {grid} interpolated fringe values shipped
+	fringeMsgs metrics.Counter // {grid} fringe-value batches shipped
+
+	orphans    metrics.Gauge // {grid} local IGBPs with no donor
+	fringeSize metrics.Gauge // {grid} local fringe size after the solve
+	lostSends  metrics.Gauge // {grid} cumulative lost request batches
+	lostReps   metrics.Gauge // {grid} cumulative lost reply batches
+	lostFringe metrics.Gauge // {grid} cumulative lost fringe batches
+}
+
+func (s *Solver) metrics(r *par.Rank) *solverMetrics {
+	reg := r.MetricsRegistry()
+	if reg == nil {
+		return nil
+	}
+	if s.met != nil && s.met.reg == reg {
+		return s.met
+	}
+	grid := []metrics.Label{{Name: "grid"}}
+	wc := func(name, help string) metrics.Counter {
+		return reg.Counter(name, metrics.Opts{Help: help, Windowed: true, Labels: grid})
+	}
+	gg := func(name, help string) metrics.Gauge {
+		return reg.Gauge(name, metrics.Opts{Help: help, Labels: grid})
+	}
+	s.met = &solverMetrics{
+		reg:        reg,
+		searches:   wc("overd_dcf_donor_searches_total", "donor searches issued for owned IGBPs"),
+		hinted:     wc("overd_dcf_hinted_searches_total", "donor searches restarted from an nth-level hint"),
+		hintMisses: wc("overd_dcf_hint_misses_total", "hinted searches that came back unresolved"),
+		steps:      wc("overd_dcf_search_steps_total", "stencil-walk steps performed serving searches"),
+		received:   wc("overd_dcf_requests_serviced_total", "non-local IGBP search requests serviced (the paper's I(p))"),
+		forwards:   wc("overd_dcf_forwards_total", "search requests forwarded across rank boundaries"),
+		fringeVals: wc("overd_dcf_fringe_values_sent_total", "interpolated fringe values shipped to other ranks"),
+		fringeMsgs: wc("overd_dcf_fringe_batches_sent_total", "fringe-value batches shipped to other ranks"),
+		orphans:    gg("overd_dcf_orphans", "local IGBPs with no donor after the latest solve"),
+		fringeSize: gg("overd_dcf_fringe_points", "local fringe (IGBP) count after the latest solve"),
+		lostSends:  gg("overd_dcf_lost_request_batches", "search-request batches lost beyond the retry budget (cumulative)"),
+		lostReps:   gg("overd_dcf_lost_reply_batches", "search-reply batches lost beyond the retry budget (cumulative)"),
+		lostFringe: gg("overd_dcf_lost_fringe_batches", "fringe-value batches lost beyond the retry budget (cumulative)"),
+	}
+	return s.met
+}
+
+// publishSolveMetrics records one connectivity solve's work counters (reset
+// per solve in Solve) and the resulting fringe/orphan state.
+func (s *Solver) publishSolveMetrics(r *par.Rank) {
+	m := s.metrics(r)
+	if m == nil {
+		return
+	}
+	id, grid := r.ID, s.Parts[s.Rank].Grid
+	m.searches.Add1(id, grid, float64(s.Hinted+s.Scratch))
+	m.hinted.Add1(id, grid, float64(s.Hinted))
+	m.hintMisses.Add1(id, grid, float64(s.HintMisses))
+	m.steps.Add1(id, grid, float64(s.SearchSteps))
+	m.received.Add1(id, grid, float64(s.ReceivedIGBPs))
+	m.forwards.Add1(id, grid, float64(s.Forwards))
+	m.orphans.Set1(id, grid, float64(s.Orphans), r.Clock)
+	m.fringeSize.Set1(id, grid, float64(len(s.igbps)), r.Clock)
+	if s.LostSends+s.LostReplies > 0 {
+		m.lostSends.Set1(id, grid, float64(s.LostSends), r.Clock)
+		m.lostReps.Set1(id, grid, float64(s.LostReplies), r.Clock)
+	}
+}
+
+// publishFringeMetrics records one intergrid boundary update's shipped
+// volume (values interpolated and batches sent to other ranks).
+func (s *Solver) publishFringeMetrics(r *par.Rank, values, batches int) {
+	m := s.metrics(r)
+	if m == nil {
+		return
+	}
+	id, grid := r.ID, s.Parts[s.Rank].Grid
+	m.fringeVals.Add1(id, grid, float64(values))
+	m.fringeMsgs.Add1(id, grid, float64(batches))
+	if s.LostFringe > 0 {
+		m.lostFringe.Set1(id, grid, float64(s.LostFringe), r.Clock)
+	}
+}

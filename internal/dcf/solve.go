@@ -342,6 +342,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	stats.Received = s.ReceivedIGBPs
 	stats.Forwards = s.Forwards
 	stats.Orphans = s.Orphans
+	s.publishSolveMetrics(r)
 	return stats
 }
 

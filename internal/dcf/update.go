@@ -16,11 +16,12 @@ func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
 	// Serve my send list: the dense per-rank buckets iterate destinations
 	// in ascending rank order, the deterministic order the old map-keyed
 	// list had to sort into.
-	interp := 0
+	interp, batches := 0, 0
 	for dst, entries := range s.sendList {
 		if len(entries) == 0 {
 			continue
 		}
+		batches++
 		env := valPool.Get()
 		ids := env.IDs[:0]
 		vals := env.Vals[:0]
@@ -84,6 +85,7 @@ func (s *Solver) UpdateFringes(r *par.Rank, b *flow.Block) {
 		}
 		valPool.Put(vm)
 	}
+	s.publishFringeMetrics(r, interp, batches)
 }
 
 // DonorCounts returns (resolved, orphaned) counts for this rank's IGBPs.

@@ -27,7 +27,7 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 	}
 	// At most 6 faces; a fixed array keeps the post list off the heap.
 	var posts [6]post
-	nposts := 0
+	nposts, haloBytes := 0, 0
 	for dim := 0; dim < 3; dim++ {
 		if b.TwoD && dim == 2 {
 			continue
@@ -47,9 +47,11 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 			// under fault injection a dropped plane is retransmitted (with
 			// backed-off ack timeouts) rather than lost.
 			tag := par.TagHalo + par.Tag(10*dim+(1-side))
+			haloBytes += 8 * len(fm.vals)
 			r.SendReliable(nbr.Rank, tag, fm, 8*len(fm.vals))
 		}
 	}
+	publishHaloMetrics(r, nposts, haloBytes)
 	faulty := r.Faulty()
 	for _, p := range posts[:nposts] {
 		tag := par.TagHalo + par.Tag(10*p.dim+p.side)

@@ -1,0 +1,37 @@
+package flow
+
+import (
+	"overd/internal/metrics"
+	"overd/internal/par"
+)
+
+// publishHaloMetrics records one halo exchange's shipped volume. Registered
+// per call (an idempotent map lookup) at per-step frequency — cheap, and it
+// keeps Block free of registry plumbing.
+func publishHaloMetrics(r *par.Rank, planes, bytes int) {
+	reg := r.MetricsRegistry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("overd_flow_halo_planes_total", metrics.Opts{
+		Help: "halo boundary planes shipped to face neighbors", Windowed: true,
+	}).Add(r.ID, float64(planes))
+	reg.Counter("overd_flow_halo_bytes_total", metrics.Opts{
+		Help: "modeled halo-exchange payload bytes shipped", Windowed: true,
+	}).Add(r.ID, float64(bytes))
+}
+
+// publishFlowStepMetrics records one implicit timestep's solver work: the
+// step itself and the ADI line-solve sweep directions performed.
+func publishFlowStepMetrics(r *par.Rank, sweeps int) {
+	reg := r.MetricsRegistry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("overd_flow_steps_total", metrics.Opts{
+		Help: "implicit flow timesteps advanced", Windowed: true,
+	}).Add(r.ID, 1)
+	reg.Counter("overd_flow_sweeps_total", metrics.Opts{
+		Help: "ADI factorization sweep directions performed", Windowed: true,
+	}).Add(r.ID, float64(sweeps))
+}

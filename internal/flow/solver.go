@@ -60,6 +60,11 @@ func (b *Block) FlowStep(r *par.Rank, dt float64) {
 	r.Compute(b.SolveADI(r, dt))
 	r.Compute(b.ApplyUpdate())
 	r.Compute(b.ApplyBCs())
+	sweeps := 3
+	if b.TwoD {
+		sweeps = 2
+	}
+	publishFlowStepMetrics(r, sweeps)
 }
 
 // ResidualNorm returns the RMS of the density-equation residual over owned

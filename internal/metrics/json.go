@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// jsonSeries is one exported series in the JSON document.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value; for histograms it is the sum.
+	Value float64 `json:"value"`
+	// VTS is the gauge's virtual-time stamp (seconds on the modeled
+	// machine), omitted for other kinds.
+	VTS *float64 `json:"vts,omitempty"`
+	// Buckets are the cumulative histogram counts aligned with the
+	// metric's "buckets" bounds; Count includes the +Inf overflow.
+	Buckets []float64 `json:"buckets,omitempty"`
+	Count   *float64  `json:"count,omitempty"`
+}
+
+type jsonMetric struct {
+	Name     string       `json:"name"`
+	Type     string       `json:"type"`
+	Help     string       `json:"help,omitempty"`
+	Windowed bool         `json:"windowed,omitempty"`
+	BucketLE []float64    `json:"bucket_le,omitempty"`
+	Series   []jsonSeries `json:"series"`
+}
+
+type jsonDoc struct {
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+// WriteJSON writes every metric as a JSON document. Non-finite floats are
+// sanitized to 0, matching the EmitRowsJSON convention, so the output is
+// always valid JSON. Deterministic ordering mirrors WritePrometheus.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{Metrics: []jsonMetric{}}
+	for _, m := range g.snapshotAll() {
+		jm := jsonMetric{
+			Name:     m.name,
+			Type:     m.kind.String(),
+			Help:     m.opts.Help,
+			Windowed: m.opts.Windowed,
+			Series:   []jsonSeries{},
+		}
+		if m.kind == KindHistogram {
+			for _, ub := range m.opts.Buckets {
+				jm.BucketLE = append(jm.BucketLE, sanitize(ub))
+			}
+		}
+		for _, s := range m.snapshot() {
+			js := jsonSeries{Labels: map[string]string{}}
+			if !m.opts.Global {
+				js.Labels["rank"] = strconv.Itoa(s.rank)
+			}
+			for i := range m.opts.Labels {
+				js.Labels[m.labelName(i)] = m.labelValue(i, s.labs[i])
+			}
+			if len(js.Labels) == 0 {
+				js.Labels = nil
+			}
+			switch m.kind {
+			case KindCounter:
+				js.Value = sanitize(s.vals[0])
+			case KindGauge:
+				js.Value = sanitize(s.vals[0])
+				ts := sanitize(s.vals[1])
+				js.VTS = &ts
+			case KindHistogram:
+				nb := len(m.opts.Buckets)
+				cum := 0.0
+				for i := 0; i < nb; i++ {
+					cum += s.vals[i]
+					js.Buckets = append(js.Buckets, sanitize(cum))
+				}
+				count := sanitize(s.vals[nb])
+				js.Count = &count
+				js.Value = sanitize(s.vals[nb+1])
+			}
+			jm.Series = append(jm.Series, js)
+		}
+		doc.Metrics = append(doc.Metrics, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

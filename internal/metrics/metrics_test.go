@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistrationIdempotentAndTyped(t *testing.T) {
+	g := New()
+	g.Reset(2)
+	c1 := g.Counter("x_total", Opts{Help: "first"})
+	c2 := g.Counter("x_total", Opts{Help: "second (ignored)"})
+	c1.Add(0, 1)
+	c2.Add(0, 2)
+	if v := g.CounterValue("x_total", 0); v != 3 {
+		t.Errorf("idempotent handles should share storage: got %v, want 3", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	g.Gauge("x_total", Opts{})
+}
+
+func TestCounterGaugeHistogramOps(t *testing.T) {
+	g := New()
+	g.Reset(3)
+	c := g.Counter("msgs_total", Opts{Labels: []Label{{Name: "phase"}, {Name: "tag"}}})
+	c.Add2(1, 0, 5, 2)
+	c.Add2(1, 0, 5, 3)
+	c.Add2(1, 2, 5, 7)
+	if v := g.CounterValue("msgs_total", 1, 0, 5); v != 5 {
+		t.Errorf("counter = %v, want 5", v)
+	}
+	if v := g.SumSeries("msgs_total", 1); v != 12 {
+		t.Errorf("SumSeries = %v, want 12", v)
+	}
+	if v := g.SumSeries("msgs_total", 0); v != 0 {
+		t.Errorf("SumSeries on untouched rank = %v, want 0", v)
+	}
+
+	ga := g.Gauge("imbalance", Opts{Global: true})
+	ga.Set(0, 1.5, 10.25)
+	v, ts := g.GaugeValue("imbalance", 0)
+	if v != 1.5 || ts != 10.25 {
+		t.Errorf("gauge = (%v, %v), want (1.5, 10.25)", v, ts)
+	}
+
+	h := g.Histogram("wait_seconds", Opts{Buckets: []float64{1, 10}})
+	h.Observe(2, 0.5)
+	h.Observe(2, 5)
+	h.Observe(2, 50) // overflow: only count and sum
+	count, sum := g.HistogramStats("wait_seconds", 2)
+	if count != 3 || sum != 55.5 {
+		t.Errorf("hist stats = (%v, %v), want (3, 55.5)", count, sum)
+	}
+}
+
+func TestZeroHandlesAndNilRegistryAreNoOps(t *testing.T) {
+	var g *Registry
+	g.Counter("a_total", Opts{}).Add(0, 1)
+	g.Gauge("b", Opts{}).Set(0, 1, 0)
+	g.Histogram("c", Opts{}).Observe(0, 1)
+	g.MarkWindowStart(0)
+	g.MarkWindowEnd(0)
+	if v := g.CounterValue("a_total", 0); v != 0 {
+		t.Errorf("nil registry counter = %v", v)
+	}
+	var c Counter
+	c.Add(0, 1) // zero handle must not panic
+}
+
+func TestWindowingZeroesAndFreezes(t *testing.T) {
+	g := New()
+	g.Reset(1)
+	w := g.Counter("windowed_total", Opts{Windowed: true})
+	n := g.Counter("plain_total", Opts{})
+	w.Add(0, 10) // preprocessing: must vanish at window start
+	n.Add(0, 10)
+	g.MarkWindowStart(0)
+	w.Add(0, 3)
+	n.Add(0, 3)
+	g.MarkWindowEnd(0)
+	w.Add(0, 100) // post-window: frozen out
+	n.Add(0, 100)
+	if v := g.CounterValue("windowed_total", 0); v != 3 {
+		t.Errorf("windowed counter = %v, want 3 (zeroed at start, frozen at end)", v)
+	}
+	if v := g.CounterValue("plain_total", 0); v != 113 {
+		t.Errorf("plain counter = %v, want 113", v)
+	}
+	// A new window reopens the frozen metric.
+	g.MarkWindowStart(0)
+	w.Add(0, 7)
+	if v := g.CounterValue("windowed_total", 0); v != 7 {
+		t.Errorf("windowed counter after restart = %v, want 7", v)
+	}
+}
+
+func TestResetClearsValuesAndResizes(t *testing.T) {
+	g := New()
+	g.Reset(2)
+	c := g.Counter("x_total", Opts{})
+	c.Add(1, 5)
+	g.Reset(4)
+	if v := g.CounterValue("x_total", 1); v != 0 {
+		t.Errorf("value survived Reset: %v", v)
+	}
+	c.Add(3, 2) // rank 3 exists after resize
+	if v := g.CounterValue("x_total", 3); v != 2 {
+		t.Errorf("counter on new rank = %v, want 2", v)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	g := New()
+	g.Reset(2)
+	phase := Label{Name: "phase", Namer: func(p int) string { return []string{"flow", "motion"}[p] }}
+	c := g.Counter("overd_msgs_total", Opts{Help: "messages", Labels: []Label{phase}})
+	c.Add1(0, 0, 3)
+	c.Add1(1, 1, 0.1+0.2) // non-representable sum must round-trip exactly
+	ga := g.Gauge("overd_ratio", Opts{Help: "imbalance", Global: true})
+	ga.Set(0, 1.0/3.0, 2.5)
+	h := g.Histogram("overd_wait_seconds", Opts{Help: "waits", Buckets: []float64{0.001, 1}})
+	h.Observe(0, 0.0005)
+	h.Observe(0, 0.5)
+	h.Observe(0, 2)
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of own output: %v\n%s", err, buf.String())
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	msgs := byName["overd_msgs_total"]
+	if msgs.Type != "counter" || msgs.Help != "messages" || len(msgs.Samples) != 2 {
+		t.Fatalf("msgs family = %+v", msgs)
+	}
+	var got013 bool
+	for _, s := range msgs.Samples {
+		if s.Labels["rank"] == "1" && s.Labels["phase"] == "motion" {
+			if s.Value != 0.1+0.2 {
+				t.Errorf("parsed value %v != exact in-process %v", s.Value, 0.1+0.2)
+			}
+			got013 = true
+		}
+	}
+	if !got013 {
+		t.Error("missing rank=1/phase=motion sample")
+	}
+	ratio := byName["overd_ratio"]
+	if len(ratio.Samples) != 1 || ratio.Samples[0].Value != 1.0/3.0 {
+		t.Errorf("global gauge round-trip failed: %+v", ratio.Samples)
+	}
+	if len(ratio.Samples[0].Labels) != 0 {
+		t.Errorf("global gauge must have no rank label: %+v", ratio.Samples[0].Labels)
+	}
+	wait := byName["overd_wait_seconds"]
+	// Accumulate at runtime in observation order (constant folding would
+	// use exact arithmetic and miss the float64 rounding).
+	sumWant := 0.0005
+	sumWant += 0.5
+	sumWant += 2
+	wantBuckets := map[string]float64{"0.001": 1, "1": 2, "+Inf": 3}
+	for _, s := range wait.Samples {
+		if s.Name == "overd_wait_seconds_bucket" {
+			if want, ok := wantBuckets[s.Labels["le"]]; !ok || s.Value != want {
+				t.Errorf("bucket le=%s = %v, want %v", s.Labels["le"], s.Value, want)
+			}
+		}
+		if s.Name == "overd_wait_seconds_count" && s.Value != 3 {
+			t.Errorf("count = %v, want 3", s.Value)
+		}
+		if s.Name == "overd_wait_seconds_sum" && s.Value != sumWant {
+			t.Errorf("sum = %v, want %v", s.Value, sumWant)
+		}
+	}
+}
+
+func TestPrometheusOutputDeterministic(t *testing.T) {
+	emit := func() string {
+		g := New()
+		g.Reset(3)
+		c := g.Counter("b_total", Opts{Labels: []Label{{Name: "tag"}}})
+		// Insertion order differs from label order on purpose.
+		c.Add1(2, 9, 1)
+		c.Add1(0, 4, 1)
+		c.Add1(0, 1, 1)
+		g.Gauge("a", Opts{}).Set(1, 2, 3)
+		var buf bytes.Buffer
+		if err := g.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := emit()
+	for i := 0; i < 5; i++ {
+		if got := emit(); got != first {
+			t.Fatalf("non-deterministic output:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.HasPrefix(first, "# TYPE a gauge") {
+		t.Errorf("metrics not sorted by name:\n%s", first)
+	}
+}
+
+func TestNonFiniteSanitizedInExports(t *testing.T) {
+	g := New()
+	g.Reset(1)
+	g.Gauge("bad", Opts{}).Set(0, math.NaN(), math.Inf(1))
+	var prom, js bytes.Buffer
+	if err := g.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prom.String(), "NaN") || strings.Contains(prom.String(), "Inf") {
+		t.Errorf("non-finite leaked into Prometheus output:\n%s", prom.String())
+	}
+	if err := g.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON export not valid JSON: %v", err)
+	}
+	if strings.Contains(js.String(), "NaN") {
+		t.Errorf("NaN leaked into JSON output:\n%s", js.String())
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"sample before TYPE", "x_total 1\n"},
+		{"bad metric name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"unknown type", "# TYPE x wat\nx 1\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\n"},
+		{"duplicate series", "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n"},
+		{"negative counter", "# TYPE x counter\nx -1\n"},
+		{"bad value", "# TYPE x gauge\nx one\n"},
+		{"unquoted label", "# TYPE x gauge\nx{a=1} 1\n"},
+		{"unterminated labels", "# TYPE x gauge\nx{a=\"1\" 1\n"},
+		{"bad escape", "# TYPE x gauge\nx{a=\"\\q\"} 1\n"},
+		{"foreign sample in family", "# TYPE x gauge\ny 1\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"histogram bare sample", "# TYPE h histogram\nh 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected parse error, got none", c.name)
+		}
+	}
+}
+
+func TestParsePrometheusAcceptsEscapes(t *testing.T) {
+	in := "# HELP x a \\\\ help\n# TYPE x gauge\nx{a=\"q\\\"v\\\\w\\nz\"} 4 1700000000\n"
+	fams, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("fams = %+v", fams)
+	}
+	if got := fams[0].Samples[0].Labels["a"]; got != "q\"v\\w\nz" {
+		t.Errorf("label value = %q", got)
+	}
+}
+
+func TestJSONExportShape(t *testing.T) {
+	g := New()
+	g.Reset(2)
+	g.Counter("c_total", Opts{Help: "c", Windowed: true}).Add(1, 4)
+	g.Gauge("g", Opts{}).Set(0, 7, 1.25)
+	h := g.Histogram("h_seconds", Opts{Buckets: []float64{1}})
+	h.Observe(0, 0.5)
+	h.Observe(0, 3)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name     string    `json:"name"`
+			Type     string    `json:"type"`
+			Windowed bool      `json:"windowed"`
+			BucketLE []float64 `json:"bucket_le"`
+			Series   []struct {
+				Labels  map[string]string `json:"labels"`
+				Value   float64           `json:"value"`
+				VTS     *float64          `json:"vts"`
+				Buckets []float64         `json:"buckets"`
+				Count   *float64          `json:"count"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("got %d metrics", len(doc.Metrics))
+	}
+	// Sorted by name: c_total, g, h_seconds.
+	if doc.Metrics[0].Name != "c_total" || !doc.Metrics[0].Windowed {
+		t.Errorf("metric 0 = %+v", doc.Metrics[0])
+	}
+	if doc.Metrics[0].Series[0].Labels["rank"] != "1" || doc.Metrics[0].Series[0].Value != 4 {
+		t.Errorf("counter series = %+v", doc.Metrics[0].Series[0])
+	}
+	if vts := doc.Metrics[1].Series[0].VTS; vts == nil || *vts != 1.25 {
+		t.Errorf("gauge vts = %v", vts)
+	}
+	hm := doc.Metrics[2]
+	if len(hm.BucketLE) != 1 || hm.BucketLE[0] != 1 {
+		t.Errorf("bucket_le = %v", hm.BucketLE)
+	}
+	hs := hm.Series[0]
+	if hs.Value != 3.5 || hs.Count == nil || *hs.Count != 2 || len(hs.Buckets) != 1 || hs.Buckets[0] != 1 {
+		t.Errorf("hist series = %+v", hs)
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float with the shortest representation that parses
+// back to the identical bits, so values read from the exposition text
+// compare exactly against in-process doubles. Non-finite values are
+// sanitized to 0 (same convention as EmitRowsJSON).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(sanitize(v), 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeLabels renders {rank="0",phase="flow"} (rank omitted for global
+// metrics); extra appends le="..." for histogram buckets.
+func (m *metric) writeLabels(b *strings.Builder, s series, extra string) {
+	parts := make([]string, 0, 4)
+	if !m.opts.Global {
+		parts = append(parts, `rank="`+strconv.Itoa(s.rank)+`"`)
+	}
+	for i := range m.opts.Labels {
+		parts = append(parts, m.labelName(i)+`="`+escapeLabelValue(m.labelValue(i, s.labs[i]))+`"`)
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	b.WriteString(strings.Join(parts, ","))
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: metrics sorted by name,
+// series by rank then label key. Gauge virtual-time stamps are NOT exported
+// as Prometheus timestamps (they are virtual seconds, which scrapers would
+// misread as epoch milliseconds); use WriteJSON for stamped values.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range g.snapshotAll() {
+		if m.opts.Help != "" {
+			bw.WriteString("# HELP " + m.name + " " + escapeHelp(m.opts.Help) + "\n")
+		}
+		bw.WriteString("# TYPE " + m.name + " " + m.kind.String() + "\n")
+		for _, s := range m.snapshot() {
+			var b strings.Builder
+			switch m.kind {
+			case KindCounter, KindGauge:
+				b.WriteString(m.name)
+				m.writeLabels(&b, s, "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(s.vals[0]))
+				b.WriteByte('\n')
+			case KindHistogram:
+				nb := len(m.opts.Buckets)
+				cum := 0.0
+				for i, ub := range m.opts.Buckets {
+					cum += s.vals[i]
+					b.WriteString(m.name + "_bucket")
+					m.writeLabels(&b, s, `le="`+formatValue(ub)+`"`)
+					b.WriteByte(' ')
+					b.WriteString(formatValue(cum))
+					b.WriteByte('\n')
+				}
+				count, sum := s.vals[nb], s.vals[nb+1]
+				b.WriteString(m.name + "_bucket")
+				m.writeLabels(&b, s, `le="+Inf"`)
+				b.WriteString(" " + formatValue(count) + "\n")
+				b.WriteString(m.name + "_sum")
+				m.writeLabels(&b, s, "")
+				b.WriteString(" " + formatValue(sum) + "\n")
+				b.WriteString(m.name + "_count")
+				m.writeLabels(&b, s, "")
+				b.WriteString(" " + formatValue(count) + "\n")
+			}
+			if _, err := bw.WriteString(b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,413 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name (including _bucket/_sum/_count for
+	// histogram children).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: a # TYPE line plus its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus is a strict parser for the Prometheus text exposition
+// format (the subset WritePrometheus emits, which is also valid for real
+// scrapers). It enforces:
+//
+//   - metric and label names match the exposition-format grammar,
+//   - every sample belongs to a family whose # TYPE line appeared first,
+//   - histogram children use only _bucket/_sum/_count suffixes,
+//   - no duplicate series (same name + label set),
+//   - histogram buckets are cumulative (non-decreasing in le order),
+//     include le="+Inf", and the +Inf bucket equals _count,
+//   - counter values are finite and non-negative.
+//
+// It returns the families in input order.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var fams []*PromFamily
+	byName := map[string]*PromFamily{}
+	help := map[string]string{}
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, lineNo, &fams, byName, help); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		base := familyBase(s.Name, byName)
+		fam, ok := byName[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q before its # TYPE line", lineNo, s.Name)
+		}
+		if err := checkSampleName(fam, s.Name, lineNo); err != nil {
+			return nil, err
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		if fam.Type == "counter" {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0 {
+				return nil, fmt.Errorf("line %d: counter %s has invalid value %v", lineNo, s.Name, s.Value)
+			}
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]PromFamily, len(fams))
+	for i, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = *f
+	}
+	return out, nil
+}
+
+func parseComment(line string, lineNo int, fams *[]*PromFamily, byName map[string]*PromFamily, help map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+		}
+		text := ""
+		if len(fields) == 4 {
+			text = fields[3]
+		}
+		if f, ok := byName[fields[2]]; ok {
+			f.Help = text
+		} else {
+			help[fields[2]] = text
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+		}
+		name := fields[2]
+		if _, dup := byName[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+		}
+		f := &PromFamily{Name: name, Type: typ, Help: help[name]}
+		*fams = append(*fams, f)
+		byName[name] = f
+	}
+	return nil
+}
+
+// familyBase maps a sample name to its family name, stripping histogram
+// child suffixes only when the stripped name is a registered histogram.
+func familyBase(name string, byName map[string]*PromFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, exists := byName[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func checkSampleName(fam *PromFamily, name string, lineNo int) error {
+	if name == fam.Name {
+		if fam.Type == "histogram" {
+			return fmt.Errorf("line %d: histogram %s has bare sample (want _bucket/_sum/_count)", lineNo, name)
+		}
+		return nil
+	}
+	if fam.Type == "histogram" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if name == fam.Name+suf {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("line %d: sample %q does not belong to family %s", lineNo, name, fam.Name)
+}
+
+func seriesKey(s PromSample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteString("{" + k + "=" + s.Labels[k] + "}")
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseSample(line string, lineNo int) (PromSample, error) {
+	var s PromSample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest, lineNo)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: expected value (and optional timestamp) after %q", lineNo, s.Name)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad value %q: %v", lineNo, fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: bad timestamp %q", lineNo, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block (rest starts at '{') and
+// returns the labels plus the remainder of the line.
+func parseLabels(rest string, lineNo int) (map[string]string, string, error) {
+	labels := map[string]string{}
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("line %d: unterminated label block", lineNo)
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("line %d: malformed label pair near %q", lineNo, rest)
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("line %d: invalid label name %q", lineNo, name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("line %d: duplicate label %q", lineNo, name)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("line %d: label %q value must be quoted", lineNo, name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("line %d: unterminated label value for %q", lineNo, name)
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return nil, "", fmt.Errorf("line %d: dangling escape in label %q", lineNo, name)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("line %d: invalid escape \\%c in label %q", lineNo, rest[1], name)
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		labels[name] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+			continue
+		}
+		if rest != "" && rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		return nil, "", fmt.Errorf("line %d: expected ',' or '}' after label %q", lineNo, name)
+	}
+}
+
+// checkHistogram validates cumulative bucket monotonicity, the +Inf bucket,
+// and _count consistency for every series of a histogram family.
+func checkHistogram(fam *PromFamily) error {
+	type hseries struct {
+		le     []float64
+		cum    []float64
+		hasInf bool
+		inf    float64
+		count  float64
+		hasCnt bool
+	}
+	byKey := map[string]*hseries{}
+	keyOf := func(s PromSample) string {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + s.Labels[k] + ";")
+		}
+		return b.String()
+	}
+	get := func(s PromSample) *hseries {
+		k := keyOf(s)
+		h := byKey[k]
+		if h == nil {
+			h = &hseries{}
+			byKey[k] = h
+		}
+		return h
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", fam.Name)
+			}
+			h := get(s)
+			if le == "+Inf" {
+				h.hasInf = true
+				h.inf = s.Value
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam.Name, le)
+			}
+			h.le = append(h.le, ub)
+			h.cum = append(h.cum, s.Value)
+		case fam.Name + "_count":
+			h := get(s)
+			h.hasCnt = true
+			h.count = s.Value
+		}
+	}
+	for key, h := range byKey {
+		prev := math.Inf(-1)
+		prevCum := 0.0
+		for i, ub := range h.le {
+			if ub <= prev {
+				return fmt.Errorf("histogram %s{%s}: le bounds not increasing", fam.Name, key)
+			}
+			if h.cum[i] < prevCum {
+				return fmt.Errorf("histogram %s{%s}: buckets not cumulative at le=%v", fam.Name, key, ub)
+			}
+			prev, prevCum = ub, h.cum[i]
+		}
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", fam.Name, key)
+		}
+		if h.inf < prevCum {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket below last bucket", fam.Name, key)
+		}
+		if !h.hasCnt {
+			return fmt.Errorf("histogram %s{%s}: missing _count", fam.Name, key)
+		}
+		if h.inf != h.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", fam.Name, key, h.inf, h.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strconv"
+
+	"overd/internal/trace"
+)
+
+// RollupTrace publishes gauges derived from a trace.Summary so the metrics
+// plane and the trace plane reconcile by construction: values are copied
+// (never recomputed) from the summary, so every exported rollup gauge is
+// bit-identical to the corresponding Summary field. phaseName labels the
+// phase dimension (nil falls back to decimal).
+//
+// Published metrics (all gauges stamped with the summary's window end):
+//
+//	overd_trace_phase_{busy,recv_wait,barrier_wait,fault_wait}_seconds{rank,phase}
+//	overd_trace_rank_{busy,recv_wait,barrier_wait,fault_wait}_seconds{rank}
+//	overd_trace_rank_msgs_sent{rank}, overd_trace_rank_bytes_sent{rank}
+//	overd_trace_window_seconds
+func RollupTrace(g *Registry, s *trace.Summary, phaseName func(int) string) {
+	if g == nil || s == nil {
+		return
+	}
+	if phaseName == nil {
+		phaseName = strconv.Itoa
+	}
+	phased := func(name, help string) Gauge {
+		return g.Gauge(name, Opts{Help: help, Labels: []Label{{Name: "phase", Namer: phaseName}}})
+	}
+	flat := func(name, help string) Gauge {
+		return g.Gauge(name, Opts{Help: help})
+	}
+	pBusy := phased("overd_trace_phase_busy_seconds", "busy virtual seconds per rank and phase in the trace window")
+	pRecv := phased("overd_trace_phase_recv_wait_seconds", "receive-wait virtual seconds per rank and phase in the trace window")
+	pBar := phased("overd_trace_phase_barrier_wait_seconds", "barrier-wait virtual seconds per rank and phase in the trace window")
+	pFault := phased("overd_trace_phase_fault_wait_seconds", "fault-wait virtual seconds per rank and phase in the trace window")
+	rBusy := flat("overd_trace_rank_busy_seconds", "busy virtual seconds per rank in the trace window")
+	rRecv := flat("overd_trace_rank_recv_wait_seconds", "receive-wait virtual seconds per rank in the trace window")
+	rBar := flat("overd_trace_rank_barrier_wait_seconds", "barrier-wait virtual seconds per rank in the trace window")
+	rFault := flat("overd_trace_rank_fault_wait_seconds", "fault-wait virtual seconds per rank in the trace window")
+	rMsgs := flat("overd_trace_rank_msgs_sent", "messages sent per rank in the trace window")
+	rBytes := flat("overd_trace_rank_bytes_sent", "bytes sent per rank in the trace window")
+	win := g.Gauge("overd_trace_window_seconds", Opts{Help: "trace window length in virtual seconds", Global: true})
+
+	ts := s.WindowEnd
+	win.Set(0, s.WindowEnd-s.WindowStart, ts)
+	for _, rs := range s.Ranks {
+		r := rs.Rank
+		for p, pb := range rs.ByPhase {
+			if pb.Total() == 0 && pb.Busy == 0 {
+				continue
+			}
+			pBusy.Set1(r, p, pb.Busy, ts)
+			pRecv.Set1(r, p, pb.RecvWait, ts)
+			pBar.Set1(r, p, pb.BarrierWait, ts)
+			pFault.Set1(r, p, pb.FaultWait, ts)
+		}
+		rBusy.Set(r, rs.Busy, ts)
+		rRecv.Set(r, rs.RecvWait, ts)
+		rBar.Set(r, rs.BarrierWait, ts)
+		rFault.Set(r, rs.FaultWait, ts)
+		rMsgs.Set(r, float64(rs.MsgsSent), ts)
+		rBytes.Set(r, float64(rs.BytesSent), ts)
+	}
+}

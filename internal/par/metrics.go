@@ -1,0 +1,98 @@
+package par
+
+import (
+	"overd/internal/metrics"
+)
+
+// worldMetrics caches the runtime's metric handles so the hot paths pay one
+// nil test plus a direct shard write, never a registry lookup. All series
+// are windowed: core's step loop marks the measurement window so exported
+// values reconcile exactly with trace.Summarize over the same window.
+type worldMetrics struct {
+	reg *metrics.Registry
+
+	msgs    metrics.Counter // {phase, tag} messages handed to the wire
+	bytes   metrics.Counter // {phase, tag} modeled payload bytes
+	dropped metrics.Counter // {tag} fault-injected losses
+	retries metrics.Counter // {tag} SendReliable retransmissions
+	barrier metrics.Counter // {phase} barrier entries
+
+	recvWait  metrics.Histogram // {phase} per-blocking-receive wait
+	barWait   metrics.Histogram // {phase} per-barrier wait
+	faultWait metrics.Histogram // {phase} per-backoff fault wait
+}
+
+// SetMetrics attaches a metrics registry before Run: the registry is reset
+// for this world's rank count (crash-restart attempts therefore cover the
+// final attempt only, like tracing) and every rank records message, barrier
+// and wait statistics into its own shards. Pass nil to detach. Purely
+// observational: virtual clocks are bit-identical with or without it.
+func (w *World) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		w.met = nil
+		return
+	}
+	reg.Reset(w.n)
+	phase := metrics.Label{Name: "phase", Namer: func(p int) string { return Phase(p).String() }}
+	tag := metrics.Label{Name: "tag", Namer: tagLabel}
+	w.met = &worldMetrics{
+		reg: reg,
+		msgs: reg.Counter("overd_par_msgs_sent_total", metrics.Opts{
+			Help:     "messages handed to the wire (including fault-dropped ones)",
+			Windowed: true, Labels: []metrics.Label{phase, tag},
+		}),
+		bytes: reg.Counter("overd_par_bytes_sent_total", metrics.Opts{
+			Help:     "modeled payload bytes handed to the wire",
+			Windowed: true, Labels: []metrics.Label{phase, tag},
+		}),
+		dropped: reg.Counter("overd_par_msgs_dropped_total", metrics.Opts{
+			Help:     "fault-injected message losses observed by the sender",
+			Windowed: true, Labels: []metrics.Label{tag},
+		}),
+		retries: reg.Counter("overd_par_send_retries_total", metrics.Opts{
+			Help:     "SendReliable retransmissions after a dropped attempt",
+			Windowed: true, Labels: []metrics.Label{tag},
+		}),
+		barrier: reg.Counter("overd_par_barrier_entries_total", metrics.Opts{
+			Help:     "barrier/collective rendezvous entries per rank",
+			Windowed: true, Labels: []metrics.Label{phase},
+		}),
+		recvWait: reg.Histogram("overd_par_recv_wait_seconds", metrics.Opts{
+			Help:     "virtual seconds blocked per receive on in-flight messages",
+			Windowed: true, Labels: []metrics.Label{phase},
+		}),
+		barWait: reg.Histogram("overd_par_barrier_wait_seconds", metrics.Opts{
+			Help:     "virtual seconds blocked per barrier on slower ranks",
+			Windowed: true, Labels: []metrics.Label{phase},
+		}),
+		faultWait: reg.Histogram("overd_par_fault_wait_seconds", metrics.Opts{
+			Help:     "virtual seconds spent per retry backoff / loss discovery",
+			Windowed: true, Labels: []metrics.Label{phase},
+		}),
+	}
+}
+
+// MetricsRegistry returns the attached registry (nil when disabled) so the
+// numerical layers can register their own domain metrics.
+func (r *Rank) MetricsRegistry() *metrics.Registry {
+	if r.w.met == nil {
+		return nil
+	}
+	return r.w.met.reg
+}
+
+// MetricsWindowStart zeroes this rank's windowed metrics; core calls it at
+// the instant the measured-step window opens (trace window start).
+func (r *Rank) MetricsWindowStart() {
+	if r.w.met != nil {
+		r.w.met.reg.MarkWindowStart(r.ID)
+	}
+}
+
+// MetricsWindowEnd freezes this rank's windowed metrics; core calls it at
+// the instant the measured-step window closes (trace window end).
+func (r *Rank) MetricsWindowEnd() {
+	if r.w.met != nil {
+		r.w.met.reg.MarkWindowEnd(r.ID)
+	}
+}

@@ -157,6 +157,10 @@ type World struct {
 	// inj, when non-nil, is the fault layer's message-loss decider. Nil
 	// costs one pointer test per send and no allocations.
 	inj Injector
+
+	// met, when non-nil, holds the attached metrics registry's prefetched
+	// handles (see SetMetrics). Nil costs one pointer test per operation.
+	met *worldMetrics
 }
 
 // SetFaults attaches a message-loss injector before Run. Pass a non-nil
@@ -430,6 +434,9 @@ func (r *Rank) recvAdvance(m Msg) {
 		if r.tr != nil {
 			r.emit(trace.KindWait, r.Clock, wait, m.Tag, m.From, m.Bytes, m.flow)
 		}
+		if r.w.met != nil {
+			r.w.met.recvWait.Observe1(r.ID, int(r.phase), wait)
+		}
 		r.waitRecv[r.phase] += wait
 		r.advance(wait)
 	}
@@ -515,6 +522,9 @@ func (r *Rank) chargeFaultWait(dt float64, tag Tag, peer int) {
 	if r.tr != nil {
 		r.emit(trace.KindFaultWait, r.Clock, dt, tag, peer, 0, 0)
 	}
+	if r.w.met != nil {
+		r.w.met.faultWait.Observe1(r.ID, int(r.phase), dt)
+	}
 	r.waitFault[r.phase] += dt
 	r.advance(dt)
 }
@@ -560,6 +570,7 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		if r.tr != nil {
 			r.emit(trace.KindSend, r.Clock, 0, tag, to, bytes, m.flow)
 		}
+		r.countSend(tag, bytes)
 		r.pending = append(r.pending, m)
 		return
 	}
@@ -570,14 +581,28 @@ func (r *Rank) Send(to int, tag Tag, data any, bytes int) {
 		// loudly, not silently read nil data.
 		m.Data, m.Lost = nil, true
 		r.Dropped++
+		if r.w.met != nil {
+			r.w.met.dropped.Add1(r.ID, int(tag), 1)
+		}
 	}
 	// Sender-side software overhead: a fraction of latency.
 	ov := r.w.model.LatencySec * 0.25
 	if r.tr != nil {
 		r.emit(trace.KindSend, r.Clock, ov, tag, to, bytes, m.flow)
 	}
+	r.countSend(tag, bytes)
 	r.advance(ov)
 	r.deliver(to, tag, m)
+}
+
+// countSend records one wire hand-off in the metrics plane. It sits at
+// exactly the sites that emit trace.KindSend, so windowed totals match the
+// summary's MsgsSent/BytesSent columns.
+func (r *Rank) countSend(tag Tag, bytes int) {
+	if m := r.w.met; m != nil {
+		m.msgs.Add2(r.ID, int(r.phase), int(tag), 1)
+		m.bytes.Add2(r.ID, int(r.phase), int(tag), float64(bytes))
+	}
 }
 
 // deliver enqueues a message on the destination inbox. The fast path is a
@@ -635,17 +660,25 @@ func (r *Rank) SendReliable(to int, tag Tag, data any, bytes int) bool {
 			if dropped {
 				m.Data, m.Lost = nil, true
 				r.Dropped++
+				if r.w.met != nil {
+					r.w.met.dropped.Add1(r.ID, int(tag), 1)
+				}
 			}
 			ov := r.w.model.LatencySec * 0.25
 			if r.tr != nil {
 				r.emit(trace.KindSend, r.Clock, ov, tag, to, bytes, m.flow)
 			}
+			r.countSend(tag, bytes)
 			r.advance(ov)
 			r.deliver(to, tag, m)
 			return !dropped
 		}
 		r.Dropped++
 		r.Retries++
+		if r.w.met != nil {
+			r.w.met.dropped.Add1(r.ID, int(tag), 1)
+			r.w.met.retries.Add1(r.ID, int(tag), 1)
+		}
 		// Ack timeout: one modeled round trip, doubled per attempt.
 		rtt := 2 * r.w.model.CommTimeFor(r.ID, to, r.Clock, bytes)
 		r.chargeFaultWait(rtt*float64(uint(1)<<uint(attempt)), tag, to)
@@ -811,10 +844,16 @@ func (r *Rank) barrierSync() {
 		// polling protocol that will never consume it.
 		r.tombs = r.tombs[:0]
 	}
+	if r.w.met != nil {
+		r.w.met.barrier.Add1(r.ID, int(r.phase), 1)
+	}
 	maxClock, maxRank := r.w.bar.sync(r.Clock, r.ID)
 	if wait := maxClock - r.Clock; wait > 0 {
 		if r.tr != nil {
 			r.emit(trace.KindBarrier, r.Clock, wait, TagCollective, maxRank, 0, 0)
+		}
+		if r.w.met != nil {
+			r.w.met.barWait.Observe1(r.ID, int(r.phase), wait)
 		}
 		r.waitBar[r.phase] += wait
 		r.advance(wait)

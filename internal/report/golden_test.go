@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overd/internal/trace"
+)
+
+// The golden tests pin the exact text the rendering functions emit. These
+// reports are the human-facing contract of the observability layer — a
+// formatting drift would silently invalidate every saved transcript, so a
+// change here must be deliberate (update the golden string in the same
+// commit that changes the format).
+
+func gattSummary() *trace.Summary {
+	return &trace.Summary{
+		WindowStart: 0, WindowEnd: 2,
+		Ranks: []trace.RankSummary{
+			{Rank: 0, PhaseBreakdown: trace.PhaseBreakdown{Busy: 1, RecvWait: 0.5, BarrierWait: 0.5}},
+			{Rank: 1, PhaseBreakdown: trace.PhaseBreakdown{Busy: 1.5, RecvWait: 0.25, BarrierWait: 0.25}},
+		},
+	}
+}
+
+func TestBusyWaitGanttGolden(t *testing.T) {
+	var buf bytes.Buffer
+	BusyWaitGantt(&buf, gattSummary(), 8)
+	want := `per-rank busy/wait over 2.0000s window (# busy, ~ recv wait, = barrier wait)
+rank   0 |####~~==| busy  1.000s  recv  0.500s  barrier  0.500s
+rank   1 |######~=| busy  1.500s  recv  0.250s  barrier  0.250s
+`
+	if got := buf.String(); got != want {
+		t.Errorf("gantt output drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestBusyWaitGanttZeroWidthUsesDefault(t *testing.T) {
+	var zero, def bytes.Buffer
+	BusyWaitGantt(&zero, gattSummary(), 0)
+	BusyWaitGantt(&def, gattSummary(), 48)
+	if zero.String() != def.String() {
+		t.Errorf("width=0 output differs from the 48-column default:\n%q\nvs\n%q",
+			zero.String(), def.String())
+	}
+	// The default bar really is 48 columns wide between the pipes.
+	line := strings.Split(zero.String(), "\n")[1]
+	open := strings.IndexByte(line, '|')
+	close := strings.LastIndexByte(line, '|')
+	if close-open-1 != 48 {
+		t.Errorf("default bar width = %d, want 48 (%q)", close-open-1, line)
+	}
+}
+
+func TestBusyWaitGanttZeroTotalGolden(t *testing.T) {
+	var buf bytes.Buffer
+	BusyWaitGantt(&buf, &trace.Summary{WindowStart: 1, WindowEnd: 1,
+		Ranks: []trace.RankSummary{{Rank: 0}}}, 8)
+	want := `per-rank busy/wait over 0.0000s window (# busy, ~ recv wait, = barrier wait)
+  (no events in window)
+`
+	if got := buf.String(); got != want {
+		t.Errorf("zero-total gantt drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func phaseSummary() *trace.Summary {
+	return &trace.Summary{
+		WindowStart: 0, WindowEnd: 4,
+		Ranks: []trace.RankSummary{
+			{Rank: 0, ByPhase: []trace.PhaseBreakdown{
+				{Busy: 2, RecvWait: 0.5, BarrierWait: 0.5}, {}, {Busy: 1},
+			}},
+			{Rank: 1, ByPhase: []trace.PhaseBreakdown{
+				{Busy: 1, RecvWait: 0.25, BarrierWait: 0.75}, {}, {Busy: 0.5, RecvWait: 0.5},
+			}},
+		},
+	}
+}
+
+func phaseLabel(p int) string { return []string{"flow", "motion", "connect"}[p] }
+
+func TestPhaseWaitTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	PhaseWaitTable(&buf, phaseSummary(), phaseLabel)
+	// Rows sort by descending total; the all-zero "motion" phase is skipped;
+	// no fault column on a fault-free run.
+	want := `phase         busy        recv-wait   barrier-wait  wait share (rank-seconds)
+flow              3.000s      0.750s      1.250s      40.0%
+connect           1.500s      0.500s      0.000s      25.0%
+`
+	if got := buf.String(); got != want {
+		t.Errorf("phase table drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestPhaseWaitTableFaultColumnGolden(t *testing.T) {
+	s := phaseSummary()
+	s.Ranks[0].ByPhase[2].FaultWait = 0.25
+	var buf bytes.Buffer
+	PhaseWaitTable(&buf, s, phaseLabel)
+	// Any nonzero fault wait switches every row to the wide format.
+	want := `phase         busy        recv-wait   barrier-wait  fault-wait   wait share (rank-seconds)
+flow              3.000s      0.750s      1.250s      0.000s      40.0%
+connect           1.500s      0.500s      0.000s      0.250s      33.3%
+`
+	if got := buf.String(); got != want {
+		t.Errorf("fault phase table drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestPhaseWaitTableZeroTotal(t *testing.T) {
+	var buf bytes.Buffer
+	PhaseWaitTable(&buf, &trace.Summary{Ranks: []trace.RankSummary{
+		{Rank: 0, ByPhase: make([]trace.PhaseBreakdown, 3)},
+	}}, phaseLabel)
+	// Header only: every phase total is zero, so no rows render.
+	want := "phase         busy        recv-wait   barrier-wait  wait share (rank-seconds)\n"
+	if got := buf.String(); got != want {
+		t.Errorf("zero-total phase table drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestFaultSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	FaultSummary(&buf, FaultStats{
+		Recoveries: 2, RecoverySteps: 6, RecoveryTime: 1.5,
+		Checkpoints: 3, CheckpointTime: 0.125,
+		StartNodes: 8, FinalNodes: 6,
+		DroppedMsgs: 40, SendRetries: 37, FaultWaitTime: 0.75,
+	})
+	want := `fault / recovery summary
+  rank crashes recovered       2   (8 -> 6 nodes)
+  timesteps re-executed        6   (1.500s of lost work)
+  checkpoints taken            3   (0.125s virtual cost)
+  messages dropped            40   (37 retransmissions)
+  fault wait                  0.750s rank-seconds (backoff + loss discovery)
+`
+	if got := buf.String(); got != want {
+		t.Errorf("fault summary drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestFaultSummaryEmptyGolden(t *testing.T) {
+	var buf bytes.Buffer
+	FaultSummary(&buf, FaultStats{})
+	want := "fault / recovery summary\n  (no fault activity)\n"
+	if got := buf.String(); got != want {
+		t.Errorf("empty fault summary drifted:\n got: %q\nwant: %q", got, want)
+	}
+}

@@ -26,6 +26,12 @@ type RankSummary struct {
 	PhaseBreakdown
 	// ByPhase is indexed by phase int (dense, length MaxPhase+1).
 	ByPhase []PhaseBreakdown
+	// MsgsSent and BytesSent count send events whose start falls inside
+	// the window. Unlike the time columns these are attributed by start
+	// instant (self-sends have zero duration), so zero-duration sends
+	// still count.
+	MsgsSent  int64
+	BytesSent int64
 }
 
 // Summary is the per-rank wait/idle decomposition of a recorded run.
@@ -46,6 +52,10 @@ func (rec *Recorder) Summarize() *Summary {
 	for r := range rec.bufs {
 		rs := RankSummary{Rank: r, ByPhase: make([]PhaseBreakdown, nPhase)}
 		for _, e := range rec.bufs[r].ev {
+			if e.Kind == KindSend && e.Start >= start && e.Start < end {
+				rs.MsgsSent++
+				rs.BytesSent += e.Bytes
+			}
 			if e.Dur <= 0 {
 				continue
 			}

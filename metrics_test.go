@@ -1,0 +1,114 @@
+package overd
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"testing"
+
+	"overd/internal/metrics"
+)
+
+// TestTable4MetricsPrometheusReconciles is the tentpole acceptance check: a
+// Table-4 store-separation run with metrics and tracing attached must emit
+// Prometheus text that (a) passes the strict exposition parser and (b)
+// carries per-rank busy/wait totals exactly equal — bit for bit, through
+// the text round-trip — to the trace summary of the same run.
+func TestTable4MetricsPrometheusReconciles(t *testing.T) {
+	reg := NewMetricsRegistry()
+	rec := NewTraceRecorder()
+	cfg := Config{
+		Case:    StoreSeparation(0.05),
+		Nodes:   16, // first Table 4 node count
+		Machine: SP2(),
+		Steps:   2,
+		Fo:      math.Inf(1),
+		Trace:   rec,
+		Metrics: reg,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of Table-4 exposition output: %v", err)
+	}
+	samples := map[string]map[string]float64{} // family -> rank label -> value
+	for _, f := range fams {
+		m := map[string]float64{}
+		for _, s := range f.Samples {
+			if s.Name == f.Name {
+				m[s.Labels["rank"]] = s.Value
+			}
+		}
+		samples[f.Name] = m
+	}
+
+	s := rec.Summarize()
+	if len(s.Ranks) != cfg.Nodes {
+		t.Fatalf("summary has %d ranks, want %d", len(s.Ranks), cfg.Nodes)
+	}
+	for _, rs := range s.Ranks {
+		key := strconv.Itoa(rs.Rank)
+		for _, chk := range []struct {
+			family string
+			want   float64
+		}{
+			{"overd_trace_rank_busy_seconds", rs.Busy},
+			{"overd_trace_rank_recv_wait_seconds", rs.RecvWait},
+			{"overd_trace_rank_barrier_wait_seconds", rs.BarrierWait},
+			{"overd_trace_rank_fault_wait_seconds", rs.FaultWait},
+			{"overd_trace_rank_msgs_sent", float64(rs.MsgsSent)},
+			{"overd_trace_rank_bytes_sent", float64(rs.BytesSent)},
+		} {
+			got, ok := samples[chk.family][key]
+			if !ok {
+				t.Fatalf("no %s sample for rank %s", chk.family, key)
+			}
+			if got != chk.want { // exact: shortest round-trip formatting
+				t.Errorf("rank %s: parsed %s = %.17g, summary = %.17g",
+					key, chk.family, got, chk.want)
+			}
+		}
+		// The parsed live wait histograms reconcile with the summary too:
+		// _sum over phases equals the rank's flat wait within float
+		// reassociation tolerance (flat sums interleave phases).
+		var recvSum float64
+		for _, f := range fams {
+			if f.Name != "overd_par_recv_wait_seconds" {
+				continue
+			}
+			for _, smp := range f.Samples {
+				if smp.Name == "overd_par_recv_wait_seconds_sum" && smp.Labels["rank"] == key {
+					recvSum += smp.Value
+				}
+			}
+		}
+		if tol := 1e-12 * (1 + rs.RecvWait); math.Abs(recvSum-rs.RecvWait) > tol {
+			t.Errorf("rank %s: histogram recv-wait sum %.17g != summary %.17g", key, recvSum, rs.RecvWait)
+		}
+	}
+
+	// The Result-derived globals made it through the text format exactly.
+	if got := samples["overd_run_virtual_seconds"][""]; got != res.TotalTime {
+		t.Errorf("overd_run_virtual_seconds = %.17g, want %.17g", got, res.TotalTime)
+	}
+	if got := samples["overd_run_final_nodes"][""]; got != float64(cfg.Nodes) {
+		t.Errorf("overd_run_final_nodes = %v, want %d", got, cfg.Nodes)
+	}
+
+	// JSON export of the same registry stays valid and non-empty.
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() == 0 || !bytes.Contains(js.Bytes(), []byte("overd_par_msgs_sent_total")) {
+		t.Error("JSON export missing expected metric")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"overd/internal/flow"
 	"overd/internal/geom"
 	"overd/internal/machine"
+	"overd/internal/metrics"
 	"overd/internal/trace"
 )
 
@@ -125,6 +126,17 @@ type TraceCriticalPath = trace.CriticalPath
 
 // NewTraceRecorder returns an empty recorder ready to set as Config.Trace.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// MetricsRegistry is a deterministic registry of typed counters, gauges and
+// histograms keyed by rank/phase/grid, populated by the runtime and
+// numerical layers when attached through Config.Metrics and exportable as
+// Prometheus text (WritePrometheus) or JSON (WriteJSON). A nil
+// Config.Metrics records nothing and leaves virtual times bit-identical.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry ready to set as
+// Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // FaultPlan is a deterministic fault schedule perturbing a run: per-rank
 // compute stragglers, degraded links, seeded message loss and scheduled
