@@ -106,7 +106,7 @@ func TestDiffBenchZeroAllocBaseline(t *testing.T) {
 // committed trajectory file always passes a self-diff, so the advisory
 // bench-diff job can only fail on a genuine change.
 func TestDiffBenchCommittedBaselineAgainstItself(t *testing.T) {
-	doc, err := loadBenchFile("../../BENCH_3.json")
+	doc, err := loadBenchFile("../../BENCH_5.json")
 	if err != nil {
 		t.Fatalf("loading committed baseline: %v", err)
 	}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// validBenchFlags returns a flag set that passes validation; each test case
+// mutates one field.
+func validBenchFlags() benchFlags {
+	return benchFlags{
+		benchRe:   "BenchmarkTable",
+		scale:     0.1,
+		steps:     2,
+		benchtime: "1x",
+		out:       "BENCH_5.json",
+		pkg:       ".",
+	}
+}
+
+func TestValidateBenchFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*benchFlags)
+		wantErr string // substring; empty = must pass
+	}{
+		{"defaults", func(f *benchFlags) {}, ""},
+		{"cpuprofile alone", func(f *benchFlags) { f.cpuprofile = "cpu.prof" }, ""},
+		{"memprofile alone", func(f *benchFlags) { f.memprofile = "mem.prof" }, ""},
+		{"both profiles", func(f *benchFlags) { f.cpuprofile, f.memprofile = "cpu.prof", "mem.prof" }, ""},
+		{"empty bench regex", func(f *benchFlags) { f.benchRe = "" }, "-bench"},
+		{"zero scale", func(f *benchFlags) { f.scale = 0 }, "-scale"},
+		{"negative scale", func(f *benchFlags) { f.scale = -1 }, "-scale"},
+		{"zero steps", func(f *benchFlags) { f.steps = 0 }, "-steps"},
+		{"negative steps", func(f *benchFlags) { f.steps = -3 }, "-steps"},
+		{"empty benchtime", func(f *benchFlags) { f.benchtime = "" }, "-benchtime"},
+		{"empty out", func(f *benchFlags) { f.out = "" }, "-out"},
+		{"cpuprofile clobbers out", func(f *benchFlags) { f.cpuprofile = f.out }, "overwrite"},
+		{"memprofile clobbers out", func(f *benchFlags) { f.memprofile = f.out }, "overwrite"},
+		{"profiles collide", func(f *benchFlags) { f.cpuprofile, f.memprofile = "p.prof", "p.prof" }, "both write"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validBenchFlags()
+			tc.mut(&f)
+			err := validateBenchFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %q", tc.wantErr, err)
+			}
+		})
+	}
+}

@@ -9,8 +9,13 @@
 //
 // Usage:
 //
-//	bench [-bench regex] [-scale f] [-steps n] [-benchtime 1x] [-out BENCH_3.json]
+//	bench [-bench regex] [-scale f] [-steps n] [-benchtime 1x] [-out BENCH_5.json]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	bench -diff [-ns-threshold f] [-allocs-threshold f] [-bytes-threshold f] old.json new.json
+//
+// -cpuprofile and -memprofile are forwarded to go test, producing pprof
+// files for `go tool pprof` alongside the JSON — the workflow the kernel
+// optimization passes use to find the next hot spot.
 //
 // In -diff mode the two positional files are compared benchmark-by-benchmark
 // and the exit status is 1 when any result regressed beyond the thresholds —
@@ -40,13 +45,59 @@ type benchFile struct {
 	Results   []BenchResult `json:"results"`
 }
 
+// benchFlags carries the raw command-line values for a measurement run;
+// validateBenchFlags turns them into a clear error before any subprocess
+// spawns. Keeping validation out of main() makes the edge cases testable
+// without running the binary (same pattern as cmd/overd's runFlags).
+type benchFlags struct {
+	benchRe    string
+	scale      float64
+	steps      int
+	benchtime  string
+	out        string
+	pkg        string
+	cpuprofile string
+	memprofile string
+}
+
+func validateBenchFlags(f benchFlags) error {
+	if f.benchRe == "" {
+		return fmt.Errorf("-bench must not be empty (use '.' to run everything)")
+	}
+	if f.scale <= 0 {
+		return fmt.Errorf("-scale must be > 0 (got %g)", f.scale)
+	}
+	if f.steps <= 0 {
+		return fmt.Errorf("-steps must be > 0 (got %d)", f.steps)
+	}
+	if f.benchtime == "" {
+		return fmt.Errorf("-benchtime must not be empty (e.g. 1x or 2s)")
+	}
+	if f.out == "" {
+		return fmt.Errorf("-out must not be empty")
+	}
+	if f.cpuprofile != "" && f.cpuprofile == f.out {
+		return fmt.Errorf("-cpuprofile %q would overwrite the -out JSON file", f.cpuprofile)
+	}
+	if f.memprofile != "" && f.memprofile == f.out {
+		return fmt.Errorf("-memprofile %q would overwrite the -out JSON file", f.memprofile)
+	}
+	if f.cpuprofile != "" && f.cpuprofile == f.memprofile {
+		return fmt.Errorf("-cpuprofile and -memprofile both write %q", f.cpuprofile)
+	}
+	return nil
+}
+
 func main() {
-	benchRe := flag.String("bench", "BenchmarkTable", "benchmark regex passed to go test -bench")
-	scale := flag.Float64("scale", 0.1, "OVERD_BENCH_SCALE for the run (gridpoint budget multiplier)")
-	steps := flag.Int("steps", 2, "OVERD_BENCH_STEPS for the run (measured timesteps)")
-	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
-	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	var bf benchFlags
+	flag.StringVar(&bf.benchRe, "bench", "BenchmarkTable", "benchmark regex passed to go test -bench")
+	flag.Float64Var(&bf.scale, "scale", 0.1, "OVERD_BENCH_SCALE for the run (gridpoint budget multiplier)")
+	flag.IntVar(&bf.steps, "steps", 2, "OVERD_BENCH_STEPS for the run (measured timesteps)")
+	flag.StringVar(&bf.benchtime, "benchtime", "1x", "go test -benchtime value")
+	flag.StringVar(&bf.out, "out", "BENCH_5.json", "output JSON path")
+	flag.StringVar(&bf.pkg, "pkg", ".", "package containing the benchmarks")
+	flag.StringVar(&bf.cpuprofile, "cpuprofile", "", "forward to go test -cpuprofile (pprof output file)")
+	flag.StringVar(&bf.memprofile, "memprofile", "", "forward to go test -memprofile (pprof output file)")
 	diff := flag.Bool("diff", false, "compare two BENCH_*.json files (old new) instead of running benchmarks")
 	nsThreshold := flag.Float64("ns-threshold", 0.30, "-diff: relative ns/op growth that counts as a regression")
 	allocsThreshold := flag.Float64("allocs-threshold", 0.10, "-diff: relative allocs/op growth that counts as a regression")
@@ -80,23 +131,28 @@ func main() {
 			len(rows), flag.Arg(0), flag.Arg(1))
 		return
 	}
-	if *scale <= 0 {
-		fail(fmt.Errorf("-scale must be > 0 (got %g)", *scale))
-	}
-	if *steps <= 0 {
-		fail(fmt.Errorf("-steps must be > 0 (got %d)", *steps))
+	if err := validateBenchFlags(bf); err != nil {
+		fail(err)
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", bf.benchRe, "-benchmem", "-benchtime", bf.benchtime}
+	if bf.cpuprofile != "" {
+		args = append(args, "-cpuprofile", bf.cpuprofile)
+	}
+	if bf.memprofile != "" {
+		args = append(args, "-memprofile", bf.memprofile)
+	}
+	args = append(args, bf.pkg)
+	cmd := exec.Command("go", args...)
 	cmd.Env = append(os.Environ(),
-		fmt.Sprintf("OVERD_BENCH_SCALE=%g", *scale),
-		fmt.Sprintf("OVERD_BENCH_STEPS=%d", *steps))
+		fmt.Sprintf("OVERD_BENCH_SCALE=%g", bf.scale),
+		fmt.Sprintf("OVERD_BENCH_STEPS=%d", bf.steps))
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
 	fmt.Fprintf(os.Stderr, "bench: go test -run '^$' -bench %q -benchmem -benchtime %s %s (scale %g, %d steps)\n",
-		*benchRe, *benchtime, *pkg, *scale, *steps)
+		bf.benchRe, bf.benchtime, bf.pkg, bf.scale, bf.steps)
 	if err := cmd.Run(); err != nil {
 		os.Stderr.Write(buf.Bytes())
 		fail(fmt.Errorf("go test -bench: %w", err))
@@ -113,9 +169,9 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Scale:     *scale,
-		Steps:     *steps,
-		BenchTime: *benchtime,
+		Scale:     bf.scale,
+		Steps:     bf.steps,
+		BenchTime: bf.benchtime,
 		Results:   results,
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -123,12 +179,18 @@ func main() {
 		fail(err)
 	}
 	enc = append(enc, '\n')
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(bf.out, enc, 0o644); err != nil {
 		fail(err)
 	}
 	for _, r := range results {
 		fmt.Printf("%-28s %14.0f ns/op %14d B/op %10d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), bf.out)
+	if bf.cpuprofile != "" {
+		fmt.Printf("cpu profile: go tool pprof %s\n", bf.cpuprofile)
+	}
+	if bf.memprofile != "" {
+		fmt.Printf("mem profile: go tool pprof %s\n", bf.memprofile)
+	}
 }

@@ -113,6 +113,7 @@ type Solver struct {
 	gridIx      overset.GridRankIndex
 	gridOf      []int  // scratch for rebuilding gridIx: grid per rank
 	expect      []bool // fringe-update receive set, indexed by rank
+	marks       []int  // fringe-mark scratch, reused per layer
 }
 
 // restartKey is an IGBP identity (grid, i, j, k) packed into one word: map

@@ -74,16 +74,20 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	s.cutHolesLocal(r, gi, box)
 	s.markFringesLocal(r, g, gi, box)
 
-	// Collect my IGBPs.
+	// Collect my IGBPs. The row base i + NI*(j + NJ*k) is hoisted out of
+	// the contiguous i-run, and the coordinate slices are loaded once, so
+	// the scan is a single strided pass over IBlank.
 	s.igbps = s.igbps[:0]
+	ib, gx, gy, gz := g.IBlank, g.X, g.Y, g.Z
 	for k := box.KLo; k <= box.KHi; k++ {
 		for j := box.JLo; j <= box.JHi; j++ {
+			row := g.NI * (j + g.NJ*k)
 			for i := box.ILo; i <= box.IHi; i++ {
-				n := g.Idx(i, j, k)
-				if g.IBlank[n] == grid.IBFringe {
+				n := row + i
+				if ib[n] == grid.IBFringe {
 					s.igbps = append(s.igbps, overset.IGBP{
 						Grid: gi, I: i, J: j, K: k,
-						Pos: geom.Vec3{X: g.X[n], Y: g.Y[n], Z: g.Z[n]},
+						Pos: geom.Vec3{X: gx[n], Y: gy[n], Z: gz[n]},
 					})
 				}
 			}
@@ -549,12 +553,15 @@ func (s *Solver) cutHolesLocal(r *par.Rank, gi int, box grid.IBox) {
 	}
 	r.Barrier()
 
-	// Reset my points, then cut.
+	// Reset my points, then cut. Row bases and the IBlank/coordinate
+	// slices are hoisted out of the contiguous i-runs.
 	tested := 0
+	ib, gx, gy, gz := g.IBlank, g.X, g.Y, g.Z
 	for k := box.KLo; k <= box.KHi; k++ {
 		for j := box.JLo; j <= box.JHi; j++ {
+			row := g.NI * (j + g.NJ*k)
 			for i := box.ILo; i <= box.IHi; i++ {
-				g.IBlank[g.Idx(i, j, k)] = grid.IBField
+				ib[row+i] = grid.IBField
 			}
 		}
 	}
@@ -572,12 +579,13 @@ func (s *Solver) cutHolesLocal(r *par.Rank, gi int, box grid.IBox) {
 		}
 		for k := box.KLo; k <= box.KHi; k++ {
 			for j := box.JLo; j <= box.JHi; j++ {
+				row := g.NI * (j + g.NJ*k)
 				for i := box.ILo; i <= box.IHi; i++ {
-					n := g.Idx(i, j, k)
-					if g.IBlank[n] == grid.IBHole {
+					n := row + i
+					if ib[n] == grid.IBHole {
 						continue
 					}
-					p := geom.Vec3{X: g.X[n], Y: g.Y[n], Z: g.Z[n]}
+					p := geom.Vec3{X: gx[n], Y: gy[n], Z: gz[n]}
 					if !cb.Contains(p) {
 						continue
 					}
@@ -586,7 +594,7 @@ func (s *Solver) cutHolesLocal(r *par.Rank, gi int, box grid.IBox) {
 						directTests++
 					}
 					if inside(p) {
-						g.IBlank[n] = grid.IBHole
+						ib[n] = grid.IBHole
 					}
 				}
 			}
@@ -607,24 +615,26 @@ func (s *Solver) markFringesLocal(r *par.Rank, g *grid.Grid, gi int, box grid.IB
 		depth = 2
 	}
 	marked := 0
+	ib := g.IBlank
 	for layer := 0; layer < depth; layer++ {
-		var marks []int
+		marks := s.marks[:0]
 		for k := box.KLo; k <= box.KHi; k++ {
 			for j := box.JLo; j <= box.JHi; j++ {
+				row := g.NI * (j + g.NJ*k)
 				for i := box.ILo; i <= box.IHi; i++ {
-					n := g.Idx(i, j, k)
-					if g.IBlank[n] != grid.IBField {
+					if ib[row+i] != grid.IBField {
 						continue
 					}
 					if overset.AdjacentToNonField(g, i, j, k, layer) {
-						marks = append(marks, n)
+						marks = append(marks, row+i)
 					}
 				}
 			}
 		}
+		s.marks = marks
 		r.Barrier() // reads done everywhere before writes land
 		for _, n := range marks {
-			g.IBlank[n] = grid.IBFringe
+			ib[n] = grid.IBFringe
 		}
 		marked += len(marks)
 		r.Barrier()

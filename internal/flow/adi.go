@@ -44,33 +44,51 @@ func (b *Block) SolveADI(r *par.Rank, dt float64) float64 {
 	return flops
 }
 
-// lineSet enumerates the transverse point set of direction d: every owned
-// (lj,lk)-style pair; each yields one line of owned points along d.
-func (b *Block) lineSet(d int) (nLines int, lineStart func(idx int) (base, stride, count int)) {
+// lineGeom describes the transverse point set of direction d without a
+// closure (which would heap-allocate per sweep): line idx starts at
+// base0 + (idx%nu)*strideU + (idx/nu)*strideV and holds count owned points
+// stride apart. The enumeration order is identical to the old per-index
+// (lj,lk) arithmetic.
+type lineGeom struct {
+	nLines, nu       int
+	base0            int
+	strideU, strideV int
+	stride, count    int
+}
+
+// lineBase returns the first point of line idx.
+func (lg *lineGeom) lineBase(idx int) int {
+	return lg.base0 + (idx%lg.nu)*lg.strideU + (idx/lg.nu)*lg.strideV
+}
+
+func (b *Block) lineSet(d int) lineGeom {
 	klo, khi := b.kBounds()
 	nk := khi - klo + 1
 	switch d {
 	case 0:
 		nj := b.MJ - 2*Halo
-		return nj * nk, func(idx int) (int, int, int) {
-			lj := Halo + idx%nj
-			lk := klo + idx/nj
-			return b.LIdx(Halo, lj, lk), 1, b.Own.NI()
+		return lineGeom{
+			nLines: nj * nk, nu: nj,
+			base0:   b.LIdx(Halo, Halo, klo),
+			strideU: b.MI, strideV: b.MI * b.MJ,
+			stride: 1, count: b.Own.NI(),
 		}
 	case 1:
 		ni := b.MI - 2*Halo
-		return ni * nk, func(idx int) (int, int, int) {
-			li := Halo + idx%ni
-			lk := klo + idx/ni
-			return b.LIdx(li, Halo, lk), b.MI, b.Own.NJ()
+		return lineGeom{
+			nLines: ni * nk, nu: ni,
+			base0:   b.LIdx(Halo, Halo, klo),
+			strideU: 1, strideV: b.MI * b.MJ,
+			stride: b.MI, count: b.Own.NJ(),
 		}
 	default:
 		ni := b.MI - 2*Halo
 		nj := b.MJ - 2*Halo
-		return ni * nj, func(idx int) (int, int, int) {
-			li := Halo + idx%ni
-			lj := Halo + idx/ni
-			return b.LIdx(li, lj, Halo), b.MI * b.MJ, b.Own.NK()
+		return lineGeom{
+			nLines: ni * nj, nu: ni,
+			base0:   b.LIdx(Halo, Halo, Halo),
+			strideU: 1, strideV: b.MI,
+			stride: b.MI * b.MJ, count: b.Own.NK(),
 		}
 	}
 }
@@ -89,37 +107,62 @@ type pipeMsg struct {
 // pipePool recycles pipeMsg envelopes across all ranks and blocks.
 var pipePool par.Pool[pipeMsg]
 
-// sweepDirection applies one ADI factor along direction d.
+// sweepDirection applies one ADI factor along direction d. The pointwise
+// passes walk contiguous i-runs and build only the matrix each pass needs
+// (T⁻¹ before the line solves, T after); both charge the full eigensystem
+// flop constant — the accounting is per point, not per host instruction.
 func (b *Block) sweepDirection(r *par.Rank, d int, dt float64) float64 {
 	s := b.scr
 
 	// Pointwise: W = T⁻¹ · DQ, and stash eigenvalues per point.
 	lam := s.fw // reuse flux workspace: 5 eigenvalues per point
 	var e Eigen
-	b.eachInterior(func(p int) {
-		kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
-		kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
-		e.Set(b.QAt(p), kx, ky, kz, kt)
-		w := e.MulTi([5]float64{b.DQ[5*p], b.DQ[5*p+1], b.DQ[5*p+2], b.DQ[5*p+3], b.DQ[5*p+4]})
-		copy(b.DQ[5*p:5*p+5], w[:])
-		jdt := b.Jac[p] * dt
-		for c := 0; c < 5; c++ {
-			lam[5*p+c] = e.Lam[c] * jdt
+	met, dqs, jac := b.Met, b.DQ, b.Jac
+	xt, yt, zt := b.XT, b.YT, b.ZT
+	md := 3 * d
+	klo, khi := b.kBounds()
+	niOwn := b.Own.NI()
+	for lk := klo; lk <= khi; lk++ {
+		for lj := Halo; lj < b.MJ-Halo; lj++ {
+			p0 := b.LIdx(Halo, lj, lk)
+			for p := p0; p < p0+niOwn; p++ {
+				mp := met[9*p+md : 9*p+md+3 : 9*p+md+3]
+				kx, ky, kz := mp[0], mp[1], mp[2]
+				kt := -(kx*xt[p] + ky*yt[p] + kz*zt[p])
+				e.SetTi(b.QAt(p), kx, ky, kz, kt)
+				dq := dqs[5*p : 5*p+5 : 5*p+5]
+				w := e.MulTi([5]float64{dq[0], dq[1], dq[2], dq[3], dq[4]})
+				dq[0], dq[1], dq[2], dq[3], dq[4] = w[0], w[1], w[2], w[3], w[4]
+				jdt := jac[p] * dt
+				lp := lam[5*p : 5*p+5 : 5*p+5]
+				lp[0] = e.Lam[0] * jdt
+				lp[1] = e.Lam[1] * jdt
+				lp[2] = e.Lam[2] * jdt
+				lp[3] = e.Lam[3] * jdt
+				lp[4] = e.Lam[4] * jdt
+			}
 		}
-	})
+	}
 	flops := float64(b.NOwned()) * (flopsEigenBuild + flopsEigenApply)
 
 	// Scalar tridiagonal solves along d, pipelined across ranks.
 	flops += b.lineSolves(r, d, dt, lam)
 
 	// Pointwise: DQ = T · W.
-	b.eachInterior(func(p int) {
-		kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
-		kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
-		e.Set(b.QAt(p), kx, ky, kz, kt)
-		w := e.MulT([5]float64{b.DQ[5*p], b.DQ[5*p+1], b.DQ[5*p+2], b.DQ[5*p+3], b.DQ[5*p+4]})
-		copy(b.DQ[5*p:5*p+5], w[:])
-	})
+	for lk := klo; lk <= khi; lk++ {
+		for lj := Halo; lj < b.MJ-Halo; lj++ {
+			p0 := b.LIdx(Halo, lj, lk)
+			for p := p0; p < p0+niOwn; p++ {
+				mp := met[9*p+md : 9*p+md+3 : 9*p+md+3]
+				kx, ky, kz := mp[0], mp[1], mp[2]
+				kt := -(kx*xt[p] + ky*yt[p] + kz*zt[p])
+				e.SetT(b.QAt(p), kx, ky, kz, kt)
+				dq := dqs[5*p : 5*p+5 : 5*p+5]
+				w := e.MulT([5]float64{dq[0], dq[1], dq[2], dq[3], dq[4]})
+				dq[0], dq[1], dq[2], dq[3], dq[4] = w[0], w[1], w[2], w[3], w[4]
+			}
+		}
+	}
 	flops += float64(b.NOwned()) * (flopsEigenBuild + flopsEigenApply)
 	return flops
 }
@@ -131,7 +174,8 @@ func (b *Block) sweepDirection(r *par.Rank, d int, dt float64) float64 {
 // so downstream ranks start while upstream ones continue.
 func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float64 {
 	s := b.scr
-	nLines, lineAt := b.lineSet(d)
+	lg := b.lineSet(d)
+	nLines, stride, count := lg.nLines, lg.stride, lg.count
 	prev := b.Nbr[d][0]
 	next := b.Nbr[d][1]
 	// The periodic seam is treated explicitly (no implicit wrap coupling).
@@ -173,6 +217,21 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 	// cpAll stores the full c' field (needed again for back substitution).
 	cpAll := s.cpAll
 
+	// Per-line implicit-smoothing coefficients, computed once per point
+	// instead of once per point per component.
+	maxCount := b.Own.NI()
+	if c := b.Own.NJ(); c > maxCount {
+		maxCount = c
+	}
+	if c := b.Own.NK(); c > maxCount {
+		maxCount = c
+	}
+	if cap(s.epsLn) < maxCount {
+		s.epsLn = make([]float64, maxCount)
+	}
+	epsLn := s.epsLn[:maxCount]
+	upd, jac, sigd, dq := s.upd, b.Jac, s.sig[d], b.DQ
+
 	batchRange := func(bi int) (lo, hi int) {
 		lo = bi * nLines / batches
 		hi = (bi+1)*nLines/batches - 1
@@ -190,7 +249,13 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 			pipePool.Put(pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
-			base, stride, count := lineAt(ln)
+			base := lg.lineBase(ln)
+			for m := 0; m < count; m++ {
+				p := base + m*stride
+				if upd[p] {
+					epsLn[m] = implicitEps * dt * jac[p] * sigd[p]
+				}
+			}
 			for c := 0; c < 5; c++ {
 				cPrev, dPrev := 0.0, 0.0
 				if prevRank >= 0 {
@@ -199,17 +264,17 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 				for m := 0; m < count; m++ {
 					p := base + m*stride
 					var am, bm, cm, rm float64
-					if !s.upd[p] {
+					if !upd[p] {
 						am, bm, cm, rm = 0, 1, 0, 0
 					} else {
 						l := lam[5*p+c]
 						lp := 0.5 * (l + abs(l))
 						lm := 0.5 * (l - abs(l))
-						eps := implicitEps * dt * b.Jac[p] * s.sig[d][p]
+						eps := epsLn[m]
 						am = -lp - eps
 						bm = 1 + (lp - lm) + 2*eps
 						cm = lm - eps
-						rm = b.DQ[5*p+c]
+						rm = dq[5*p+c]
 					}
 					den := bm - am*cPrev
 					if den == 0 {
@@ -218,7 +283,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 					cPrev = cm / den
 					dPrev = (rm - am*dPrev) / den
 					cpAll[5*p+c] = cPrev
-					b.DQ[5*p+c] = dPrev // store d' in place
+					dq[5*p+c] = dPrev // store d' in place
 				}
 				cOut[ln*5+c], dOut[ln*5+c] = cPrev, dPrev
 			}
@@ -244,7 +309,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 			pipePool.Put(pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
-			base, stride, count := lineAt(ln)
+			base := lg.lineBase(ln)
 			for c := 0; c < 5; c++ {
 				xNext := 0.0
 				if nextRank >= 0 {
@@ -252,8 +317,8 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 				}
 				for m := count - 1; m >= 0; m-- {
 					p := base + m*stride
-					x := b.DQ[5*p+c] - cpAll[5*p+c]*xNext
-					b.DQ[5*p+c] = x
+					x := dq[5*p+c] - cpAll[5*p+c]*xNext
+					dq[5*p+c] = x
 					xNext = x
 				}
 				xIn[ln*5+c] = xNext // my first point's x, for upstream
@@ -283,27 +348,40 @@ func abs(x float64) float64 {
 func (b *Block) ApplyUpdate() float64 {
 	b.ensureScratch()
 	s := b.scr
+	upd, qs, dqs := s.upd, b.Q, b.DQ
+	twoD := b.TwoD
 	count := 0
-	b.eachInterior(func(p int) {
-		if !s.upd[p] {
-			return
+	klo, khi := b.kBounds()
+	niOwn := b.Own.NI()
+	for lk := klo; lk <= khi; lk++ {
+		for lj := Halo; lj < b.MJ-Halo; lj++ {
+			p0 := b.LIdx(Halo, lj, lk)
+			for p := p0; p < p0+niOwn; p++ {
+				if !upd[p] {
+					continue
+				}
+				count++
+				qp := qs[5*p : 5*p+5 : 5*p+5]
+				dq := dqs[5*p : 5*p+5 : 5*p+5]
+				qp[0] += dq[0]
+				qp[1] += dq[1]
+				qp[2] += dq[2]
+				qp[3] += dq[3]
+				qp[4] += dq[4]
+				if twoD {
+					qp[3] = 0
+				}
+				// Keep the state physical: floor density and pressure.
+				if qp[0] < 1e-6 {
+					qp[0] = 1e-6
+				}
+				rho, u, v, w, pr := Primitive(b.QAt(p))
+				if pr <= 1e-8 {
+					pr = 1e-8
+					qp[4] = pr/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+				}
+			}
 		}
-		count++
-		for c := 0; c < 5; c++ {
-			b.Q[5*p+c] += b.DQ[5*p+c]
-		}
-		if b.TwoD {
-			b.Q[5*p+3] = 0
-		}
-		// Keep the state physical: floor density and pressure.
-		if b.Q[5*p] < 1e-6 {
-			b.Q[5*p] = 1e-6
-		}
-		rho, u, v, w, pr := Primitive(b.QAt(p))
-		if pr <= 1e-8 {
-			pr = 1e-8
-			b.Q[5*p+4] = pr/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
-		}
-	})
+	}
 	return float64(count) * 8
 }

@@ -1,0 +1,92 @@
+package flow
+
+import (
+	"testing"
+
+	"overd/internal/gridgen"
+	"overd/internal/machine"
+	"overd/internal/par"
+)
+
+// allocBlock builds the same isolated single-rank block the benchmarks use.
+func allocBlock() (*Block, *par.World) {
+	g := gridgen.AirfoilOGrid(0, "airfoil", 128, 32, 3)
+	g.Turbulent = true
+	fs := Freestream{Mach: 0.8, Re: 1e6}
+	w := par.NewWorld(1, machine.SP2())
+	blk := NewBlock(g, g.Full(), fs)
+	blk.Nbr[0][0] = Neighbor{Rank: 0, Wrap: true}
+	blk.Nbr[0][1] = Neighbor{Rank: 0, Wrap: true}
+	return blk, w
+}
+
+// The fused RHS kernel must not allocate once scratch is warm: the hot path
+// is re-run every timestep and any per-call garbage shows up directly in
+// the wall-clock tables.
+func TestComputeRHSZeroAlloc(t *testing.T) {
+	blk, _ := allocBlock()
+	blk.ComputeRHS(0.01) // warm scratch
+	if n := testing.AllocsPerRun(10, func() {
+		blk.ComputeRHS(0.01)
+	}); n != 0 {
+		t.Fatalf("ComputeRHS allocates %v times per call, want 0", n)
+	}
+}
+
+// The diagonalized ADI sweep (including the pipelined line solves and the
+// update application) must be allocation-free in steady state.
+func TestSolveADIZeroAlloc(t *testing.T) {
+	blk, w := allocBlock()
+	w.Run(func(r *par.Rank) {
+		blk.ComputeRHS(0.01)
+		blk.SolveADI(r, 0.01) // warm scratch and pools
+		if n := testing.AllocsPerRun(10, func() {
+			blk.SolveADI(r, 0.01)
+		}); n != 0 {
+			t.Fatalf("SolveADI allocates %v times per call, want 0", n)
+		}
+	})
+}
+
+// ApplyUpdate is a pure sweep over Q/DQ and may never allocate.
+func TestApplyUpdateZeroAlloc(t *testing.T) {
+	blk, w := allocBlock()
+	w.Run(func(r *par.Rank) {
+		blk.ComputeRHS(0.01)
+		blk.SolveADI(r, 0.01)
+		if n := testing.AllocsPerRun(10, func() {
+			blk.ApplyUpdate()
+		}); n != 0 {
+			t.Fatalf("ApplyUpdate allocates %v times per call, want 0", n)
+		}
+	})
+}
+
+// Halo pack/unpack reuse envelope buffers; with a warm buffer the row-wise
+// bulk copies must not allocate.
+func TestHaloPackUnpackZeroAlloc(t *testing.T) {
+	blk, _ := allocBlock()
+	buf := blk.packFace(nil, 0, 0)
+	data := append([]float64(nil), buf...)
+	if n := testing.AllocsPerRun(10, func() {
+		buf = blk.packFace(buf[:0], 0, 0)
+	}); n != 0 {
+		t.Fatalf("packFace allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		blk.unpackFace(0, 0, data)
+	}); n != 0 {
+		t.Fatalf("unpackFace allocates %v times per call, want 0", n)
+	}
+}
+
+// The Baldwin-Lomax pass reuses per-line scratch from the block.
+func TestComputeTurbulenceZeroAlloc(t *testing.T) {
+	blk, _ := allocBlock()
+	blk.ComputeTurbulence() // warm scratch
+	if n := testing.AllocsPerRun(10, func() {
+		blk.ComputeTurbulence()
+	}); n != 0 {
+		t.Fatalf("ComputeTurbulence allocates %v times per call, want 0", n)
+	}
+}

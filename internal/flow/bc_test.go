@@ -134,6 +134,7 @@ func TestViscousFluxDiffusesShear(t *testing.T) {
 	for i := range b.RHS {
 		b.RHS[i] = 0
 	}
+	b.refreshPrimitives()
 	flops := b.addViscousRHS()
 	if flops <= 0 {
 		t.Fatal("no viscous work recorded")

@@ -241,16 +241,41 @@ func (b *Block) refreshIBlank() {
 
 // computeMetrics evaluates the inverse-Jacobian-scaled metrics by central
 // differences of the local coordinates. 2-D blocks use a unit ζ direction.
+// Interior points (the vast majority) take an inlined central-difference
+// fast path; edges fall back to the general one-sided stencil in diff.
 func (b *Block) computeMetrics() {
+	xl, yl, zl := b.XL, b.YL, b.ZL
+	strJ := b.MI
+	strK := b.MI * b.MJ
+	twoD := b.TwoD
 	for lk := 0; lk < b.MK; lk++ {
 		for lj := 0; lj < b.MJ; lj++ {
 			for li := 0; li < b.MI; li++ {
 				n := b.LIdx(li, lj, lk)
 				var m geom.Mat3 // rows: d(x,y,z)/dξ, /dη, /dζ as columns... see below
-				m[0][0], m[1][0], m[2][0] = b.diff(li, lj, lk, 0)
-				m[0][1], m[1][1], m[2][1] = b.diff(li, lj, lk, 1)
-				if b.TwoD {
+				if li > 0 && li < b.MI-1 {
+					im, ip := n-1, n+1
+					m[0][0] = (xl[ip] - xl[im]) * 0.5
+					m[1][0] = (yl[ip] - yl[im]) * 0.5
+					m[2][0] = (zl[ip] - zl[im]) * 0.5
+				} else {
+					m[0][0], m[1][0], m[2][0] = b.diff(li, lj, lk, 0)
+				}
+				if lj > 0 && lj < b.MJ-1 {
+					im, ip := n-strJ, n+strJ
+					m[0][1] = (xl[ip] - xl[im]) * 0.5
+					m[1][1] = (yl[ip] - yl[im]) * 0.5
+					m[2][1] = (zl[ip] - zl[im]) * 0.5
+				} else {
+					m[0][1], m[1][1], m[2][1] = b.diff(li, lj, lk, 1)
+				}
+				if twoD {
 					m[0][2], m[1][2], m[2][2] = 0, 0, 1
+				} else if lk > 0 && lk < b.MK-1 {
+					im, ip := n-strK, n+strK
+					m[0][2] = (xl[ip] - xl[im]) * 0.5
+					m[1][2] = (yl[ip] - yl[im]) * 0.5
+					m[2][2] = (zl[ip] - zl[im]) * 0.5
 				} else {
 					m[0][2], m[1][2], m[2][2] = b.diff(li, lj, lk, 2)
 				}
@@ -267,11 +292,16 @@ func (b *Block) computeMetrics() {
 				jac := 1 / det
 				b.Jac[n] = jac
 				// Store metrics divided by J: (1/J)∇ξ = det * inv rows.
-				for d := 0; d < 3; d++ {
-					b.Met[9*n+3*d+0] = inv[d][0] / jac
-					b.Met[9*n+3*d+1] = inv[d][1] / jac
-					b.Met[9*n+3*d+2] = inv[d][2] / jac
-				}
+				mp := b.Met[9*n : 9*n+9 : 9*n+9]
+				mp[0] = inv[0][0] / jac
+				mp[1] = inv[0][1] / jac
+				mp[2] = inv[0][2] / jac
+				mp[3] = inv[1][0] / jac
+				mp[4] = inv[1][1] / jac
+				mp[5] = inv[1][2] / jac
+				mp[6] = inv[2][0] / jac
+				mp[7] = inv[2][1] / jac
+				mp[8] = inv[2][2] / jac
 			}
 		}
 	}

@@ -107,35 +107,35 @@ func (b *Block) faceSlabBounds(dim, side int, owned bool) (ilo, ihi, jlo, jhi, k
 }
 
 // packFace appends the owned boundary slab of face (dim, side) of Q to out
-// (normally a recycled envelope buffer) and returns it.
+// (normally a recycled envelope buffer) and returns it. The innermost (li)
+// direction is contiguous in both Q and the wire layout, so each (lj,lk)
+// row is one bulk append instead of a per-point copy.
 func (b *Block) packFace(out []float64, dim, side int) []float64 {
 	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, true)
+	run := 5 * (ihi - ilo + 1)
 	if n := (ihi - ilo + 1) * (jhi - jlo + 1) * (khi - klo + 1); cap(out) < 5*n {
 		out = make([]float64, 0, 5*n)
 	}
 	for lk := klo; lk <= khi; lk++ {
 		for lj := jlo; lj <= jhi; lj++ {
-			for li := ilo; li <= ihi; li++ {
-				p := b.LIdx(li, lj, lk)
-				out = append(out, b.Q[5*p:5*p+5]...)
-			}
+			p0 := 5 * b.LIdx(ilo, lj, lk)
+			out = append(out, b.Q[p0:p0+run]...)
 		}
 	}
 	return out
 }
 
 // unpackFace writes a received slab into the ghost layers of face
-// (dim, side).
+// (dim, side), one contiguous row per copy.
 func (b *Block) unpackFace(dim, side int, data []float64) {
 	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, false)
+	run := 5 * (ihi - ilo + 1)
 	pos := 0
 	for lk := klo; lk <= khi; lk++ {
 		for lj := jlo; lj <= jhi; lj++ {
-			for li := ilo; li <= ihi; li++ {
-				p := b.LIdx(li, lj, lk)
-				copy(b.Q[5*p:5*p+5], data[pos:pos+5])
-				pos += 5
-			}
+			p0 := 5 * b.LIdx(ilo, lj, lk)
+			copy(b.Q[p0:p0+run], data[pos:pos+run])
+			pos += run
 		}
 	}
 }

@@ -1,0 +1,594 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/grid"
+	"overd/internal/gridgen"
+	"overd/internal/machine"
+	"overd/internal/par"
+)
+
+// This file keeps naive, closure-based copies of the hot kernels — the
+// forms the fused kernels replaced — and asserts bit-for-bit (==) agreement
+// on randomized blocks: 2-D and 3-D, with random hole/fringe masks and
+// periodic wrap seams. Any floating-point reassociation or reordering in a
+// fused kernel shows up here as a ULP diff long before it would drift the
+// virtual-clock golden file.
+
+// refScratch holds the reference kernels' private workspace so they never
+// touch the block's scratch beyond reading the shared masks.
+type refScratch struct {
+	fw   []float64
+	pr   []float64
+	sig  [3][]float64
+	rhs0 []float64
+}
+
+func newRefScratch(n int) *refScratch {
+	rs := &refScratch{
+		fw:   make([]float64, 5*n),
+		pr:   make([]float64, n),
+		rhs0: make([]float64, 5*n),
+	}
+	for d := 0; d < 3; d++ {
+		rs.sig[d] = make([]float64, n)
+	}
+	return rs
+}
+
+// refComputeRHS is the pre-fusion ComputeRHS: per-point closure dispatch,
+// array-returning Flux calls, per-direction passes. Writes Δt·J·R into out.
+func refComputeRHS(b *Block, rs *refScratch, dt float64, out []float64) {
+	s := b.scr
+	n := b.NPointsLocal()
+	ndir := 3
+	if b.TwoD {
+		ndir = 2
+	}
+
+	// Freestream residual, old form.
+	qf := b.FS.Conserved()
+	for p := 0; p < 5*n; p++ {
+		rs.rhs0[p] = 0
+	}
+	for d := 0; d < ndir; d++ {
+		for p := 0; p < n; p++ {
+			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
+			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
+			f := Flux(qf, kx, ky, kz, kt)
+			copy(rs.fw[5*p:5*p+5], f[:])
+		}
+		str := b.strideOf(d)
+		b.eachInterior(func(p int) {
+			for c := 0; c < 5; c++ {
+				rs.rhs0[5*p+c] += 0.5 * (rs.fw[5*(p+str)+c] - rs.fw[5*(p-str)+c])
+			}
+		})
+	}
+
+	// Pressure and per-direction spectral radii, old per-point form.
+	for p := 0; p < n; p++ {
+		q := b.QAt(p)
+		rho, u, v, w, pr := Primitive(q)
+		rs.pr[p] = pr
+		a := SoundSpeed(rho, pr)
+		for d := 0; d < ndir; d++ {
+			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
+			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
+			U := kt + kx*u + ky*v + kz*w
+			rs.sig[d][p] = math.Abs(U) + a*math.Sqrt(kx*kx+ky*ky+kz*kz)
+		}
+	}
+
+	for p := 0; p < 5*n; p++ {
+		out[p] = 0
+	}
+	for d := 0; d < ndir; d++ {
+		for p := 0; p < n; p++ {
+			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
+			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
+			f := Flux(b.QAt(p), kx, ky, kz, kt)
+			copy(rs.fw[5*p:5*p+5], f[:])
+		}
+		str := b.strideOf(d)
+		b.eachInterior(func(p int) {
+			if !s.upd[p] {
+				return
+			}
+			for c := 0; c < 5; c++ {
+				out[5*p+c] -= 0.5 * (rs.fw[5*(p+str)+c] - rs.fw[5*(p-str)+c])
+			}
+			refAddDissipation(b, rs, out, p, str, d)
+		})
+	}
+
+	refAddViscousRHS(b, rs, out)
+
+	b.eachInterior(func(p int) {
+		if !s.upd[p] {
+			for c := 0; c < 5; c++ {
+				out[5*p+c] = 0
+			}
+			return
+		}
+		jdt := b.Jac[p] * dt
+		for c := 0; c < 5; c++ {
+			out[5*p+c] = (out[5*p+c] + rs.rhs0[5*p+c]) * jdt
+		}
+	})
+}
+
+// refAddDissipation is the old two-sided JST accumulation.
+func refAddDissipation(b *Block, rs *refScratch, out []float64, p, str, d int) {
+	s := b.scr
+	for side := 0; side < 2; side++ {
+		pl, pr := p, p+str
+		sign := 1.0
+		if side == 1 {
+			pl, pr = p-str, p
+			sign = -1
+		}
+		if !s.stv[pl] || !s.stv[pr] {
+			continue
+		}
+		sigma := 0.5 * (rs.sig[d][pl] + rs.sig[d][pr])
+		nu := refPressureSensor(b, rs, pl, str)
+		if n2 := refPressureSensor(b, rs, pr, str); n2 > nu {
+			nu = n2
+		}
+		eps2 := dissK2 * nu
+		eps4 := dissK4 - eps2
+		if eps4 < 0 {
+			eps4 = 0
+		}
+		pll, prr := pl-str, pr+str
+		fourth := s.stv[pll] && s.stv[prr]
+		for c := 0; c < 5; c++ {
+			d1 := b.Q[5*pr+c] - b.Q[5*pl+c]
+			flux := eps2 * d1
+			if fourth {
+				d3 := b.Q[5*prr+c] - 3*b.Q[5*pr+c] + 3*b.Q[5*pl+c] - b.Q[5*pll+c]
+				flux -= eps4 * d3
+			}
+			out[5*p+c] += sign * sigma * flux
+		}
+	}
+}
+
+func refPressureSensor(b *Block, rs *refScratch, p, str int) float64 {
+	s := b.scr
+	pm, pp := p-str, p+str
+	if !s.stv[pm] || !s.stv[pp] {
+		return 0
+	}
+	num := math.Abs(rs.pr[pp] - 2*rs.pr[p] + rs.pr[pm])
+	den := rs.pr[pp] + 2*rs.pr[p] + rs.pr[pm]
+	if den < 1e-12 {
+		return 0
+	}
+	return num / den
+}
+
+// refAddViscousRHS is the old thin-layer viscous accumulation.
+func refAddViscousRHS(b *Block, rs *refScratch, out []float64) {
+	mu := b.FS.MuCoef()
+	if mu == 0 || !b.G.Viscous {
+		return
+	}
+	s := b.scr
+	ndir := 3
+	if b.TwoD {
+		ndir = 2
+	}
+	for d := 0; d < ndir; d++ {
+		if !b.viscDirs[d] {
+			continue
+		}
+		str := b.strideOf(d)
+		ilo, ihi := Halo, b.MI-Halo-1
+		jlo, jhi := Halo, b.MJ-Halo-1
+		klo, khi := b.kBounds()
+		switch d {
+		case 0:
+			ilo--
+		case 1:
+			jlo--
+		default:
+			klo--
+		}
+		for lk := klo; lk <= khi; lk++ {
+			for lj := jlo; lj <= jhi; lj++ {
+				for li := ilo; li <= ihi; li++ {
+					refViscFlux(b, rs, b.LIdx(li, lj, lk), str, d, mu)
+				}
+			}
+		}
+		b.eachInterior(func(p int) {
+			if !s.upd[p] {
+				return
+			}
+			for c := 0; c < 5; c++ {
+				out[5*p+c] += rs.fw[5*p+c] - rs.fw[5*(p-str)+c]
+			}
+		})
+	}
+}
+
+func refViscFlux(b *Block, rs *refScratch, p, str, d int, mu float64) {
+	s := b.scr
+	if !s.stv[p] || !s.stv[p+str] {
+		for c := 0; c < 5; c++ {
+			rs.fw[5*p+c] = 0
+		}
+		return
+	}
+	q0 := b.QAt(p)
+	q1 := b.QAt(p + str)
+	rho0, u0, v0, w0, p0 := Primitive(q0)
+	rho1, u1, v1, w1, p1 := Primitive(q1)
+
+	kx := 0.5 * (b.Met[9*p+3*d] + b.Met[9*(p+str)+3*d])
+	ky := 0.5 * (b.Met[9*p+3*d+1] + b.Met[9*(p+str)+3*d+1])
+	kz := 0.5 * (b.Met[9*p+3*d+2] + b.Met[9*(p+str)+3*d+2])
+	jm := 0.5 * (b.Jac[p] + b.Jac[p+str])
+
+	du, dv, dw := u1-u0, v1-v0, w1-w0
+	a20 := Gamma * p0 / rho0
+	a21 := Gamma * p1 / rho1
+	da2 := a21 - a20
+
+	mut := 0.0
+	if b.MuT != nil {
+		mut = 0.5 * (b.MuT[p] + b.MuT[p+str])
+	}
+	muMom := mu * (1 + mut)
+	muEne := mu * (1/Pr + mut/PrT) / (Gamma - 1)
+
+	alpha := (kx*kx + ky*ky + kz*kz) * jm
+	beta := (kx*du + ky*dv + kz*dw) * jm
+
+	um, vm, wm := 0.5*(u0+u1), 0.5*(v0+v1), 0.5*(w0+w1)
+
+	f1 := muMom * (alpha*du + beta*kx/3)
+	f2 := muMom * (alpha*dv + beta*ky/3)
+	f3 := muMom * (alpha*dw + beta*kz/3)
+	f4 := muMom*(alpha*(um*du+vm*dv+wm*dw)+beta*(kx*um+ky*vm+kz*wm)/3) +
+		muEne*alpha*da2
+
+	rs.fw[5*p] = 0
+	rs.fw[5*p+1] = f1
+	rs.fw[5*p+2] = f2
+	rs.fw[5*p+3] = f3
+	rs.fw[5*p+4] = f4
+}
+
+// refSolveADI is the old closure-based sweep on an isolated block (no
+// cross-rank pipeline), operating on dq in place. lam and cpAll are the
+// caller's workspaces (5 per point each).
+func refSolveADI(b *Block, dt float64, dq, lam, cpAll []float64) {
+	ndir := 3
+	if b.TwoD {
+		ndir = 2
+	}
+	for d := 0; d < ndir; d++ {
+		refSweepDirection(b, d, dt, dq, lam, cpAll)
+	}
+}
+
+func refSweepDirection(b *Block, d int, dt float64, dq, lam, cpAll []float64) {
+	s := b.scr
+	var e Eigen
+
+	// Pointwise: W = T⁻¹ · DQ, stash eigenvalues.
+	b.eachInterior(func(p int) {
+		kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
+		kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
+		e.Set(b.QAt(p), kx, ky, kz, kt)
+		w := e.MulTi([5]float64{dq[5*p], dq[5*p+1], dq[5*p+2], dq[5*p+3], dq[5*p+4]})
+		copy(dq[5*p:5*p+5], w[:])
+		jdt := b.Jac[p] * dt
+		for c := 0; c < 5; c++ {
+			lam[5*p+c] = e.Lam[c] * jdt
+		}
+	})
+
+	// Scalar tridiagonal solves, old closure-based line enumeration, no
+	// cross-rank pipeline (isolated block).
+	nLines, lineAt := refLineSet(b, d)
+	for ln := 0; ln < nLines; ln++ {
+		base, stride, count := lineAt(ln)
+		for c := 0; c < 5; c++ {
+			cPrev, dPrev := 0.0, 0.0
+			for m := 0; m < count; m++ {
+				p := base + m*stride
+				var am, bm, cm, rm float64
+				if !s.upd[p] {
+					am, bm, cm, rm = 0, 1, 0, 0
+				} else {
+					l := lam[5*p+c]
+					lp := 0.5 * (l + abs(l))
+					lm := 0.5 * (l - abs(l))
+					eps := implicitEps * dt * b.Jac[p] * s.sig[d][p]
+					am = -lp - eps
+					bm = 1 + (lp - lm) + 2*eps
+					cm = lm - eps
+					rm = dq[5*p+c]
+				}
+				den := bm - am*cPrev
+				if den == 0 {
+					den = 1e-30
+				}
+				cPrev = cm / den
+				dPrev = (rm - am*dPrev) / den
+				cpAll[5*p+c] = cPrev
+				dq[5*p+c] = dPrev
+			}
+			xNext := 0.0
+			for m := count - 1; m >= 0; m-- {
+				p := base + m*stride
+				x := dq[5*p+c] - cpAll[5*p+c]*xNext
+				dq[5*p+c] = x
+				xNext = x
+			}
+		}
+	}
+
+	// Pointwise: DQ = T · W.
+	b.eachInterior(func(p int) {
+		kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
+		kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
+		e.Set(b.QAt(p), kx, ky, kz, kt)
+		w := e.MulT([5]float64{dq[5*p], dq[5*p+1], dq[5*p+2], dq[5*p+3], dq[5*p+4]})
+		copy(dq[5*p:5*p+5], w[:])
+	})
+}
+
+// refLineSet is the old closure-returning line enumerator.
+func refLineSet(b *Block, d int) (nLines int, lineStart func(idx int) (base, stride, count int)) {
+	klo, khi := b.kBounds()
+	nk := khi - klo + 1
+	switch d {
+	case 0:
+		nj := b.MJ - 2*Halo
+		return nj * nk, func(idx int) (int, int, int) {
+			lj := Halo + idx%nj
+			lk := klo + idx/nj
+			return b.LIdx(Halo, lj, lk), 1, b.Own.NI()
+		}
+	case 1:
+		ni := b.MI - 2*Halo
+		return ni * nk, func(idx int) (int, int, int) {
+			li := Halo + idx%ni
+			lk := klo + idx/ni
+			return b.LIdx(li, Halo, lk), b.MI, b.Own.NJ()
+		}
+	default:
+		ni := b.MI - 2*Halo
+		nj := b.MJ - 2*Halo
+		return ni * nj, func(idx int) (int, int, int) {
+			li := Halo + idx%ni
+			lj := Halo + idx/ni
+			return b.LIdx(li, lj, Halo), b.MI * b.MJ, b.Own.NK()
+		}
+	}
+}
+
+// cmpBits asserts bit-for-bit equality of two float64 slices.
+func cmpBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: index %d: fused %v (%#016x) != reference %v (%#016x)",
+				name, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// equivCase builds one randomized block configuration.
+type equivCase struct {
+	name    string
+	build   func() *grid.Grid
+	viscous [3]bool
+	holes   bool
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{
+			name:    "airfoil-2d-wrap-viscous",
+			build:   func() *grid.Grid { g := gridgen.AirfoilOGrid(0, "airfoil", 64, 24, 3); g.Turbulent = true; return g },
+			viscous: [3]bool{false, true, false},
+			holes:   false,
+		},
+		{
+			name:    "airfoil-2d-holes",
+			build:   func() *grid.Grid { return gridgen.AirfoilOGrid(0, "airfoil", 48, 20, 2.5) },
+			viscous: [3]bool{false, true, false},
+			holes:   true,
+		},
+		{
+			name: "body-3d-wrap-viscous",
+			build: func() *grid.Grid {
+				return gridgen.BodyOfRevolutionGrid(0, "store", 20, 12, 10, gridgen.OgiveProfile(3, 0.25), 1.5)
+			},
+			viscous: [3]bool{true, true, true},
+			holes:   true,
+		},
+		{
+			name: "cartesian-3d-inviscid",
+			build: func() *grid.Grid {
+				return gridgen.CartesianBox(0, "bg", 16, 12, 10,
+					geom.Box{Min: geom.Vec3{X: -2, Y: -2, Z: -2}, Max: geom.Vec3{X: 2, Y: 2, Z: 2}})
+			},
+			holes: true,
+		},
+	}
+}
+
+// buildEquivBlock constructs and randomizes a block: perturbed conserved
+// state everywhere (ghosts included), random grid speeds, and optionally
+// random hole/fringe marks in the interior.
+func buildEquivBlock(tc equivCase, seed int64) *Block {
+	g := tc.build()
+	fs := Freestream{Mach: 0.8, Alpha: 0.02, Re: 1e6}
+	b := NewBlock(g, g.Full(), fs)
+	b.SetViscousDirs(tc.viscous)
+	b.ensureScratch()
+
+	rng := rand.New(rand.NewSource(seed))
+	qf := fs.Conserved()
+	n := b.NPointsLocal()
+	for p := 0; p < n; p++ {
+		for c := 0; c < 5; c++ {
+			b.Q[5*p+c] = qf[c] * (1 + 0.2*(rng.Float64()-0.5))
+		}
+		b.XT[p] = 0.05 * (rng.Float64() - 0.5)
+		b.YT[p] = 0.05 * (rng.Float64() - 0.5)
+		b.ZT[p] = 0.05 * (rng.Float64() - 0.5)
+	}
+	// The cached freestream residual was computed with zero grid speeds;
+	// refresh it so both kernels see the randomized XT/YT/ZT.
+	b.RefreshFreestreamResidual()
+	if tc.holes {
+		for p := 0; p < n; p++ {
+			switch r := rng.Float64(); {
+			case r < 0.03:
+				b.IBl[p] = grid.IBHole
+			case r < 0.07:
+				b.IBl[p] = grid.IBFringe
+			}
+		}
+		b.classifyPoints()
+	}
+	if b.MuT != nil {
+		b.ComputeTurbulence()
+	}
+	return b
+}
+
+// TestKernelEquivalence runs the fused kernels against the naive references
+// on every randomized configuration and demands exact agreement.
+func TestKernelEquivalence(t *testing.T) {
+	const dt = 0.01
+	for _, tc := range equivCases() {
+		for trial := 0; trial < 3; trial++ {
+			t.Run(fmt.Sprintf("%s/trial%d", tc.name, trial), func(t *testing.T) {
+				b := buildEquivBlock(tc, int64(1000*trial+7))
+				n := b.NPointsLocal()
+				rs := newRefScratch(n)
+
+				// RHS: reference first (reads only Q/metrics/masks).
+				refRHS := make([]float64, 5*n)
+				refComputeRHS(b, rs, dt, refRHS)
+				b.ComputeRHS(dt)
+				cmpBits(t, "freestream residual", b.scr.rhs0, rs.rhs0)
+				cmpBits(t, "ComputeRHS", b.RHS, refRHS)
+
+				// ADI: both start from the same RHS; the reference uses the
+				// sig fields ComputeRHS just filled (identical by the check
+				// above since rs.sig was compared implicitly through RHS).
+				refDQ := append([]float64(nil), b.RHS...)
+				lam := make([]float64, 5*n)
+				cpAll := make([]float64, 5*n)
+				refSolveADI(b, dt, refDQ, lam, cpAll)
+				w := par.NewWorld(1, machine.SP2())
+				w.Run(func(r *par.Rank) {
+					b.SolveADI(r, dt)
+				})
+				cmpBits(t, "SolveADI", b.DQ, refDQ)
+
+				// ApplyUpdate.
+				refQ := append([]float64(nil), b.Q...)
+				refApplyUpdate(b, refQ)
+				b.ApplyUpdate()
+				cmpBits(t, "ApplyUpdate", b.Q, refQ)
+
+				// Halo pack/unpack on every live face.
+				ndim := 3
+				if b.TwoD {
+					ndim = 2
+				}
+				rng := rand.New(rand.NewSource(99))
+				for dim := 0; dim < ndim; dim++ {
+					for side := 0; side < 2; side++ {
+						got := b.packFace(nil, dim, side)
+						want := refPackFace(b, nil, dim, side)
+						cmpBits(t, fmt.Sprintf("packFace d%ds%d", dim, side), got, want)
+
+						data := make([]float64, len(got))
+						for i := range data {
+							data[i] = rng.NormFloat64()
+						}
+						refQ2 := append([]float64(nil), b.Q...)
+						refUnpackFace(b, refQ2, dim, side, data)
+						b.unpackFace(dim, side, data)
+						cmpBits(t, fmt.Sprintf("unpackFace d%ds%d", dim, side), b.Q, refQ2)
+					}
+				}
+			})
+		}
+	}
+}
+
+// refApplyUpdate is the old closure-based update, writing into q.
+func refApplyUpdate(b *Block, q []float64) {
+	s := b.scr
+	b.eachInterior(func(p int) {
+		if !s.upd[p] {
+			return
+		}
+		for c := 0; c < 5; c++ {
+			q[5*p+c] += b.DQ[5*p+c]
+		}
+		if b.TwoD {
+			q[5*p+3] = 0
+		}
+		if q[5*p] < 1e-6 {
+			q[5*p] = 1e-6
+		}
+		var qp [5]float64
+		copy(qp[:], q[5*p:5*p+5])
+		rho, u, v, w, pr := Primitive(qp)
+		if pr <= 1e-8 {
+			pr = 1e-8
+			q[5*p+4] = pr/(Gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+		}
+	})
+}
+
+// refPackFace is the old per-point halo pack.
+func refPackFace(b *Block, out []float64, dim, side int) []float64 {
+	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, true)
+	for lk := klo; lk <= khi; lk++ {
+		for lj := jlo; lj <= jhi; lj++ {
+			for li := ilo; li <= ihi; li++ {
+				p := b.LIdx(li, lj, lk)
+				out = append(out, b.Q[5*p:5*p+5]...)
+			}
+		}
+	}
+	return out
+}
+
+// refUnpackFace is the old per-point halo unpack, writing into q.
+func refUnpackFace(b *Block, q []float64, dim, side int, data []float64) {
+	ilo, ihi, jlo, jhi, klo, khi := b.faceSlabBounds(dim, side, false)
+	pos := 0
+	for lk := klo; lk <= khi; lk++ {
+		for lj := jlo; lj <= jhi; lj++ {
+			for li := ilo; li <= ihi; li++ {
+				p := b.LIdx(li, lj, lk)
+				copy(q[5*p:5*p+5], data[pos:pos+5])
+				pos += 5
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 type scratch struct {
 	fw   []float64    // per-direction flux workspace (5 per point)
 	pr   []float64    // pressure field
+	prim []float64    // cached primitives ρ,u,v,w (4 per point), filled with pr
 	sig  [3][]float64 // per-direction spectral radii
 	upd  []bool       // point is updated by the implicit scheme
 	stv  []bool       // point is valid for difference stencils
@@ -25,6 +26,13 @@ type scratch struct {
 	cpAll                []float64
 	cIn, dIn, cOut, dOut []float64
 	xIn                  []float64
+	// epsLn holds the per-point implicit-smoothing coefficient of one line,
+	// computed once instead of once per component.
+	epsLn []float64
+
+	// Baldwin-Lomax per-line scratch (wall-normal extent); every element is
+	// written before it is read on each line, so no clearing between lines.
+	blOmega, blY, blRho []float64
 }
 
 func (b *Block) ensureScratch() {
@@ -35,6 +43,7 @@ func (b *Block) ensureScratch() {
 	s := &scratch{
 		fw:    make([]float64, 5*n),
 		pr:    make([]float64, n),
+		prim:  make([]float64, 4*n),
 		upd:   make([]bool, n),
 		stv:   make([]bool, n),
 		rhs0:  make([]float64, 5*n),
@@ -112,32 +121,55 @@ func (b *Block) RefreshFreestreamResidual() {
 // discrete metric identities exactly, so a uniform flow produces a small
 // spurious residual; subtracting this cached field ("freestream
 // subtraction", as in production overset codes) restores exact freestream
-// preservation.
+// preservation. Runs every step on moving grids, so the freestream
+// primitives are hoisted and the flux is written in place.
 func (b *Block) computeFreestreamResidual() {
 	s := b.scr
 	qf := b.FS.Conserved()
 	n := b.NPointsLocal()
-	// Freestream flux at every point for each direction, differenced.
+	rhs0 := s.rhs0
 	for p := 0; p < 5*n; p++ {
-		s.rhs0[p] = 0
+		rhs0[p] = 0
 	}
 	ndir := 3
 	if b.TwoD {
 		ndir = 2
 	}
+	rho, u, v, w, pf := Primitive(qf)
+	q1, q2, q3, q4 := qf[1], qf[2], qf[3], qf[4]
+	fw, met := s.fw, b.Met
+	xt, yt, zt := b.XT, b.YT, b.ZT
+	klo, khi := b.kBounds()
+	niOwn := b.Own.NI()
 	for d := 0; d < ndir; d++ {
 		for p := 0; p < n; p++ {
-			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
-			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
-			f := Flux(qf, kx, ky, kz, kt)
-			copy(s.fw[5*p:5*p+5], f[:])
+			mp := met[9*p+3*d : 9*p+3*d+3 : 9*p+3*d+3]
+			kx, ky, kz := mp[0], mp[1], mp[2]
+			kt := -(kx*xt[p] + ky*yt[p] + kz*zt[p])
+			U := kt + kx*u + ky*v + kz*w
+			f := fw[5*p : 5*p+5 : 5*p+5]
+			f[0] = rho * U
+			f[1] = q1*U + kx*pf
+			f[2] = q2*U + ky*pf
+			f[3] = q3*U + kz*pf
+			f[4] = (q4+pf)*U - kt*pf
 		}
 		str := b.strideOf(d)
-		b.eachInterior(func(p int) {
-			for c := 0; c < 5; c++ {
-				s.rhs0[5*p+c] += 0.5 * (s.fw[5*(p+str)+c] - s.fw[5*(p-str)+c])
+		for lk := klo; lk <= khi; lk++ {
+			for lj := Halo; lj < b.MJ-Halo; lj++ {
+				p0 := b.LIdx(Halo, lj, lk)
+				for p := p0; p < p0+niOwn; p++ {
+					r0 := rhs0[5*p : 5*p+5 : 5*p+5]
+					fp := fw[5*(p+str) : 5*(p+str)+5]
+					fm := fw[5*(p-str) : 5*(p-str)+5]
+					r0[0] += 0.5 * (fp[0] - fm[0])
+					r0[1] += 0.5 * (fp[1] - fm[1])
+					r0[2] += 0.5 * (fp[2] - fm[2])
+					r0[3] += 0.5 * (fp[3] - fm[3])
+					r0[4] += 0.5 * (fp[4] - fm[4])
+				}
 			}
-		})
+		}
 	}
 }
 
@@ -153,7 +185,9 @@ func (b *Block) strideOf(d int) int {
 	}
 }
 
-// eachInterior calls fn for every owned point (ghosts excluded).
+// eachInterior calls fn for every owned point (ghosts excluded). Hot kernels
+// inline this iteration instead (see "Kernel rules" in DESIGN.md); the
+// closure form remains for cold paths.
 func (b *Block) eachInterior(fn func(p int)) {
 	klo, khi := b.kBounds()
 	for lk := klo; lk <= khi; lk++ {
@@ -195,86 +229,143 @@ const (
 // cached freestream correction subtracted). Non-updatable points get zero.
 // It returns the number of floating-point operations performed, for the
 // caller's virtual-time accounting.
+//
+// The kernel is fused: one pass caches primitives and fills pressure and
+// spectral radii, then each direction fills the flux workspace from the
+// cached primitives (Q is unchanged within this call, so Primitive would
+// return identical bits) and accumulates the central difference plus JST
+// dissipation in a single sweep over contiguous i-runs.
 func (b *Block) ComputeRHS(dt float64) float64 {
 	b.ensureScratch()
 	s := b.scr
 	n := b.NPointsLocal()
-
-	// Pressure and per-direction spectral radii.
-	for p := 0; p < n; p++ {
-		q := b.QAt(p)
-		rho, u, v, w, pr := Primitive(q)
-		s.pr[p] = pr
-		a := SoundSpeed(rho, pr)
-		ndir := 3
-		if b.TwoD {
-			ndir = 2
-		}
-		for d := 0; d < ndir; d++ {
-			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
-			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
-			U := kt + kx*u + ky*v + kz*w
-			s.sig[d][p] = math.Abs(U) + a*math.Sqrt(kx*kx+ky*ky+kz*kz)
-		}
-	}
-
-	for p := 0; p < 5*n; p++ {
-		b.RHS[p] = 0
-	}
-
 	ndir := 3
 	if b.TwoD {
 		ndir = 2
 	}
+
+	// Pressure, cached primitives and per-direction spectral radii.
+	prim, prS := s.prim, s.pr
+	sig0, sig1, sig2 := s.sig[0], s.sig[1], s.sig[2]
+	met := b.Met
+	xt, yt, zt := b.XT, b.YT, b.ZT
+	for p := 0; p < n; p++ {
+		rho, u, v, w, pr := Primitive(b.QAt(p))
+		pm := prim[4*p : 4*p+4 : 4*p+4]
+		pm[0], pm[1], pm[2], pm[3] = rho, u, v, w
+		prS[p] = pr
+		a := SoundSpeed(rho, pr)
+		xtp, ytp, ztp := xt[p], yt[p], zt[p]
+		mp := met[9*p : 9*p+9 : 9*p+9]
+		{
+			kx, ky, kz := mp[0], mp[1], mp[2]
+			kt := -(kx*xtp + ky*ytp + kz*ztp)
+			U := kt + kx*u + ky*v + kz*w
+			sig0[p] = math.Abs(U) + a*math.Sqrt(kx*kx+ky*ky+kz*kz)
+		}
+		{
+			kx, ky, kz := mp[3], mp[4], mp[5]
+			kt := -(kx*xtp + ky*ytp + kz*ztp)
+			U := kt + kx*u + ky*v + kz*w
+			sig1[p] = math.Abs(U) + a*math.Sqrt(kx*kx+ky*ky+kz*kz)
+		}
+		if ndir == 3 {
+			kx, ky, kz := mp[6], mp[7], mp[8]
+			kt := -(kx*xtp + ky*ytp + kz*ztp)
+			U := kt + kx*u + ky*v + kz*w
+			sig2[p] = math.Abs(U) + a*math.Sqrt(kx*kx+ky*ky+kz*kz)
+		}
+	}
+
+	rhs := b.RHS
+	for p := 0; p < 5*n; p++ {
+		rhs[p] = 0
+	}
+
 	flops := float64(n) * (flopsPressure + flopsSpectral*float64(ndir))
 
+	q, fw, upd := b.Q, s.fw, s.upd
+	klo, khi := b.kBounds()
+	niOwn := b.Own.NI()
 	for d := 0; d < ndir; d++ {
-		// Fluxes at every stencil-relevant point.
+		// Fluxes at every stencil-relevant point, from the cached primitives.
+		md := 3 * d
 		for p := 0; p < n; p++ {
-			kx, ky, kz := b.Met[9*p+3*d], b.Met[9*p+3*d+1], b.Met[9*p+3*d+2]
-			kt := -(kx*b.XT[p] + ky*b.YT[p] + kz*b.ZT[p])
-			f := Flux(b.QAt(p), kx, ky, kz, kt)
-			copy(s.fw[5*p:5*p+5], f[:])
+			mp := met[9*p+md : 9*p+md+3 : 9*p+md+3]
+			kx, ky, kz := mp[0], mp[1], mp[2]
+			kt := -(kx*xt[p] + ky*yt[p] + kz*zt[p])
+			pm := prim[4*p : 4*p+4 : 4*p+4]
+			pr := prS[p]
+			U := kt + kx*pm[1] + ky*pm[2] + kz*pm[3]
+			qp := q[5*p : 5*p+5 : 5*p+5]
+			f := fw[5*p : 5*p+5 : 5*p+5]
+			f[0] = pm[0] * U
+			f[1] = qp[1]*U + kx*pr
+			f[2] = qp[2]*U + ky*pr
+			f[3] = qp[3]*U + kz*pr
+			f[4] = (qp[4]+pr)*U - kt*pr
 		}
 		str := b.strideOf(d)
-		b.eachInterior(func(p int) {
-			if !s.upd[p] {
-				return
+		sigd := s.sig[d]
+		for lk := klo; lk <= khi; lk++ {
+			for lj := Halo; lj < b.MJ-Halo; lj++ {
+				p0 := b.LIdx(Halo, lj, lk)
+				for p := p0; p < p0+niOwn; p++ {
+					if !upd[p] {
+						continue
+					}
+					// Central flux difference.
+					rp := rhs[5*p : 5*p+5 : 5*p+5]
+					fp := fw[5*(p+str) : 5*(p+str)+5]
+					fm := fw[5*(p-str) : 5*(p-str)+5]
+					rp[0] -= 0.5 * (fp[0] - fm[0])
+					rp[1] -= 0.5 * (fp[1] - fm[1])
+					rp[2] -= 0.5 * (fp[2] - fm[2])
+					rp[3] -= 0.5 * (fp[3] - fm[3])
+					rp[4] -= 0.5 * (fp[4] - fm[4])
+					// JST dissipation: d_{+1/2} - d_{-1/2}.
+					b.addDissipation(p, str, sigd)
+				}
 			}
-			// Central flux difference.
-			for c := 0; c < 5; c++ {
-				b.RHS[5*p+c] -= 0.5 * (s.fw[5*(p+str)+c] - s.fw[5*(p-str)+c])
-			}
-			// JST dissipation: d_{+1/2} - d_{-1/2}.
-			b.addDissipation(p, str, d)
-		})
+		}
 		flops += float64(n)*flopsFluxPerDir + float64(b.NOwned())*flopsDissPerDir
 	}
 
 	flops += b.addViscousRHS()
 
 	// Freestream subtraction, Jacobian scaling and Δt.
-	b.eachInterior(func(p int) {
-		if !s.upd[p] {
-			for c := 0; c < 5; c++ {
-				b.RHS[5*p+c] = 0
+	rhs0, jac := s.rhs0, b.Jac
+	for lk := klo; lk <= khi; lk++ {
+		for lj := Halo; lj < b.MJ-Halo; lj++ {
+			p0 := b.LIdx(Halo, lj, lk)
+			for p := p0; p < p0+niOwn; p++ {
+				rp := rhs[5*p : 5*p+5 : 5*p+5]
+				if !upd[p] {
+					rp[0], rp[1], rp[2], rp[3], rp[4] = 0, 0, 0, 0, 0
+					continue
+				}
+				jdt := jac[p] * dt
+				r0 := rhs0[5*p : 5*p+5 : 5*p+5]
+				rp[0] = (rp[0] + r0[0]) * jdt
+				rp[1] = (rp[1] + r0[1]) * jdt
+				rp[2] = (rp[2] + r0[2]) * jdt
+				rp[3] = (rp[3] + r0[3]) * jdt
+				rp[4] = (rp[4] + r0[4]) * jdt
 			}
-			return
 		}
-		jdt := b.Jac[p] * dt
-		for c := 0; c < 5; c++ {
-			b.RHS[5*p+c] = (b.RHS[5*p+c] + s.rhs0[5*p+c]) * jdt
-		}
-	})
+	}
 	flops += float64(b.NOwned()) * 12
 	return flops
 }
 
-// addDissipation accumulates the scalar JST dissipation along direction d
-// (stride str) at point p into RHS. Stencil validity degrades the fourth-
-// difference term to second difference near holes and boundaries.
-func (b *Block) addDissipation(p, str, d int) {
+// addDissipation accumulates the scalar JST dissipation along the direction
+// with stride str at point p into RHS. sigd is that direction's spectral
+// radius field. Stencil validity degrades the fourth-difference term to
+// second difference near holes and boundaries.
+func (b *Block) addDissipation(p, str int, sigd []float64) {
 	s := b.scr
+	q, stv := b.Q, s.stv
+	rp := b.RHS[5*p : 5*p+5 : 5*p+5]
 	for side := 0; side < 2; side++ {
 		// Interface p+1/2 (side 0) and p-1/2 (side 1).
 		pl, pr := p, p+str
@@ -283,10 +374,10 @@ func (b *Block) addDissipation(p, str, d int) {
 			pl, pr = p-str, p
 			sign = -1
 		}
-		if !s.stv[pl] || !s.stv[pr] {
+		if !stv[pl] || !stv[pr] {
 			continue
 		}
-		sigma := 0.5 * (s.sig[d][pl] + s.sig[d][pr])
+		sigma := 0.5 * (sigd[pl] + sigd[pr])
 		// Pressure switch.
 		nu := pressureSensor(s, pl, str) // at pl
 		if n2 := pressureSensor(s, pr, str); n2 > nu {
@@ -299,15 +390,26 @@ func (b *Block) addDissipation(p, str, d int) {
 		}
 		// Fourth-difference needs two more valid neighbors.
 		pll, prr := pl-str, pr+str
-		fourth := s.stv[pll] && s.stv[prr]
-		for c := 0; c < 5; c++ {
-			d1 := b.Q[5*pr+c] - b.Q[5*pl+c]
-			flux := eps2 * d1
-			if fourth {
-				d3 := b.Q[5*prr+c] - 3*b.Q[5*pr+c] + 3*b.Q[5*pl+c] - b.Q[5*pll+c]
+		fourth := stv[pll] && stv[prr]
+		ss := sign * sigma
+		ql := q[5*pl : 5*pl+5 : 5*pl+5]
+		qr := q[5*pr : 5*pr+5 : 5*pr+5]
+		if fourth {
+			qll := q[5*pll : 5*pll+5 : 5*pll+5]
+			qrr := q[5*prr : 5*prr+5 : 5*prr+5]
+			for c := 0; c < 5; c++ {
+				d1 := qr[c] - ql[c]
+				flux := eps2 * d1
+				d3 := qrr[c] - 3*qr[c] + 3*ql[c] - qll[c]
 				flux -= eps4 * d3
+				rp[c] += ss * flux
 			}
-			b.RHS[5*p+c] += sign * sigma * flux
+		} else {
+			for c := 0; c < 5; c++ {
+				d1 := qr[c] - ql[c]
+				flux := eps2 * d1
+				rp[c] += ss * flux
+			}
 		}
 	}
 }

@@ -12,9 +12,25 @@ import (
 // delta-wing case activates all directions.
 func (b *Block) SetViscousDirs(dirs [3]bool) { b.viscDirs = dirs }
 
+// refreshPrimitives fills the scratch primitive and pressure caches from Q.
+// ComputeRHS fills them fused with the spectral-radius pass; standalone
+// callers of addViscousRHS (tests) refresh them here first.
+func (b *Block) refreshPrimitives() {
+	b.ensureScratch()
+	s := b.scr
+	n := b.NPointsLocal()
+	for p := 0; p < n; p++ {
+		rho, u, v, w, pr := Primitive(b.QAt(p))
+		pm := s.prim[4*p : 4*p+4 : 4*p+4]
+		pm[0], pm[1], pm[2], pm[3] = rho, u, v, w
+		s.pr[p] = pr
+	}
+}
+
 // AddViscousRHS accumulates the thin-layer viscous fluxes along every
 // active direction into RHS (called inside ComputeRHS before the Jacobian
-// scaling). Returns flops.
+// scaling, which leaves the scratch primitive caches current with Q).
+// Returns flops.
 func (b *Block) addViscousRHS() float64 {
 	mu := b.FS.MuCoef()
 	if mu == 0 || !b.G.Viscous {
@@ -27,6 +43,9 @@ func (b *Block) addViscousRHS() float64 {
 	if b.TwoD {
 		ndir = 2
 	}
+	fw, rhs, upd := s.fw, b.RHS, s.upd
+	iklo, ikhi := b.kBounds()
+	niOwn := b.Own.NI()
 	for d := 0; d < ndir; d++ {
 		if !b.viscDirs[d] {
 			continue
@@ -48,19 +67,30 @@ func (b *Block) addViscousRHS() float64 {
 		}
 		for lk := klo; lk <= khi; lk++ {
 			for lj := jlo; lj <= jhi; lj++ {
+				base := b.LIdx(0, lj, lk)
 				for li := ilo; li <= ihi; li++ {
-					b.viscFlux(b.LIdx(li, lj, lk), str, d, mu)
+					b.viscFlux(base+li, str, d, mu)
 				}
 			}
 		}
-		b.eachInterior(func(p int) {
-			if !s.upd[p] {
-				return
+		for lk := iklo; lk <= ikhi; lk++ {
+			for lj := Halo; lj < b.MJ-Halo; lj++ {
+				p0 := b.LIdx(Halo, lj, lk)
+				for p := p0; p < p0+niOwn; p++ {
+					if !upd[p] {
+						continue
+					}
+					rp := rhs[5*p : 5*p+5 : 5*p+5]
+					fp := fw[5*p : 5*p+5 : 5*p+5]
+					fm := fw[5*(p-str) : 5*(p-str)+5]
+					rp[0] += fp[0] - fm[0]
+					rp[1] += fp[1] - fm[1]
+					rp[2] += fp[2] - fm[2]
+					rp[3] += fp[3] - fm[3]
+					rp[4] += fp[4] - fm[4]
+				}
 			}
-			for c := 0; c < 5; c++ {
-				b.RHS[5*p+c] += s.fw[5*p+c] - s.fw[5*(p-str)+c]
-			}
-		})
+		}
 		flops += float64(b.NOwned()) * flopsViscPoint
 	}
 	return flops
@@ -68,6 +98,9 @@ func (b *Block) addViscousRHS() float64 {
 
 // viscFlux evaluates the thin-layer viscous flux at the interface between
 // local points p and p+str along direction d, storing it in scr.fw[5p..].
+// Primitives come from the scratch cache filled in ComputeRHS pass 1: Q is
+// unchanged within the call, so the cached values are bit-identical to a
+// fresh Primitive evaluation.
 func (b *Block) viscFlux(p, str, d int, mu float64) {
 	s := b.scr
 	if !s.stv[p] || !s.stv[p+str] {
@@ -76,15 +109,17 @@ func (b *Block) viscFlux(p, str, d int, mu float64) {
 		}
 		return
 	}
-	q0 := b.QAt(p)
-	q1 := b.QAt(p + str)
-	rho0, u0, v0, w0, p0 := Primitive(q0)
-	rho1, u1, v1, w1, p1 := Primitive(q1)
+	pm0 := s.prim[4*p : 4*p+4 : 4*p+4]
+	pm1 := s.prim[4*(p+str) : 4*(p+str)+4 : 4*(p+str)+4]
+	rho0, u0, v0, w0, p0 := pm0[0], pm0[1], pm0[2], pm0[3], s.pr[p]
+	rho1, u1, v1, w1, p1 := pm1[0], pm1[1], pm1[2], pm1[3], s.pr[p+str]
 
 	// Midpoint metrics: ∇d/J and J.
-	kx := 0.5 * (b.Met[9*p+3*d] + b.Met[9*(p+str)+3*d])
-	ky := 0.5 * (b.Met[9*p+3*d+1] + b.Met[9*(p+str)+3*d+1])
-	kz := 0.5 * (b.Met[9*p+3*d+2] + b.Met[9*(p+str)+3*d+2])
+	m0 := b.Met[9*p+3*d : 9*p+3*d+3 : 9*p+3*d+3]
+	m1 := b.Met[9*(p+str)+3*d : 9*(p+str)+3*d+3 : 9*(p+str)+3*d+3]
+	kx := 0.5 * (m0[0] + m1[0])
+	ky := 0.5 * (m0[1] + m1[1])
+	kz := 0.5 * (m0[2] + m1[2])
 	jm := 0.5 * (b.Jac[p] + b.Jac[p+str])
 
 	// Velocity and temperature-like differences along the line.
@@ -152,6 +187,13 @@ func (b *Block) ComputeTurbulence() float64 {
 
 	klo, khi := b.kBounds()
 	nj := b.Own.NJ()
+	b.ensureScratch()
+	s := b.scr
+	if cap(s.blOmega) < nj {
+		s.blOmega = make([]float64, nj)
+		s.blY = make([]float64, nj)
+		s.blRho = make([]float64, nj)
+	}
 	count := 0
 	for lk := klo; lk <= khi; lk++ {
 		for li := Halo; li < b.MI-Halo; li++ {
@@ -169,10 +211,14 @@ func (b *Block) ComputeTurbulence() float64 {
 				prevX, prevY         = b.XL[wallP], b.YL[wallP]
 				prevZ                = b.ZL[wallP]
 			)
-			omega := make([]float64, nj)
-			ydist := make([]float64, nj)
-			rhoL := make([]float64, nj)
+			omega := s.blOmega[:nj]
+			ydist := s.blY[:nj]
+			rhoL := s.blRho[:nj]
 			wallVx, wallVy, wallVz := b.XT[wallP], b.YT[wallP], b.ZT[wallP]
+			// The previous point's velocity is carried forward instead of
+			// re-deriving it with a second Primitive call — same pure
+			// function of the same unchanged Q, so the bits are identical.
+			var um, vm, wm float64
 			for m := 0; m < nj; m++ {
 				p := b.LIdx(li, Halo+m, lk)
 				rho, u, v, w, _ := Primitive(b.QAt(p))
@@ -185,14 +231,13 @@ func (b *Block) ComputeTurbulence() float64 {
 				ydist[m] = dist
 				// Shear magnitude: derivative of velocity along the line.
 				if m > 0 {
-					pm := b.LIdx(li, Halo+m-1, lk)
-					_, um, vm, wm, _ := Primitive(b.QAt(pm))
 					dy := ydist[m] - ydist[m-1]
 					if dy < 1e-12 {
 						dy = 1e-12
 					}
 					omega[m] = math.Sqrt((u-um)*(u-um)+(v-vm)*(v-vm)+(w-wm)*(w-wm)) / dy
 				}
+				um, vm, wm = u, v, w
 				speed := math.Sqrt((u-wallVx)*(u-wallVx) + (v-wallVy)*(v-wallVy) + (w-wallVz)*(w-wallVz))
 				if speed > uMax {
 					uMax = speed

@@ -1,0 +1,62 @@
+package overset
+
+import (
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/gridgen"
+)
+
+// The donor stencil walk (cell inversion, trilinear Newton, hole checks) is
+// the inner loop of every connectivity solve and must not allocate.
+func TestFindDonorZeroAlloc(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
+	probe := geom.Vec3{X: 2.4, Y: 1.1}
+	cold := FindDonor(g, 0, probe, [3]int{0, 0, 0})
+	if !cold.OK {
+		t.Fatal("setup search failed")
+	}
+	start := [3]int{cold.Donor.I, cold.Donor.J, cold.Donor.K}
+
+	if n := testing.AllocsPerRun(10, func() {
+		if !FindDonor(g, 0, probe, [3]int{0, 0, 0}).OK {
+			t.Fatal("cold search failed")
+		}
+	}); n != 0 {
+		t.Fatalf("FindDonor (from scratch) allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		if !FindDonor(g, 0, probe, start).OK {
+			t.Fatal("restart search failed")
+		}
+	}); n != 0 {
+		t.Fatalf("FindDonor (restart) allocates %v times per call, want 0", n)
+	}
+}
+
+// The subdomain-limited walk used by the distributed solver is equally hot.
+func TestFindDonorLimitedZeroAlloc(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
+	probe := geom.Vec3{X: 2.4, Y: 1.1}
+	box := g.Full()
+	if res := FindDonorLimited(g, 0, probe, [3]int{0, 0, 0}, box, 2); !res.OK {
+		t.Fatal("setup search failed")
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		if !FindDonorLimited(g, 0, probe, [3]int{0, 0, 0}, box, 2).OK {
+			t.Fatal("limited search failed")
+		}
+	}); n != 0 {
+		t.Fatalf("FindDonorLimited allocates %v times per call, want 0", n)
+	}
+}
+
+// Hole-map rebuilds reuse the state and corner-lattice buffers.
+func TestHoleMapRebuildZeroAlloc(t *testing.T) {
+	hm := NewHoleMap(NewAirfoilCutter(0.02), 24)
+	if n := testing.AllocsPerRun(5, func() {
+		hm.Rebuild(24)
+	}); n != 0 {
+		t.Fatalf("HoleMap.Rebuild allocates %v times per call, want 0", n)
+	}
+}

@@ -15,6 +15,9 @@ type HoleMap struct {
 	nx, ny, nz int
 	// state: 0 = outside, 1 = inside, 2 = mixed
 	state []uint8
+	// corner is the Rebuild scratch: one inside/outside sample per lattice
+	// corner, shared by the up-to-eight cells touching it.
+	corner []uint8
 	// Queries and fallbacks are counted for the ablation bench.
 	Queries   int
 	Fallbacks int
@@ -31,7 +34,13 @@ func NewHoleMap(c Cutter, res int) *HoleMap {
 	return hm
 }
 
-// Rebuild resamples the lattice from the cutter's current placement.
+// Rebuild resamples the lattice from the cutter's current placement. Each
+// cell's state comes from its eight corners plus its center; corners are
+// shared by up to eight cells, so the corner lattice is probed once
+// ((res+1)³ probes) instead of eight times per cell, cutting analytic
+// cutter evaluations ~4x. The probe coordinates are identical to the naive
+// per-cell form: float64(i)+1 == float64(i+1) exactly. Buffers are reused
+// across Rebuilds (every element is overwritten).
 func (hm *HoleMap) Rebuild(res int) {
 	raw := hm.cutter.Bounds()
 	// Inflate proportionally so degenerate (flat) boxes keep positive cell
@@ -41,35 +50,58 @@ func (hm *HoleMap) Rebuild(res int) {
 	size := b.Size()
 	hm.nx, hm.ny, hm.nz = res, res, res
 	hm.delta = geom.Vec3{X: size.X / float64(res), Y: size.Y / float64(res), Z: size.Z / float64(res)}
-	hm.state = make([]uint8, res*res*res)
+	if n := res * res * res; cap(hm.state) >= n {
+		hm.state = hm.state[:n]
+	} else {
+		hm.state = make([]uint8, n)
+	}
+	cres := res + 1
+	if n := cres * cres * cres; cap(hm.corner) >= n {
+		hm.corner = hm.corner[:n]
+	} else {
+		hm.corner = make([]uint8, n)
+	}
+	ox, oy, oz := hm.origin.X, hm.origin.Y, hm.origin.Z
+	dx, dy, dz := hm.delta.X, hm.delta.Y, hm.delta.Z
+	corner := hm.corner
+	for k := 0; k < cres; k++ {
+		z := oz + float64(k)*dz
+		for j := 0; j < cres; j++ {
+			y := oy + float64(j)*dy
+			row := cres * (j + cres*k)
+			for i := 0; i < cres; i++ {
+				var in uint8
+				if hm.cutter.Inside(geom.Vec3{X: ox + float64(i)*dx, Y: y, Z: z}) {
+					in = 1
+				}
+				corner[row+i] = in
+			}
+		}
+	}
 	for k := 0; k < res; k++ {
+		zc := oz + (float64(k)+0.5)*dz
 		for j := 0; j < res; j++ {
+			yc := oy + (float64(j)+0.5)*dy
+			row00 := cres * (j + cres*k)
+			row10 := cres * (j + 1 + cres*k)
+			row01 := cres * (j + cres*(k+1))
+			row11 := cres * (j + 1 + cres*(k+1))
+			srow := res * (j + res*k)
 			for i := 0; i < res; i++ {
-				// Probe the cell's corners and center.
-				inside, outside := 0, 0
-				for _, f := range [][3]float64{
-					{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
-					{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
-					{0.5, 0.5, 0.5},
-				} {
-					p := geom.Vec3{
-						X: hm.origin.X + (float64(i)+f[0])*hm.delta.X,
-						Y: hm.origin.Y + (float64(j)+f[1])*hm.delta.Y,
-						Z: hm.origin.Z + (float64(k)+f[2])*hm.delta.Z,
-					}
-					if hm.cutter.Inside(p) {
-						inside++
-					} else {
-						outside++
-					}
+				inside := int(corner[row00+i]) + int(corner[row00+i+1]) +
+					int(corner[row10+i]) + int(corner[row10+i+1]) +
+					int(corner[row01+i]) + int(corner[row01+i+1]) +
+					int(corner[row11+i]) + int(corner[row11+i+1])
+				if hm.cutter.Inside(geom.Vec3{X: ox + (float64(i)+0.5)*dx, Y: yc, Z: zc}) {
+					inside++
 				}
 				st := uint8(2)
-				if outside == 0 {
+				if inside == 9 {
 					st = 1
 				} else if inside == 0 {
 					st = 0
 				}
-				hm.state[i+res*(j+res*k)] = st
+				hm.state[srow+i] = st
 			}
 		}
 	}

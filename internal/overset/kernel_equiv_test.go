@@ -1,0 +1,175 @@
+package overset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"overd/internal/geom"
+	"overd/internal/gridgen"
+)
+
+// This file keeps naive copies of the fused connectivity kernels and
+// asserts bit-for-bit agreement: the single-pass trilinear position+partials
+// kernel against four independent trilerp evaluations (the old Newton inner
+// step), and the shared-corner-lattice hole-map rebuild against the old
+// nine-probes-per-cell form.
+
+func cmpVec(t *testing.T, name string, got, want geom.Vec3) {
+	t.Helper()
+	if math.Float64bits(got.X) != math.Float64bits(want.X) ||
+		math.Float64bits(got.Y) != math.Float64bits(want.Y) ||
+		math.Float64bits(got.Z) != math.Float64bits(want.Z) {
+		t.Fatalf("%s: fused %+v != reference %+v", name, got, want)
+	}
+}
+
+// TestTrilinearKernelEquivalence drives the fused kernel over randomized
+// hexahedra (including degenerate and inverted cells) and out-of-range
+// local coordinates — everything the clamped Newton iterates can produce.
+func TestTrilinearKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		var p [8]geom.Vec3
+		for m := 0; m < 8; m++ {
+			p[m] = geom.Vec3{
+				X: float64(m&1) + 0.6*(rng.Float64()-0.5),
+				Y: float64(m>>1&1) + 0.6*(rng.Float64()-0.5),
+				Z: float64(m>>2&1) + 0.6*(rng.Float64()-0.5),
+			}
+		}
+		// Cover the Newton clamp range, exact 0/1 weights, and interior.
+		var a, b, c float64
+		switch trial % 4 {
+		case 0:
+			a, b, c = rng.Float64(), rng.Float64(), rng.Float64()
+		case 1:
+			a, b, c = 41*rng.Float64()-20, 41*rng.Float64()-20, 41*rng.Float64()-20
+		case 2:
+			a, b, c = float64(rng.Intn(2)), float64(rng.Intn(2)), rng.Float64()
+		default:
+			a, b, c = 0.5, 0.5, 0 // the 2-D planar start
+		}
+
+		pos, ra, rb, rc := trilinearKernel(&p, a, b, c)
+		cmpVec(t, fmt.Sprintf("trial %d pos", trial), pos, trilerp(p, a, b, c))
+		cmpVec(t, fmt.Sprintf("trial %d ra", trial), ra,
+			trilerp(p, 1, b, c).Sub(trilerp(p, 0, b, c)))
+		cmpVec(t, fmt.Sprintf("trial %d rb", trial), rb,
+			trilerp(p, a, 1, c).Sub(trilerp(p, a, 0, c)))
+		cmpVec(t, fmt.Sprintf("trial %d rc", trial), rc,
+			trilerp(p, a, b, 1).Sub(trilerp(p, a, b, 0)))
+	}
+}
+
+// refRebuildStates is the old HoleMap.Rebuild: nine probes per cell, no
+// corner sharing. Returns the state lattice for the map's current placement.
+func refRebuildStates(hm *HoleMap, res int) []uint8 {
+	state := make([]uint8, res*res*res)
+	for k := 0; k < res; k++ {
+		for j := 0; j < res; j++ {
+			for i := 0; i < res; i++ {
+				inside, outside := 0, 0
+				for _, f := range [][3]float64{
+					{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+					{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+					{0.5, 0.5, 0.5},
+				} {
+					p := geom.Vec3{
+						X: hm.origin.X + (float64(i)+f[0])*hm.delta.X,
+						Y: hm.origin.Y + (float64(j)+f[1])*hm.delta.Y,
+						Z: hm.origin.Z + (float64(k)+f[2])*hm.delta.Z,
+					}
+					if hm.cutter.Inside(p) {
+						inside++
+					} else {
+						outside++
+					}
+				}
+				st := uint8(2)
+				if outside == 0 {
+					st = 1
+				} else if inside == 0 {
+					st = 0
+				}
+				state[i+res*(j+res*k)] = st
+			}
+		}
+	}
+	return state
+}
+
+// TestHoleMapRebuildEquivalence compares the corner-lattice rebuild against
+// the naive probe-per-cell form for several cutters and resolutions,
+// including after a transform (the moving-body path).
+func TestHoleMapRebuildEquivalence(t *testing.T) {
+	cutters := []struct {
+		name string
+		c    Cutter
+	}{
+		{"airfoil", NewAirfoilCutter(0.02)},
+		{"revolved", NewRevolvedCutter(gridgen.OgiveProfile(3, 0.25), 0.05)},
+		{"ellipsoid", NewEllipsoidCutter(1, 0.4, 0.25, 0.03)},
+	}
+	for _, tc := range cutters {
+		for _, res := range []int{2, 7, 24} {
+			t.Run(fmt.Sprintf("%s/res%d", tc.name, res), func(t *testing.T) {
+				hm := NewHoleMap(tc.c, res)
+				want := refRebuildStates(hm, res)
+				for i, st := range hm.state {
+					if st != want[i] {
+						t.Fatalf("cell %d: fused state %d != reference %d", i, st, want[i])
+					}
+				}
+				// Move the body and rebuild into the reused buffers.
+				tc.c.SetTransform(geom.Transform{
+					R: geom.RotZ(0.2),
+					T: geom.Vec3{X: 0.3, Y: -0.1, Z: 0.05},
+				})
+				hm.Rebuild(res)
+				want = refRebuildStates(hm, res)
+				for i, st := range hm.state {
+					if st != want[i] {
+						t.Fatalf("after transform, cell %d: fused state %d != reference %d", i, st, want[i])
+					}
+				}
+				tc.c.SetTransform(geom.IdentityTransform())
+			})
+		}
+	}
+}
+
+// TestInvertCellMatchesTrilerp closes the loop on real grid cells: the
+// coordinates invertCell finds must reproduce the probe position through
+// the retained naive trilerp.
+func TestInvertCellMatchesTrilerp(t *testing.T) {
+	g := gridgen.Annulus(0, "ring", 64, 16, 0, 0, 1, 3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ang := 2 * math.Pi * rng.Float64()
+		rad := 1.05 + 1.9*rng.Float64()
+		probe := geom.Vec3{X: rad * math.Cos(ang), Y: rad * math.Sin(ang)}
+		res := FindDonor(g, 0, probe, [3]int{0, 0, 0})
+		if !res.OK {
+			continue
+		}
+		d := res.Donor
+		var p [8]geom.Vec3
+		for dk := 0; dk <= 0; dk++ {
+			for dj := 0; dj <= 1; dj++ {
+				for di := 0; di <= 1; di++ {
+					p[di+2*dj+4*dk] = cornerPoint(g, d.I+di, d.J+dj, d.K+dk)
+				}
+			}
+		}
+		for m := 0; m < 4; m++ {
+			p[m+4] = p[m].Add(geom.Vec3{Z: 1})
+		}
+		pos := trilerp(p, d.A, d.B, d.C)
+		if pos.Sub(probe).Norm() > 1e-8 {
+			t.Fatalf("trial %d: donor cell (%d,%d,%d) at (%g,%g,%g) maps to %+v, probe %+v",
+				trial, d.I, d.J, d.K, d.A, d.B, d.C, pos, probe)
+		}
+	}
+}

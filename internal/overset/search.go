@@ -181,22 +181,24 @@ func cornerPoint(g *grid.Grid, i, j, k int) geom.Vec3 {
 // cellIsField reports whether every corner of cell (i,j,k) carries valid
 // data: field points preferred, fringe corners tolerated (their values are
 // one-level-stale interpolated data — the standard relaxation when two
-// grids' fringe halos overlap), holes rejected.
+// grids' fringe halos overlap), holes rejected. The wrapped i-columns and
+// the row index are hoisted out of the corner loop.
 func cellIsField(g *grid.Grid, i, j, k int) bool {
 	kmax := 1
 	if g.NK == 1 {
 		kmax = 0
 	}
+	i0, i1 := i, i+1
+	if g.PeriodicI() {
+		i0 = ((i0 % g.NI) + g.NI) % g.NI
+		i1 = ((i1 % g.NI) + g.NI) % g.NI
+	}
+	ib := g.IBlank
 	for dk := 0; dk <= kmax; dk++ {
 		for dj := 0; dj <= 1; dj++ {
-			for di := 0; di <= 1; di++ {
-				ii := i + di
-				if g.PeriodicI() {
-					ii = ((ii % g.NI) + g.NI) % g.NI
-				}
-				if g.IBlank[g.Idx(ii, j+dj, k+dk)] == grid.IBHole {
-					return false
-				}
+			row := g.NI * (j + dj + g.NJ*(k+dk))
+			if ib[row+i0] == grid.IBHole || ib[row+i1] == grid.IBHole {
+				return false
 			}
 		}
 	}
@@ -208,17 +210,26 @@ func cellIsField(g *grid.Grid, i, j, k int) bool {
 // range) coordinates and whether the iteration stayed finite.
 func invertCell(g *grid.Grid, i, j, k int, x geom.Vec3) (a, b, c float64, ok bool) {
 	twoD := g.NK == 1
-	// Gather corners.
+	// Gather corners (periodic wrap hoisted; the two i-columns repeat
+	// across the j/k corner pairs).
 	var p [8]geom.Vec3
 	kmax := 1
 	if twoD {
 		kmax = 0
 	}
+	i0, i1 := i, i+1
+	if g.PeriodicI() {
+		i0 = ((i0 % g.NI) + g.NI) % g.NI
+		i1 = ((i1 % g.NI) + g.NI) % g.NI
+	}
+	gx, gy, gz := g.X, g.Y, g.Z
 	for dk := 0; dk <= kmax; dk++ {
 		for dj := 0; dj <= 1; dj++ {
-			for di := 0; di <= 1; di++ {
-				p[di+2*dj+4*dk] = cornerPoint(g, i+di, j+dj, k+dk)
-			}
+			row := g.NI * (j + dj + g.NJ*(k+dk))
+			n0, n1 := row+i0, row+i1
+			m := 2*dj + 4*dk
+			p[m] = geom.Vec3{X: gx[n0], Y: gy[n0], Z: gz[n0]}
+			p[m+1] = geom.Vec3{X: gx[n1], Y: gy[n1], Z: gz[n1]}
 		}
 	}
 	if twoD {
@@ -232,10 +243,7 @@ func invertCell(g *grid.Grid, i, j, k int, x geom.Vec3) (a, b, c float64, ok boo
 	}
 	for iter := 0; iter < newtonIters; iter++ {
 		// Position and partials of the trilinear map at (a,b,c).
-		pos := trilerp(p, a, b, c)
-		ra := trilerp(p, 1, b, c).Sub(trilerp(p, 0, b, c))
-		rb := trilerp(p, a, 1, c).Sub(trilerp(p, a, 0, c))
-		rc := trilerp(p, a, b, 1).Sub(trilerp(p, a, b, 0))
+		pos, ra, rb, rc := trilinearKernel(&p, a, b, c)
 		res := x.Sub(pos)
 		m := geom.Mat3{
 			{ra.X, rb.X, rc.X},
@@ -285,6 +293,52 @@ func trilerp(p [8]geom.Vec3, a, b, c float64) geom.Vec3 {
 		out = out.Add(p[m].Scale(w))
 	}
 	return out
+}
+
+// trilinearKernel evaluates the trilinear map and its three directional
+// differences at (a,b,c) in one pass over the corners, bit-identical to the
+// seven trilerp evaluations it replaces: pos = T(a,b,c),
+// ra = T(1,b,c)−T(0,b,c), rb = T(a,1,c)−T(a,0,c), rc = T(a,b,1)−T(a,b,0).
+// Each partial sum keeps trilerp's ascending-m accumulation order, its
+// left-associated weight products (substituting 1·x = x and dropping the
+// ±0-weight terms trilerp skips), and its skip-on-zero-weight semantics —
+// the weights can be negative for out-of-cell iterates, so a ±0 product
+// must be skipped, not accumulated.
+func trilinearKernel(p *[8]geom.Vec3, a, b, c float64) (pos, ra, rb, rc geom.Vec3) {
+	wa := [2]float64{1 - a, a}
+	wb := [2]float64{1 - b, b}
+	wc := [2]float64{1 - c, c}
+	var raHi, raLo, rbHi, rbLo, rcHi, rcLo geom.Vec3
+	for m := 0; m < 8; m++ {
+		i, j, k := m&1, (m>>1)&1, (m>>2)&1
+		pm := p[m]
+		wab := wa[i] * wb[j]
+		if w := wab * wc[k]; w != 0 {
+			pos = pos.Add(pm.Scale(w))
+		}
+		if w := wb[j] * wc[k]; w != 0 { // T(1,b,c) / T(0,b,c): lw(a,·) → 1
+			if i == 1 {
+				raHi = raHi.Add(pm.Scale(w))
+			} else {
+				raLo = raLo.Add(pm.Scale(w))
+			}
+		}
+		if w := wa[i] * wc[k]; w != 0 { // T(a,1,c) / T(a,0,c): lw(b,·) → 1
+			if j == 1 {
+				rbHi = rbHi.Add(pm.Scale(w))
+			} else {
+				rbLo = rbLo.Add(pm.Scale(w))
+			}
+		}
+		if wab != 0 { // T(a,b,1) / T(a,b,0): lw(c,·) → 1
+			if k == 1 {
+				rcHi = rcHi.Add(pm.Scale(wab))
+			} else {
+				rcLo = rcLo.Add(pm.Scale(wab))
+			}
+		}
+	}
+	return pos, raHi.Sub(raLo), rbHi.Sub(rbLo), rcHi.Sub(rcLo)
 }
 
 func lw(f float64, d int) float64 {

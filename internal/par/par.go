@@ -127,12 +127,87 @@ func (e *RankFailure) Crashed() (Crash, bool) {
 	return c, ok
 }
 
+// mailbox is one rank's unbounded physical-delivery queue: many senders,
+// one receiver. Unlike a fixed-capacity channel it never blocks a sender
+// and costs only its high-water mark in memory — a world of n ranks starts
+// at a few empty slices instead of n pre-sized channel buffers. The
+// receiver's blocking wait observes poison (a peer panic) through the same
+// condition variable, so a failure still unblocks the whole world.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	buf      []Msg // FIFO: buf[head:] are the queued messages
+	head     int
+	poisoned bool
+}
+
+// put enqueues m. Never blocks.
+func (mb *mailbox) put(m Msg) {
+	mb.mu.Lock()
+	mb.buf = append(mb.buf, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) takeLocked() (Msg, bool) {
+	if mb.head == len(mb.buf) {
+		if mb.head != 0 {
+			mb.head = 0
+			mb.buf = mb.buf[:0]
+		}
+		return Msg{}, false
+	}
+	m := mb.buf[mb.head]
+	mb.buf[mb.head] = Msg{} // drop the payload reference for the GC
+	mb.head++
+	return m, true
+}
+
+// take removes the oldest queued message, if any, without blocking.
+func (mb *mailbox) take() (Msg, bool) {
+	mb.mu.Lock()
+	m, ok := mb.takeLocked()
+	mb.mu.Unlock()
+	return m, ok
+}
+
+// wait blocks until a message is available or the world is poisoned;
+// ok == false means poison.
+func (mb *mailbox) wait() (Msg, bool) {
+	mb.mu.Lock()
+	for {
+		if m, ok := mb.takeLocked(); ok {
+			mb.mu.Unlock()
+			return m, true
+		}
+		if mb.poisoned {
+			mb.mu.Unlock()
+			return Msg{}, false
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) isPoisoned() bool {
+	mb.mu.Lock()
+	p := mb.poisoned
+	mb.mu.Unlock()
+	return p
+}
+
+func (mb *mailbox) poison() {
+	mb.mu.Lock()
+	mb.poisoned = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
 // World owns a set of ranks and the shared synchronization state.
 type World struct {
 	n     int
 	model machine.Model
 
-	inbox []chan Msg
+	inbox []mailbox
 
 	bar barrier
 
@@ -203,18 +278,16 @@ func tagLabel(t int) string {
 }
 
 // poisonAll unblocks every rank after a peer panic: barrier waiters via the
-// poison flag, Recv/Send waiters via the done channel. The inboxes
-// themselves are never closed — a close racing an in-flight send is a data
-// race, whereas every blocking channel operation here selects on done.
+// poison flag, collective waiters via the done channel, and receivers via
+// each mailbox's poison flag. Mailboxes are never torn down — senders keep
+// enqueueing harmlessly while the world dies.
 func (w *World) poisonAll() {
 	w.bar.poison()
 	w.closeOnce.Do(func() { close(w.done) })
+	for i := range w.inbox {
+		w.inbox[i].poison()
+	}
 }
-
-// queueCap bounds per-rank inbox buffering. Sends block (physically, not in
-// virtual time) only if a receiver falls this far behind, which would
-// indicate a protocol bug.
-const queueCap = 1 << 16
 
 // NewWorld creates a world of n ranks measured against the given machine.
 func NewWorld(n int, m machine.Model) *World {
@@ -223,9 +296,9 @@ func NewWorld(n int, m machine.Model) *World {
 	}
 	w := &World{n: n, model: m}
 	w.done = make(chan struct{})
-	w.inbox = make([]chan Msg, n)
+	w.inbox = make([]mailbox, n)
 	for i := range w.inbox {
-		w.inbox[i] = make(chan Msg, queueCap)
+		w.inbox[i].cond.L = &w.inbox[i].mu
 	}
 	w.bar.init(n)
 	w.collect = make([]any, n)
@@ -605,22 +678,11 @@ func (r *Rank) countSend(tag Tag, bytes int) {
 	}
 }
 
-// deliver enqueues a message on the destination inbox. The fast path is a
-// plain buffered send; only a full inbox (a protocol bug, or a receiver
-// taken down by a peer panic) falls back to blocking, where the poison
-// channel keeps the sender from deadlocking against a dead world.
+// deliver enqueues a message on the destination inbox. The mailbox is
+// unbounded, so a sender never blocks — and never deadlocks against a dead
+// world; a poisoned run fails at the next receive or barrier instead.
 func (r *Rank) deliver(to int, tag Tag, m Msg) {
-	select {
-	case r.w.inbox[to] <- m:
-	default:
-		select {
-		case r.w.inbox[to] <- m:
-		case <-r.w.done:
-			panic(fmt.Sprintf(
-				"par: rank %d: send of %s to rank %d aborted (world poisoned by a peer panic)",
-				r.ID, tagLabel(int(tag)), to))
-		}
-	}
+	r.w.inbox[to].put(m)
 }
 
 // maxSendRetries bounds SendReliable's retransmissions after the first
@@ -708,14 +770,13 @@ func (r *Rank) Recv(from int, tag Tag) Msg {
 // blockingRecv waits for the next physical delivery, panicking with a
 // who-was-waiting-on-what diagnostic if the world is poisoned first.
 func (r *Rank) blockingRecv(from int, tag Tag) {
-	select {
-	case m := <-r.w.inbox[r.ID]:
-		r.stash(m)
-	case <-r.w.done:
+	m, ok := r.w.inbox[r.ID].wait()
+	if !ok {
 		panic(fmt.Sprintf(
 			"par: rank %d: inbox closed (world poisoned by a peer panic) while receiving %s from %s",
 			r.ID, tagLabel(int(tag)), rankLabel(from)))
 	}
+	r.stash(m)
 }
 
 // RecvTimeout is Recv with loss tolerance: if the awaited message was
@@ -760,21 +821,20 @@ func (r *Rank) TryRecv(from int, tag Tag) (Msg, bool) {
 	// Drain everything physically available first. The poison check keeps
 	// a polling service loop from spinning forever against a dead world.
 	for {
-		select {
-		case m := <-r.w.inbox[r.ID]:
-			r.stash(m)
-			continue
-		case <-r.w.done:
-			panic(fmt.Sprintf(
-				"par: rank %d: inbox closed (world poisoned by a peer panic) while polling %s from %s",
-				r.ID, tagLabel(int(tag)), rankLabel(from)))
-		default:
+		m, ok := r.w.inbox[r.ID].take()
+		if !ok {
+			break
 		}
-		break
+		r.stash(m)
 	}
 	if m, ok := r.takePending(from, tag); ok {
 		r.recvAdvance(m)
 		return m, true
+	}
+	if r.w.inbox[r.ID].isPoisoned() {
+		panic(fmt.Sprintf(
+			"par: rank %d: inbox closed (world poisoned by a peer panic) while polling %s from %s",
+			r.ID, tagLabel(int(tag)), rankLabel(from)))
 	}
 	return Msg{}, false
 }
