@@ -89,6 +89,7 @@ func diffBench(old, new benchFile, t thresholds) (rows []diffRow, regressions in
 					o.BytesPerOp, n.BytesPerOp, 100*d, 100*t.bytes))
 			}
 		}
+		row.Notes = append(row.Notes, diffMetrics(o.Metrics, n.Metrics)...)
 		if row.Regression {
 			regressions++
 		}
@@ -102,6 +103,49 @@ func diffBench(old, new benchFile, t thresholds) (rows []diffRow, regressions in
 		}
 	}
 	return rows, regressions
+}
+
+// diffMetrics compares the b.ReportMetric extras by unit. Custom units carry
+// no better/worse direction the tool can assume, and newer files routinely
+// grow units (or whole tables of them) an older baseline never recorded — so
+// every outcome here is an informational note, never a regression, and
+// unknown units on either side are tolerated rather than errors.
+func diffMetrics(old, new []Metric) []string {
+	if len(old) == 0 && len(new) == 0 {
+		return nil
+	}
+	newByUnit := map[string]float64{}
+	var newOrder []string
+	for _, m := range new {
+		if _, dup := newByUnit[m.Unit]; !dup {
+			newOrder = append(newOrder, m.Unit)
+		}
+		newByUnit[m.Unit] = m.Value
+	}
+	var notes []string
+	seen := map[string]bool{}
+	for _, m := range old {
+		if seen[m.Unit] {
+			continue
+		}
+		seen[m.Unit] = true
+		nv, ok := newByUnit[m.Unit]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("metric %s: %g in old file only", m.Unit, m.Value))
+			continue
+		}
+		if d := relDelta(m.Value, nv); d != 0 {
+			notes = append(notes, fmt.Sprintf("metric %s: %g -> %g (%+.1f%%, informational)",
+				m.Unit, m.Value, nv, 100*d))
+		}
+	}
+	for _, unit := range newOrder {
+		if !seen[unit] {
+			notes = append(notes, fmt.Sprintf("metric %s: %g in new file only (no baseline)",
+				unit, newByUnit[unit]))
+		}
+	}
+	return notes
 }
 
 func printDiff(w io.Writer, rows []diffRow) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,96 @@ func TestDiffBenchZeroAllocBaseline(t *testing.T) {
 	cur := benchDoc(BenchResult{Name: "B", NsPerOp: 1e6, AllocsPerOp: 3})
 	if _, regressions := diffBench(old, cur, defThresholds()); regressions != 1 {
 		t.Fatal("0 -> 3 allocs/op not flagged as a regression")
+	}
+}
+
+// TestDiffBenchUnknownMetricsAreTolerated pins the forward-compatibility
+// contract: a newer results file may carry benchmarks and custom metric
+// units the baseline never recorded, and -diff must neither crash nor count
+// them as regressions.
+func TestDiffBenchUnknownMetricsAreTolerated(t *testing.T) {
+	old := benchDoc(
+		BenchResult{Name: "BenchmarkTable4", NsPerOp: 1e8, AllocsPerOp: 100,
+			Metrics: []Metric{{Unit: "mflops/node", Value: 18.2}}},
+	)
+	cur := benchDoc(
+		BenchResult{Name: "BenchmarkTable4", NsPerOp: 1e8, AllocsPerOp: 100,
+			Metrics: []Metric{
+				{Unit: "mflops/node", Value: 19.0},   // both sides: informational
+				{Unit: "igbps/step", Value: 5400},    // new unit: tolerated
+				{Unit: "orphans/step", Value: 0.125}, // new unit: tolerated
+			}},
+		BenchResult{Name: "BenchmarkTable9_Future", NsPerOp: 3e8, AllocsPerOp: 7,
+			Metrics: []Metric{{Unit: "quux/op", Value: 1}}},
+	)
+	rows, regressions := diffBench(old, cur, defThresholds())
+	if regressions != 0 {
+		var buf bytes.Buffer
+		printDiff(&buf, rows)
+		t.Fatalf("unknown metrics/benchmarks counted as %d regressions:\n%s", regressions, buf.String())
+	}
+	var t4 *diffRow
+	for i := range rows {
+		if rows[i].Name == "BenchmarkTable4" {
+			t4 = &rows[i]
+		}
+	}
+	if t4 == nil {
+		t.Fatal("BenchmarkTable4 row missing")
+	}
+	joined := strings.Join(t4.Notes, "\n")
+	for _, want := range []string{"mflops/node", "igbps/step", "orphans/step", "informational", "no baseline"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes %q missing %q", joined, want)
+		}
+	}
+	var buf bytes.Buffer
+	printDiff(&buf, rows) // must not panic on metric-only notes
+	if !strings.Contains(buf.String(), "BenchmarkTable9_Future") {
+		t.Errorf("new benchmark not shown:\n%s", buf.String())
+	}
+}
+
+// TestDiffBenchOldOnlyMetricIsNoteNotRegression: a unit that vanished from
+// the newer file is surfaced but stays advisory.
+func TestDiffBenchOldOnlyMetricIsNoteNotRegression(t *testing.T) {
+	old := benchDoc(BenchResult{Name: "B", NsPerOp: 1e6, AllocsPerOp: 1,
+		Metrics: []Metric{{Unit: "gone/op", Value: 3}}})
+	cur := benchDoc(BenchResult{Name: "B", NsPerOp: 1e6, AllocsPerOp: 1})
+	rows, regressions := diffBench(old, cur, defThresholds())
+	if regressions != 0 {
+		t.Fatalf("vanished metric counted as a regression: %+v", rows)
+	}
+	if len(rows) != 1 || !strings.Contains(strings.Join(rows[0].Notes, " "), "gone/op") {
+		t.Errorf("vanished metric not noted: %+v", rows)
+	}
+}
+
+// TestLoadBenchFileUnknownFields: newer writers may add top-level fields
+// (extra tables, environment stamps); the loader must ignore them.
+func TestLoadBenchFileUnknownFields(t *testing.T) {
+	path := t.TempDir() + "/new.json"
+	doc := `{
+  "harness": "cmd/bench", "scale": 0.1, "steps": 2,
+  "future_table": {"rows": [1, 2, 3]},
+  "results": [
+    {"name": "BenchmarkKept", "iters": 3, "ns_per_op": 1e8,
+     "bytes_per_op": 10, "allocs_per_op": 5,
+     "metrics": [{"unit": "quux/op", "value": 2, "future_field": true}]}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBenchFile(path)
+	if err != nil {
+		t.Fatalf("unknown top-level fields rejected: %v", err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Name != "BenchmarkKept" {
+		t.Fatalf("results mangled: %+v", got.Results)
+	}
+	if len(got.Results[0].Metrics) != 1 || got.Results[0].Metrics[0].Unit != "quux/op" {
+		t.Fatalf("metrics mangled: %+v", got.Results[0].Metrics)
 	}
 }
 

@@ -36,6 +36,19 @@ type validated struct {
 	fieldFile string
 }
 
+// validateServeAddr checks a -serve listen address for host:port shape.
+func validateServeAddr(addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-serve %q: want host:port (e.g. :9090 or localhost:9090): %v", addr, err)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("-serve %q: port %q is not a number in 0..65535", addr, port)
+	}
+	_ = host // empty host = all interfaces, fine
+	return nil
+}
+
 func validateRunFlags(f runFlags) (validated, error) {
 	var v validated
 	if f.nodes <= 0 {
@@ -63,18 +76,12 @@ func validateRunFlags(f runFlags) (validated, error) {
 			return v, fmt.Errorf("-metrics %q: want a .prom/.txt (Prometheus text) or .json extension, got %q", f.metricsOut, ext)
 		}
 	}
+	// -serve is valid on its own (job-service daemon) or with -metrics
+	// (live view of a one-shot run); only the address syntax is checked.
 	if f.serveAddr != "" {
-		if f.metricsOut == "" {
-			return v, fmt.Errorf("-serve %q without -metrics: the live endpoint serves the metrics registry, so there must be one", f.serveAddr)
+		if err := validateServeAddr(f.serveAddr); err != nil {
+			return v, err
 		}
-		host, port, err := net.SplitHostPort(f.serveAddr)
-		if err != nil {
-			return v, fmt.Errorf("-serve %q: want host:port (e.g. :9090 or localhost:9090): %v", f.serveAddr, err)
-		}
-		if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
-			return v, fmt.Errorf("-serve %q: port %q is not a number in 0..65535", f.serveAddr, port)
-		}
-		_ = host // empty host = all interfaces, fine
 	}
 
 	switch f.caseName {

@@ -52,8 +52,10 @@ func TestValidateRunFlags(t *testing.T) {
 		{"metrics json ok", func(f *runFlags) { f.metricsOut = "run.json" }, ""},
 		{"metrics bad extension", func(f *runFlags) { f.metricsOut = "run.csv" }, ".prom/.txt"},
 		{"metrics no extension", func(f *runFlags) { f.metricsOut = "metricsfile" }, ".prom/.txt"},
-		{"serve without metrics", func(f *runFlags) { f.serveAddr = ":9090" }, "without -metrics"},
-		{"serve ok", func(f *runFlags) {
+		{"serve alone ok (job-service daemon)", func(f *runFlags) { f.serveAddr = ":9090" }, ""},
+		{"serve alone port 0 ok", func(f *runFlags) { f.serveAddr = "127.0.0.1:0" }, ""},
+		{"serve alone missing port", func(f *runFlags) { f.serveAddr = "localhost" }, "host:port"},
+		{"serve with metrics ok", func(f *runFlags) {
 			f.metricsOut = "run.prom"
 			f.serveAddr = ":9090"
 		}, ""},

@@ -8,19 +8,27 @@
 //	      [-trace out.json] [-trace-summary]
 //	      [-metrics out.prom|out.json] [-serve :9090]
 //	      [-faults plan.json] [-checkpoint-every n]
+//
+// With -serve and no -metrics, overd instead runs the multi-tenant job
+// service daemon (POST /jobs et al.; see internal/serve) until SIGINT or
+// SIGTERM, draining in-flight jobs before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"overd"
 	"overd/internal/plot3d"
 	"overd/internal/report"
+	"overd/internal/serve"
 )
 
 func main() {
@@ -39,8 +47,31 @@ func main() {
 	faultsPath := flag.String("faults", "", "JSON fault plan: stragglers, degraded links, message loss, rank crashes (see package fault)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "steps between crash-recovery checkpoints (0 = auto when the plan crashes ranks, negative = off)")
 	metricsOut := flag.String("metrics", "", "write run metrics after the run (.prom/.txt = Prometheus text, .json = JSON)")
-	serveAddr := flag.String("serve", "", "serve live /metrics, /debug/vars and /debug/pprof on this host:port during the run (requires -metrics)")
+	serveAddr := flag.String("serve", "", "with -metrics: serve that run's live /metrics on this host:port; alone: run the multi-tenant job service daemon here instead of a one-shot run")
+	serveWorkers := flag.Int("serve-workers", 0, "job-service worker-pool size (0 = default)")
+	serveQueue := flag.Int("serve-queue", 0, "job-service admission queue depth (0 = default)")
+	serveCacheDir := flag.String("serve-cache-dir", "", "job-service persistent result-cache directory (empty = memory only)")
 	flag.Parse()
+
+	if *serveAddr != "" && *metricsOut == "" {
+		// Daemon mode: no one-shot run; the POST body picks case/machine/
+		// scale per job, so the run flags are ignored.
+		if err := validateServeAddr(*serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := runJobService(ctx, *serveAddr, serve.Config{
+			Workers: *serveWorkers, QueueDepth: *serveQueue,
+			CacheDir: *serveCacheDir,
+		}, func(bound string) {
+			fmt.Printf("overd job service on http://%s — POST /jobs, GET /jobs/{id}[/result|/events], /metrics (SIGINT/SIGTERM drains and exits)\n", bound)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	v, err := validateRunFlags(runFlags{
 		caseName: *caseName, nodes: *nodes, machineName: *machineName,

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"overd"
+	"overd/internal/serve"
 )
 
 // startMetricsServer exposes the live registry over HTTP while the run is in
@@ -47,4 +50,39 @@ func startMetricsServer(addr string, reg *overd.MetricsRegistry) (string, error)
 		_ = http.Serve(ln, mux)
 	}()
 	return ln.Addr().String(), nil
+}
+
+// runJobService runs the multi-tenant job service (-serve without -metrics):
+// it binds addr, serves internal/serve's HTTP API, and blocks until ctx is
+// cancelled — then drains gracefully, refusing new work while queued and
+// running jobs finish. ready (may be nil) is told the bound address once the
+// listener is up, which makes ":0" usable in tests.
+func runJobService(ctx context.Context, addr string, cfg serve.Config, ready func(bound string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-serve %s: %v", addr, err)
+	}
+	s := serve.NewServer(cfg)
+	s.Start()
+	hs := &http.Server{Handler: s.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	select {
+	case err := <-served:
+		// The listener failed out from under us; still drain admitted work.
+		drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(drain)
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drain); err != nil {
+		return err
+	}
+	return s.Shutdown(drain)
 }

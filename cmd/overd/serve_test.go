@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"overd"
+	"overd/internal/metrics"
+	"overd/internal/serve"
+)
+
+// populatedRegistry runs a tiny case so the live registry has real series.
+func populatedRegistry(t *testing.T) *overd.MetricsRegistry {
+	t.Helper()
+	reg := overd.NewMetricsRegistry()
+	cfg := overd.Config{
+		Case: overd.OscillatingAirfoil(0.05), Nodes: 4,
+		Machine: overd.SP2(), Steps: 1, CheckInterval: 5,
+		Metrics: reg, Trace: overd.NewTraceRecorder(),
+	}
+	if _, err := overd.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestStartMetricsServerEndpoints covers the legacy -serve+-metrics mux:
+// status codes, content types, and that /metrics round-trips through the
+// strict Prometheus parser.
+func TestStartMetricsServerEndpoints(t *testing.T) {
+	reg := populatedRegistry(t)
+	bound, err := startMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + bound
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	fams, err := metrics.ParsePrometheus(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics output does not re-parse: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Error("/metrics exported no families from a populated registry")
+	}
+
+	resp, body = get("/metrics?format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics json content type %q", ct)
+	}
+	if !json.Valid(body) {
+		t.Error("/metrics?format=json is not valid JSON")
+	}
+
+	resp, body = get("/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if !json.Valid(body) {
+		t.Error("/debug/vars is not valid JSON")
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, _ := get(path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRunJobServiceGracefulShutdown: the daemon serves jobs, and cancelling
+// its context (the SIGINT/SIGTERM path in main) drains and returns nil.
+func TestRunJobServiceGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boundc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runJobService(ctx, "127.0.0.1:0", serve.Config{Workers: 1},
+			func(bound string) { boundc <- bound })
+	}()
+	var base string
+	select {
+	case b := <-boundc:
+		base = "http://" + b
+	case err := <-errc:
+		t.Fatalf("service exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("service never became ready")
+	}
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"case":"airfoil","nodes":4,"steps":1,"scale":0.05}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for v.Status != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", v.ID, v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	cancel() // what SIGINT/SIGTERM does in main
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("service did not shut down after cancel")
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("listener still accepting connections after shutdown")
+	}
+}
+
+// TestRunJobServiceBadAddr surfaces bind failures as errors, not hangs.
+func TestRunJobServiceBadAddr(t *testing.T) {
+	err := runJobService(context.Background(), "256.0.0.1:99999", serve.Config{}, nil)
+	if err == nil {
+		t.Fatal("expected bind error")
+	}
+	if !strings.Contains(err.Error(), "-serve") {
+		t.Errorf("bind error %q does not name the flag", err)
+	}
+}

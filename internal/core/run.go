@@ -65,6 +65,15 @@ type Config struct {
 	// otherwise; negative disables it entirely (a crash then restarts the
 	// run from step 0 on the surviving nodes).
 	CheckpointEvery int
+	// OnStep, when non-nil, is invoked by rank 0 after each timestep's
+	// statistics capture with the 0-based step index, that step's stats,
+	// and rank 0's virtual clock. It is a host-side observer: it runs on
+	// the rank-0 goroutine between module barriers, reads nothing but its
+	// arguments, and must not block for long (every simulated rank is
+	// waiting on the trailing barrier). Like Trace and Metrics it never
+	// advances a virtual clock, so attaching it leaves runs bit-identical;
+	// on a crash-restart attempt, re-executed steps fire it again.
+	OnStep func(step int, stats StepStats, vclock float64)
 }
 
 // StepStats records one timestep's virtual-time breakdown (seconds, equal

@@ -169,6 +169,9 @@ func (st *runState) rankMain(r *par.Rank) {
 			prevFlow, prevMotion, prevConnect, prevBalance = ft, mt, ct, bt
 			prevFlowW, prevMotionW, prevConnectW, prevBalanceW = fw, mw, cw, bw
 			publishStepMetrics(r.MetricsRegistry(), maxF, igbps, r.Clock)
+			if st.cfg.OnStep != nil {
+				st.cfg.OnStep(step, st.stats[len(st.stats)-1], r.Clock)
+			}
 			if step == st.cfg.Steps-1 {
 				// End-of-run capture from the same snapshot, so phase
 				// sums, step totals and TotalTime agree exactly; the

@@ -1,0 +1,50 @@
+package metrics
+
+import "sync"
+
+// Interner maps arbitrary strings to small dense ints and back, so callers
+// with string-valued dimensions (tenant names, endpoint paths) can use them
+// as registry labels: pass Interner.ID as the label value and Interner.Name
+// as the label's Namer. IDs are assigned in first-seen order, which makes a
+// single-process export deterministic for a deterministic arrival order.
+type Interner struct {
+	mu    sync.Mutex
+	ids   map[string]int
+	names []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int)}
+}
+
+// ID returns the dense id for s, assigning the next one on first sight.
+func (t *Interner) ID(s string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := len(t.names)
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Name returns the string for id, or "?" for an id never assigned — a Namer
+// must not panic on a stale export racing a new registration.
+func (t *Interner) Name(id int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.names) {
+		return "?"
+	}
+	return t.names[id]
+}
+
+// Len reports how many distinct strings have been interned.
+func (t *Interner) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.names)
+}

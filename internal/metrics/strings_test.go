@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	a := in.ID("alice")
+	b := in.ID("bob")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if got := in.ID("alice"); got != a {
+		t.Errorf("re-interning alice: id %d, want %d", got, a)
+	}
+	if in.Name(a) != "alice" || in.Name(b) != "bob" {
+		t.Errorf("names = %q, %q", in.Name(a), in.Name(b))
+	}
+	if in.Name(99) != "?" || in.Name(-1) != "?" {
+		t.Errorf("out-of-range names = %q, %q, want ?", in.Name(99), in.Name(-1))
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+}
+
+// TestInternerAsLabelNamer pins the intended use: a counter labeled by an
+// interned string exports the original string, not the dense id.
+func TestInternerAsLabelNamer(t *testing.T) {
+	in := NewInterner()
+	reg := New()
+	reg.Reset(1)
+	served := reg.Counter("test_served_total", Opts{
+		Global: true,
+		Labels: []Label{{Name: "tenant", Namer: in.Name}},
+	})
+	served.Add1(0, in.ID("acme"), 3)
+	served.Add1(0, in.ID("zenith"), 1)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`test_served_total{tenant="acme"} 3`,
+		`test_served_total{tenant="zenith"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := reg.CounterValue("test_served_total", 0, in.ID("acme")); got != 3 {
+		t.Errorf("CounterValue(acme) = %g, want 3", got)
+	}
+}

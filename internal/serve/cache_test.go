@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// fakeHash builds a syntactically valid cache key from a short tag.
+func fakeHash(tag string) string {
+	sum := sha256.Sum256([]byte(tag))
+	return hex.EncodeToString(sum[:])
+}
+
+func art(tag string, n int) *Artifacts {
+	return &Artifacts{
+		Tables:  bytes.Repeat([]byte(tag[:1]), n),
+		Trace:   []byte("{\"trace\":\"" + tag + "\"}"),
+		Metrics: []byte("{\"metrics\":\"" + tag + "\"}"),
+		Steps:   4,
+	}
+}
+
+func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
+	c := NewCache(1<<20, "")
+	h := fakeHash("a")
+	orig := art("a", 100)
+	if err := c.Put(h, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(h)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got.Tables, orig.Tables) || !bytes.Equal(got.Trace, orig.Trace) ||
+		!bytes.Equal(got.Metrics, orig.Metrics) || got.Steps != orig.Steps {
+		t.Error("cached artifacts differ from stored ones")
+	}
+	// Mutating the served copy must not poison the cache.
+	got.Tables[0] = 'X'
+	again, _ := c.Get(h)
+	if !bytes.Equal(again.Tables, orig.Tables) {
+		t.Error("served slice aliases the cached bytes")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 2 hits 0 misses", s)
+	}
+}
+
+func TestCacheLRUEvictionByByteBudget(t *testing.T) {
+	// Each artifact is ~60 bytes of payload; budget fits roughly two.
+	a0, a1, a2 := art("a", 20), art("b", 20), art("c", 20)
+	budget := a0.Size() + a1.Size() + 10
+	c := NewCache(budget, "")
+	for i, a := range []*Artifacts{a0, a1, a2} {
+		if err := c.Put(fakeHash(fmt.Sprintf("k%d", i)), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(fakeHash("k0")); ok {
+		t.Error("oldest entry survived past the byte budget")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(fakeHash(k)); !ok {
+			t.Errorf("%s evicted although it fits the budget", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", s.Bytes, budget)
+	}
+}
+
+func TestCacheLRUTouchOnGet(t *testing.T) {
+	a0, a1, a2 := art("a", 20), art("b", 20), art("c", 20)
+	c := NewCache(a0.Size()+a1.Size()+10, "")
+	c.Put(fakeHash("k0"), a0)
+	c.Put(fakeHash("k1"), a1)
+	c.Get(fakeHash("k0")) // k0 becomes most recent; k1 is now LRU
+	c.Put(fakeHash("k2"), a2)
+	if _, ok := c.Get(fakeHash("k1")); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := c.Get(fakeHash("k0")); !ok {
+		t.Error("recently touched entry was evicted")
+	}
+}
+
+func TestCacheRejectsBadKey(t *testing.T) {
+	c := NewCache(0, "")
+	if err := c.Put("not-a-hash", art("a", 4)); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+func TestCacheDiskRoundTripByteExact(t *testing.T) {
+	dir := t.TempDir()
+	h := fakeHash("disk")
+	orig := art("d", 500)
+	orig.Steps = 7
+
+	w := NewCache(1<<20, dir)
+	if err := w.Put(h, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache (fresh process) over the same directory must serve the
+	// identical bytes from the persistent tier.
+	r := NewCache(1<<20, dir)
+	got, ok := r.Get(h)
+	if !ok {
+		t.Fatal("disk tier miss")
+	}
+	if !bytes.Equal(got.Tables, orig.Tables) || !bytes.Equal(got.Trace, orig.Trace) ||
+		!bytes.Equal(got.Metrics, orig.Metrics) {
+		t.Error("disk round trip changed artifact bytes")
+	}
+	if got.Steps != 7 {
+		t.Errorf("steps = %d, want 7", got.Steps)
+	}
+	// The disk hit re-warmed memory: a second Get must not touch disk
+	// (verified indirectly: still a hit after wiping the directory).
+	wipeDir(t, dir)
+	if _, ok := r.Get(h); !ok {
+		t.Error("entry not re-warmed into memory after disk hit")
+	}
+}
+
+func TestCacheEvictedEntryBackstoppedByDisk(t *testing.T) {
+	dir := t.TempDir()
+	a0, a1, a2 := art("a", 20), art("b", 20), art("c", 20)
+	c := NewCache(a0.Size()+a1.Size()+10, dir)
+	c.Put(fakeHash("k0"), a0)
+	c.Put(fakeHash("k1"), a1)
+	c.Put(fakeHash("k2"), a2) // evicts k0 from memory, not from disk
+	got, ok := c.Get(fakeHash("k0"))
+	if !ok {
+		t.Fatal("evicted entry lost despite persistent tier")
+	}
+	if !bytes.Equal(got.Tables, a0.Tables) {
+		t.Error("disk backstop served wrong bytes")
+	}
+}
+
+func wipeDir(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import "sync"
+
+// Event is one progress record on a job's event stream, serialized as one
+// NDJSON line on GET /jobs/{id}/events.
+type Event struct {
+	// Type is queued, start, step, done or error.
+	Type string `json:"type"`
+	// Step and VClock carry a step event's index and rank-0 virtual clock.
+	Step   int     `json:"step,omitempty"`
+	VClock float64 `json:"vclock,omitempty"`
+	// Snapshot is the step's phase breakdown plus live windowed-metrics
+	// reads (messages/bytes so far), present on step events.
+	Snapshot *StepSnapshot `json:"snapshot,omitempty"`
+	// Cached marks a done event served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Steps is a done event's executed solver step count (0 when cached).
+	Steps int `json:"steps,omitempty"`
+	// Error carries an error event's message.
+	Error string `json:"error,omitempty"`
+}
+
+// StepSnapshot is the per-step progress payload: the step's virtual-time
+// phase split and cumulative message traffic from the live metrics window.
+type StepSnapshot struct {
+	Flow      float64 `json:"flow"`
+	Motion    float64 `json:"motion"`
+	Connect   float64 `json:"connect"`
+	Balance   float64 `json:"balance"`
+	IGBPs     int     `json:"igbps"`
+	MaxF      float64 `json:"max_f"`
+	MsgsSent  float64 `json:"msgs_sent"`
+	BytesSent float64 `json:"bytes_sent"`
+}
+
+// eventLog is an append-only event sequence with blocking reads: streamers
+// wait for growth on a broadcast channel that is swapped on every append.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	grown  chan struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{grown: make(chan struct{})}
+}
+
+// append records an event and wakes every waiting streamer.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, e)
+	close(l.grown)
+	l.grown = make(chan struct{})
+}
+
+// closeLog marks the stream complete (after a terminal done/error event)
+// and wakes waiters one last time.
+func (l *eventLog) closeLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.grown)
+	l.grown = make(chan struct{})
+}
+
+// from returns the events at index >= i, whether the log is complete, and a
+// channel that is closed on the next change (for blocking waits).
+func (l *eventLog) from(i int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if i < len(l.events) {
+		out = append(out, l.events[i:]...)
+	}
+	return out, l.closed, l.grown
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// jobView is the JSON shape of a job on POST /jobs and GET /jobs/{id}.
+type jobView struct {
+	ID     string    `json:"id"`
+	Hash   string    `json:"hash"`
+	Tenant string    `json:"tenant"`
+	Status JobStatus `json:"status"`
+	// Cache is hit/inflight/miss on the POST response; omitted elsewhere.
+	Cache CacheStatus `json:"cache,omitempty"`
+	// Cached marks a done job whose artifacts came from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// QueuePosition counts admitted jobs ahead of a queued job (-1 when
+	// not queued).
+	QueuePosition int `json:"queue_position"`
+	// StepsExecuted is the solver timestep count spent on this job's
+	// artifacts: 0 for cache hits.
+	StepsExecuted int    `json:"steps_executed"`
+	Error         string `json:"error,omitempty"`
+	// Canonical is the canonical request the hash covers (POST only).
+	Canonical json.RawMessage `json:"canonical,omitempty"`
+}
+
+func (s *Server) view(js *jobState, cache CacheStatus, withCanonical bool) jobView {
+	s.mu.Lock()
+	v := jobView{
+		ID: js.id, Hash: js.hash, Tenant: js.tenant,
+		Status: js.status, Cache: cache, Cached: js.cached,
+		QueuePosition: -1, Error: js.errMsg,
+	}
+	if js.art != nil {
+		if js.cached {
+			v.StepsExecuted = 0
+		} else {
+			v.StepsExecuted = js.art.Steps
+		}
+	}
+	s.mu.Unlock()
+	if p := s.queuePosition(js); p >= 0 {
+		v.QueuePosition = p
+	}
+	if withCanonical {
+		v.Canonical = js.job.Canonical()
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs               submit a job (409s, 429s and 400s explained in README)
+//	GET  /jobs/{id}          status and queue position
+//	GET  /jobs/{id}/result   artifact metadata, or ?artifact=tables|trace|metrics raw bytes
+//	GET  /jobs/{id}/events   NDJSON progress stream until the job finishes
+//	GET  /metrics            server counters (Prometheus text, ?format=json for JSON)
+//	/debug/vars, /debug/pprof/...  host-process introspection
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// TenantHeader names the job's fairness bucket; it wins over the request
+// body's "tenant" field.
+const TenantHeader = "X-Overd-Tenant"
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+		return
+	}
+	job, err := ParseJob(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h := r.Header.Get(TenantHeader); h != "" {
+		job.Tenant = h
+	}
+	if job.Tenant == "" {
+		job.Tenant = "anonymous"
+	}
+	js, cache, err := s.Submit(job)
+	var full ErrQueueFull
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(full.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cache == CacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.view(js, cache, true))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(js, "", false))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status, errMsg, art := js.status, js.errMsg, js.art
+	s.mu.Unlock()
+	switch status {
+	case StatusQueued, StatusRunning:
+		writeJSON(w, http.StatusAccepted, s.view(js, "", false))
+		return
+	case StatusFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", js.id, errMsg)
+		return
+	}
+	switch name := r.URL.Query().Get("artifact"); name {
+	case "tables":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(art.Tables)
+	case "trace":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(art.Trace)
+	case "metrics":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(art.Metrics)
+	case "":
+		steps := art.Steps
+		if js.cached {
+			steps = 0
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": js.id, "hash": js.hash, "cached": js.cached,
+			"steps_executed": steps,
+			"artifacts": map[string]int{
+				"tables": len(art.Tables), "trace": len(art.Trace),
+				"metrics": len(art.Metrics),
+			},
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			"unknown artifact %q (valid: tables, trace, metrics)", name)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, closed, grown := js.events.from(next)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-grown:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

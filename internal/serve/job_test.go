@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"overd"
+)
+
+func TestJobNormalizeDefaults(t *testing.T) {
+	n, err := Job{Case: "airfoil"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Job{Case: "airfoil", Machine: "SP2", Nodes: 8, Steps: 5, Scale: 1, CheckEvery: 5}
+	if !reflect.DeepEqual(n, want) {
+		t.Errorf("normalized = %+v, want %+v", n, want)
+	}
+}
+
+// TestJobHashInvariance pins the content-address property: requests that
+// mean the same run hash equal regardless of how they were spelled, and
+// requests that differ in any run-relevant field hash apart.
+func TestJobHashInvariance(t *testing.T) {
+	base, err := Job{Case: "airfoil"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []Job{
+		{Case: "airfoil", Machine: "SP2"},
+		{Case: "airfoil", Nodes: 8, Steps: 5},
+		{Case: "airfoil", Scale: 1, CheckEvery: 5},
+		{Case: "airfoil", Tenant: "acme"},     // tenant is not identity
+		{Case: "airfoil", Tenant: "zenith"},   // neither is a different tenant
+		{Case: "airfoil", Faults: &overd.FaultPlan{}}, // empty plan = no plan
+	}
+	for i, j := range same {
+		n, err := j.Normalize()
+		if err != nil {
+			t.Fatalf("same[%d]: %v", i, err)
+		}
+		if n.Hash() != base.Hash() {
+			t.Errorf("same[%d] %+v hashes %s, want %s", i, j, n.Hash(), base.Hash())
+		}
+	}
+	diff := []Job{
+		{Case: "deltawing"},
+		{Case: "airfoil", Nodes: 12},
+		{Case: "airfoil", Steps: 6},
+		{Case: "airfoil", Scale: 0.5},
+		{Case: "airfoil", Machine: "SP"},
+		{Case: "airfoil", Fo: 2},
+		{Case: "airfoil", Tables: []string{"1"}},
+		{Case: "airfoil", Faults: &overd.FaultPlan{Stragglers: []overd.FaultStraggler{{Rank: 0, Factor: 2}}}},
+	}
+	seen := map[string]int{base.Hash(): -1}
+	for i, j := range diff {
+		n, err := j.Normalize()
+		if err != nil {
+			t.Fatalf("diff[%d]: %v", i, err)
+		}
+		h := n.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("diff[%d] %+v collides with case %d", i, j, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestJobTableSelectionCanonicalOrder(t *testing.T) {
+	a, err := Job{Case: "airfoil", Tables: []string{"5f", "1", "1"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Job{Case: "airfoil", Tables: []string{"1", "5f"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("reordered/duplicated table selections hash apart:\n%s\n%s",
+			a.Canonical(), b.Canonical())
+	}
+	if got := strings.Join(a.Tables, ","); got != "1,5f" {
+		t.Errorf("canonical tables = %q, want \"1,5f\"", got)
+	}
+}
+
+func TestJobSeedFoldsIntoPlan(t *testing.T) {
+	plan := &overd.FaultPlan{Stragglers: []overd.FaultStraggler{{Rank: 1, Factor: 3}}}
+	withTop, err := Job{Case: "airfoil", Faults: plan, Seed: 42}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPlan := &overd.FaultPlan{Seed: 42, Stragglers: []overd.FaultStraggler{{Rank: 1, Factor: 3}}}
+	withIn, err := Job{Case: "airfoil", Faults: inPlan}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTop.Hash() != withIn.Hash() {
+		t.Errorf("top-level seed and in-plan seed hash apart:\n%s\n%s",
+			withTop.Canonical(), withIn.Canonical())
+	}
+	if plan.Seed != 0 {
+		t.Error("Normalize mutated the caller's fault plan")
+	}
+}
+
+func TestJobValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"missing case", Job{}, "missing case"},
+		{"unknown case", Job{Case: "wing47"}, `unknown case "wing47"`},
+		{"unknown machine", Job{Case: "airfoil", Machine: "CM5"}, "CM5"},
+		{"negative nodes", Job{Case: "airfoil", Nodes: -2}, "at least one processor"},
+		{"negative steps", Job{Case: "airfoil", Steps: -1}, "must be positive"},
+		{"negative scale", Job{Case: "airfoil", Scale: -1}, "must be positive"},
+		{"negative fo", Job{Case: "airfoil", Fo: -1}, "cannot be negative"},
+		{"negative check", Job{Case: "airfoil", CheckEvery: -1}, "must be positive"},
+		{"bad table", Job{Case: "airfoil", Tables: []string{"9"}}, `unknown table "9"`},
+		{"seed without faults", Job{Case: "airfoil", Seed: 7}, "without a fault plan"},
+		{"checkpoint without faults", Job{Case: "airfoil", CheckpointEvery: 3}, "without faults"},
+		{"bad plan", Job{Case: "airfoil",
+			Faults: &overd.FaultPlan{Stragglers: []overd.FaultStraggler{{Rank: 0, Factor: 0.5}}}},
+			"factor 0.5 < 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.job.Normalize()
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseJob(t *testing.T) {
+	j, err := ParseJob([]byte(`{"case":"airfoil","nodes":4,"tenant":"acme"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Tenant != "acme" || j.Nodes != 4 || j.Machine != "SP2" {
+		t.Errorf("parsed = %+v", j)
+	}
+	if _, err := ParseJob([]byte(`{"case":"airfoil","scael":1}`)); err == nil ||
+		!strings.Contains(err.Error(), "scael") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+	if _, err := ParseJob([]byte(`{`)); err == nil {
+		t.Error("truncated JSON not rejected")
+	}
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"overd"
+)
+
+// Runner executes one job, reporting progress events along the way, and
+// returns its artifacts. The Server's default is RunJob; tests substitute
+// stubs to script timing and failures without paying for real solves.
+type Runner func(job Job, progress func(Event)) (*Artifacts, error)
+
+// RunJob executes a normalized job through the real pipeline and assembles
+// its cacheable artifacts: the tables JSON-lines document (the run's own
+// rows plus any selected paper tables), the trace-summary JSON, and the
+// metrics JSON. Every byte is a pure function of the job's canonical form —
+// the property the content-addressed cache relies on.
+//
+// progress (may be nil) receives one step event per completed timestep,
+// carrying the step's virtual-time phase split and a live windowed-metrics
+// snapshot (cumulative messages/bytes sent). The snapshot reads the run's
+// registry mid-flight, which the registry's shard locks make safe and the
+// bit-identity tests prove free.
+func RunJob(job Job, progress func(Event)) (*Artifacts, error) {
+	mk, err := caseByName(job.Case)
+	if err != nil {
+		return nil, err
+	}
+	m, err := overd.MachineByName(job.Machine)
+	if err != nil {
+		return nil, err
+	}
+	fo := math.Inf(1) // canonical 0 means "dynamic balancing off"
+	if job.Fo > 0 {
+		fo = job.Fo
+	}
+	rec := overd.NewTraceRecorder()
+	reg := overd.NewMetricsRegistry()
+	cfg := overd.Config{
+		Case: mk(job.Scale), Nodes: job.Nodes, Machine: m,
+		Steps: job.Steps, Fo: fo, CheckInterval: job.CheckEvery,
+		Faults: job.Faults, CheckpointEvery: job.CheckpointEvery,
+		Trace: rec, Metrics: reg,
+	}
+	if progress != nil {
+		nodes := job.Nodes
+		cfg.OnStep = func(step int, stats overd.StepStats, vclock float64) {
+			snap := &StepSnapshot{
+				Flow: stats.Flow, Motion: stats.Motion,
+				Connect: stats.Connect, Balance: stats.Balance,
+				IGBPs: stats.IGBPs, MaxF: stats.MaxF,
+			}
+			for rank := 0; rank < nodes; rank++ {
+				snap.MsgsSent += reg.SumSeries("overd_par_msgs_sent_total", rank)
+				snap.BytesSent += reg.SumSeries("overd_par_bytes_sent_total", rank)
+			}
+			progress(Event{Type: "step", Step: step, VClock: vclock, Snapshot: snap})
+		}
+	}
+	res, err := overd.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var tables bytes.Buffer
+	if err := overd.EmitRunJSON(&tables, res); err != nil {
+		return nil, fmt.Errorf("serve: emitting run rows: %w", err)
+	}
+	if len(job.Tables) > 0 {
+		want := make(map[string]bool, len(job.Tables))
+		for _, id := range job.Tables {
+			want[id] = true
+		}
+		opt := overd.Options{Scale: job.Scale, Steps: job.Steps}
+		if err := overd.EmitTablesJSON(&tables, opt, want); err != nil {
+			return nil, fmt.Errorf("serve: emitting tables %v: %w", job.Tables, err)
+		}
+	}
+
+	traceJSON, err := json.MarshalIndent(rec.Summarize(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding trace summary: %w", err)
+	}
+	traceJSON = append(traceJSON, '\n')
+
+	var metricsBuf bytes.Buffer
+	if err := reg.WriteJSON(&metricsBuf); err != nil {
+		return nil, fmt.Errorf("serve: encoding metrics: %w", err)
+	}
+
+	return &Artifacts{
+		Tables:  tables.Bytes(),
+		Trace:   traceJSON,
+		Metrics: metricsBuf.Bytes(),
+		Steps:   len(res.Steps) + res.RecoverySteps,
+	}, nil
+}

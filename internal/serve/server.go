@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"overd/internal/metrics"
+)
+
+// Config sizes the server. Zero values pick modest defaults.
+type Config struct {
+	// Workers is the worker-pool size: how many jobs solve concurrently.
+	// Default 2.
+	Workers int
+	// QueueDepth caps the number of admitted-but-not-started jobs across
+	// all tenants; past it POST /jobs returns 429 + Retry-After. Default 64.
+	QueueDepth int
+	// CacheBytes is the in-memory result-cache budget. Default 64 MiB.
+	CacheBytes int64
+	// CacheDir optionally adds a persistent write-through cache tier.
+	CacheDir string
+	// Runner executes jobs; nil means the real pipeline (RunJob).
+	Runner Runner
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// ErrQueueFull is returned by Submit when admission control rejects a job;
+// RetryAfter is the suggested client backoff in seconds.
+type ErrQueueFull struct {
+	Depth      int
+	RetryAfter int
+}
+
+func (e ErrQueueFull) Error() string {
+	return fmt.Sprintf("serve: queue full (%d jobs waiting); retry in %ds", e.Depth, e.RetryAfter)
+}
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun.
+var ErrShuttingDown = fmt.Errorf("serve: server is shutting down")
+
+// jobState is one submitted job's record.
+type jobState struct {
+	id     string
+	hash   string
+	tenant string
+	job    Job
+	seq    int // admission order, for queue-position estimates
+
+	status JobStatus
+	cached bool
+	errMsg string
+	art    *Artifacts
+
+	events *eventLog
+	done   chan struct{} // closed on done/failed
+}
+
+// Server is the multi-tenant simulation job service: admission control, a
+// bounded worker pool fed round-robin across per-tenant FIFO queues, and a
+// content-addressed result cache in front of it all.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	reg     *metrics.Registry
+	tenants *metrics.Interner
+
+	accepted metrics.Counter
+	rejected metrics.Counter
+	deduped  metrics.Counter
+	failed   metrics.Counter
+	steps    metrics.Counter
+	served   metrics.Counter // per tenant
+	hits     metrics.Counter
+	misses   metrics.Counter
+	evict    metrics.Counter
+	depthG   metrics.Gauge
+	runningG metrics.Gauge
+	entriesG metrics.Gauge
+	bytesG   metrics.Gauge
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*jobState
+	inflight   map[string]*jobState // hash → queued-or-running job
+	queues     map[string][]*jobState
+	ring       []string // tenant round-robin order
+	rr         int
+	queued     int
+	running    int
+	nextID     int
+	lastEvict  int64
+	closed     bool
+	workersRun bool
+	wg         sync.WaitGroup
+}
+
+// NewServer builds a server (workers not yet started; call Start).
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = RunJob
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheBytes, cfg.CacheDir),
+		reg:      metrics.New(),
+		tenants:  metrics.NewInterner(),
+		jobs:     make(map[string]*jobState),
+		inflight: make(map[string]*jobState),
+		queues:   make(map[string][]*jobState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.reg.Reset(1)
+	g := func(name, help string) metrics.Gauge {
+		return s.reg.Gauge(name, metrics.Opts{Help: help, Global: true})
+	}
+	c := func(name, help string) metrics.Counter {
+		return s.reg.Counter(name, metrics.Opts{Help: help, Global: true})
+	}
+	s.accepted = c("overd_serve_jobs_accepted_total", "jobs admitted (including cache hits and dedups)")
+	s.rejected = c("overd_serve_jobs_rejected_total", "jobs refused by admission control (429)")
+	s.deduped = c("overd_serve_jobs_deduped_total", "submissions coalesced onto an identical in-flight job")
+	s.failed = c("overd_serve_jobs_failed_total", "jobs whose run returned an error")
+	s.steps = c("overd_serve_solver_steps_total", "solver timesteps actually executed (cache hits add zero)")
+	s.served = s.reg.Counter("overd_serve_jobs_served_total", metrics.Opts{
+		Help: "completed jobs per tenant (cached results included)", Global: true,
+		Labels: []metrics.Label{{Name: "tenant", Namer: s.tenants.Name}},
+	})
+	s.hits = c("overd_serve_cache_hits_total", "result-cache hits")
+	s.misses = c("overd_serve_cache_misses_total", "result-cache misses")
+	s.evict = c("overd_serve_cache_evictions_total", "result-cache LRU evictions")
+	s.depthG = g("overd_serve_queue_depth", "jobs admitted and waiting for a worker")
+	s.runningG = g("overd_serve_jobs_running", "jobs currently on a worker")
+	s.entriesG = g("overd_serve_cache_entries", "resident result-cache entries")
+	s.bytesG = g("overd_serve_cache_bytes", "resident result-cache bytes")
+	return s
+}
+
+// Registry exposes the server's own metrics registry (the /metrics page).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workersRun {
+		return
+	}
+	s.workersRun = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops admission, wakes idle workers, and waits — up to the
+// context's deadline — for queued and running jobs to drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CacheStatus classifies what Submit found for a job's content address.
+type CacheStatus string
+
+const (
+	CacheHit      CacheStatus = "hit"      // served from the result cache
+	CacheInflight CacheStatus = "inflight" // identical job already queued/running
+	CacheMiss     CacheStatus = "miss"     // fresh work admitted
+)
+
+// Submit admits a normalized job (Tenant already resolved). On a cache hit
+// the returned job is already done and carries the cached artifacts; on an
+// inflight dedup it is the existing job; otherwise it is queued.
+func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
+	hash := job.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", ErrShuttingDown
+	}
+	if art, ok := s.cache.Get(hash); ok {
+		s.hits.Add(0, 1)
+		s.accepted.Add(0, 1)
+		js := s.newJobLocked(job, hash)
+		js.status = StatusDone
+		js.cached = true
+		js.art = art
+		js.events.append(Event{Type: "queued"})
+		js.events.append(Event{Type: "done", Cached: true})
+		js.events.closeLog()
+		close(js.done)
+		s.served.Add1(0, s.tenants.ID(js.tenant), 1)
+		return js, CacheHit, nil
+	}
+	if ex, ok := s.inflight[hash]; ok {
+		s.deduped.Add(0, 1)
+		return ex, CacheInflight, nil
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.rejected.Add(0, 1)
+		retry := 1 + s.queued/s.cfg.Workers
+		return nil, "", ErrQueueFull{Depth: s.queued, RetryAfter: retry}
+	}
+	s.misses.Add(0, 1)
+	s.accepted.Add(0, 1)
+	js := s.newJobLocked(job, hash)
+	js.status = StatusQueued
+	s.inflight[hash] = js
+	if _, known := s.queues[js.tenant]; !known {
+		s.ring = append(s.ring, js.tenant)
+	}
+	s.queues[js.tenant] = append(s.queues[js.tenant], js)
+	s.queued++
+	js.events.append(Event{Type: "queued"})
+	s.cond.Signal()
+	return js, CacheMiss, nil
+}
+
+// newJobLocked allocates a job record under s.mu.
+func (s *Server) newJobLocked(job Job, hash string) *jobState {
+	s.nextID++
+	js := &jobState{
+		id:     fmt.Sprintf("j-%06d", s.nextID),
+		hash:   hash,
+		tenant: job.Tenant,
+		job:    job,
+		seq:    s.nextID,
+		events: newEventLog(),
+		done:   make(chan struct{}),
+	}
+	if js.tenant == "" {
+		js.tenant = "anonymous"
+	}
+	s.jobs[js.id] = js
+	return js
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	return js, ok
+}
+
+// queuePosition estimates how many admitted jobs precede js (by admission
+// order; the round-robin scheduler may interleave tenants differently, but
+// the number never grows). Returns -1 when js is not queued.
+func (s *Server) queuePosition(js *jobState) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if js.status != StatusQueued {
+		return -1
+	}
+	ahead := 0
+	for _, q := range s.queues {
+		for _, other := range q {
+			if other.seq < js.seq {
+				ahead++
+			}
+		}
+	}
+	return ahead
+}
+
+// dequeue blocks for the next job, rotating fairly across tenants: each
+// pop advances the ring, so a tenant flooding its own FIFO cannot starve
+// another tenant's single job. Returns nil when the server drained and
+// closed.
+func (s *Server) dequeue() *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			n := len(s.ring)
+			for i := 0; i < n; i++ {
+				tenant := s.ring[(s.rr+i)%n]
+				q := s.queues[tenant]
+				if len(q) == 0 {
+					continue
+				}
+				js := q[0]
+				s.queues[tenant] = q[1:]
+				s.rr = (s.rr + i + 1) % n
+				s.queued--
+				s.running++
+				js.status = StatusRunning
+				return js
+			}
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// worker is one pool goroutine: dequeue, run, publish, repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		js := s.dequeue()
+		if js == nil {
+			return
+		}
+		js.events.append(Event{Type: "start"})
+		art, err := s.cfg.Runner(js.job, js.events.append)
+
+		s.mu.Lock()
+		s.running--
+		delete(s.inflight, js.hash)
+		if err != nil {
+			js.status = StatusFailed
+			js.errMsg = err.Error()
+			s.failed.Add(0, 1)
+			js.events.append(Event{Type: "error", Error: js.errMsg})
+		} else {
+			js.status = StatusDone
+			js.art = art
+			s.steps.Add(0, float64(art.Steps))
+			s.served.Add1(0, s.tenants.ID(js.tenant), 1)
+			if perr := s.cache.Put(js.hash, art); perr != nil {
+				// The result still serves; only persistence degraded.
+				js.events.append(Event{Type: "error", Error: "cache store: " + perr.Error()})
+			}
+			if ev := s.cache.Stats().Evictions; ev > s.lastEvict {
+				s.evict.Add(0, float64(ev-s.lastEvict))
+				s.lastEvict = ev
+			}
+			js.events.append(Event{Type: "done", Steps: art.Steps})
+		}
+		s.mu.Unlock()
+		js.events.closeLog()
+		close(js.done)
+	}
+}
+
+// refreshGauges updates the point-in-time gauges before a scrape. The
+// virtual-time stamp slot is 0: the server lives on the wall clock, not a
+// simulated one.
+func (s *Server) refreshGauges() {
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+	s.depthG.Set(0, float64(queued), 0)
+	s.runningG.Set(0, float64(running), 0)
+	s.entriesG.Set(0, float64(cs.Entries), 0)
+	s.bytesG.Set(0, float64(cs.Bytes), 0)
+}

@@ -1,0 +1,541 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"overd/internal/metrics"
+)
+
+// viewResp mirrors the jobView JSON for decoding in tests.
+type viewResp struct {
+	ID            string `json:"id"`
+	Hash          string `json:"hash"`
+	Tenant        string `json:"tenant"`
+	Status        string `json:"status"`
+	Cache         string `json:"cache"`
+	Cached        bool   `json:"cached"`
+	QueuePosition int    `json:"queue_position"`
+	StepsExecuted int    `json:"steps_executed"`
+	Error         string `json:"error"`
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body, tenant string) (*http.Response, viewResp) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v viewResp
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatalf("decoding POST response %q: %v", b, err)
+		}
+	} else {
+		v.Error = string(b)
+	}
+	return resp, v
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) viewResp {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v viewResp
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.Status == string(StatusDone) || v.Status == string(StatusFailed) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return viewResp{}
+}
+
+func getArtifact(t *testing.T, ts *httptest.Server, id, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/result?artifact=" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact %s for %s: status %d: %s", name, id, resp.StatusCode, b)
+	}
+	return b
+}
+
+// promCounter reads one global counter from the server's /metrics page.
+func promCounter(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := metrics.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	for _, f := range fams {
+		for _, smp := range f.Samples {
+			if smp.Name == name {
+				return smp.Value
+			}
+		}
+	}
+	return 0
+}
+
+// TestServerCacheHitByteIdenticalZeroSteps is the acceptance pin for the
+// tentpole: the second identical POST is served from the cache, its three
+// artifacts are byte-identical to the first response's, and no solver step
+// runs for it.
+func TestServerCacheHitByteIdenticalZeroSteps(t *testing.T) {
+	runs := 0
+	var mu sync.Mutex
+	counted := func(job Job, progress func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return RunJob(job, progress)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: counted})
+
+	body := `{"case":"airfoil","nodes":4,"steps":2,"scale":0.05}`
+	resp1, v1 := postJob(t, ts, body, "acme")
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST status %d", resp1.StatusCode)
+	}
+	if v1.Cache != string(CacheMiss) {
+		t.Fatalf("first POST cache = %q, want miss", v1.Cache)
+	}
+	done1 := waitDone(t, ts, v1.ID)
+	if done1.Status != "done" || done1.Cached {
+		t.Fatalf("first job: %+v", done1)
+	}
+	if done1.StepsExecuted != 2 {
+		t.Errorf("first job steps_executed = %d, want 2", done1.StepsExecuted)
+	}
+	first := map[string][]byte{}
+	for _, a := range []string{"tables", "trace", "metrics"} {
+		first[a] = getArtifact(t, ts, v1.ID, a)
+		if len(first[a]) == 0 {
+			t.Fatalf("artifact %s is empty", a)
+		}
+	}
+	stepsAfter1 := promCounter(t, ts, "overd_serve_solver_steps_total")
+	if stepsAfter1 != 2 {
+		t.Errorf("solver_steps_total = %g after first job, want 2", stepsAfter1)
+	}
+
+	// Identical job, different tenant, fields spelled in another order:
+	// must be a cache hit with byte-identical artifacts and zero steps.
+	resp2, v2 := postJob(t, ts, `{"scale":0.05,"steps":2,"nodes":4,"case":"airfoil"}`, "zenith")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST status %d, want 200 (cache hit)", resp2.StatusCode)
+	}
+	if v2.Cache != string(CacheHit) || !v2.Cached || v2.Status != "done" {
+		t.Fatalf("second POST: %+v, want an immediately-done cache hit", v2)
+	}
+	if v2.ID == v1.ID {
+		t.Error("cache hit reused the first job id")
+	}
+	if v2.Hash != v1.Hash {
+		t.Errorf("hashes differ: %s vs %s", v1.Hash, v2.Hash)
+	}
+	if v2.StepsExecuted != 0 {
+		t.Errorf("cache hit steps_executed = %d, want 0", v2.StepsExecuted)
+	}
+	for _, a := range []string{"tables", "trace", "metrics"} {
+		got := getArtifact(t, ts, v2.ID, a)
+		if !bytes.Equal(got, first[a]) {
+			t.Errorf("artifact %s differs between first run and cache hit", a)
+		}
+	}
+	mu.Lock()
+	if runs != 1 {
+		t.Errorf("runner executed %d times, want 1", runs)
+	}
+	mu.Unlock()
+	if got := promCounter(t, ts, "overd_serve_solver_steps_total"); got != stepsAfter1 {
+		t.Errorf("solver_steps_total moved %g -> %g on a cache hit", stepsAfter1, got)
+	}
+	if got := promCounter(t, ts, "overd_serve_cache_hits_total"); got != 1 {
+		t.Errorf("cache_hits_total = %g, want 1", got)
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_accepted_total"); got != 2 {
+		t.Errorf("jobs_accepted_total = %g, want 2", got)
+	}
+}
+
+// TestServerAdmissionControl pins the 429 path: with the single worker
+// pinned on a job and the queue at capacity, the next POST is rejected
+// with Retry-After, and succeeds once the queue drains.
+func TestServerAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+		started <- job.Tenant
+		<-release
+		return art(job.Case, 8), nil
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Runner: stub})
+	defer close(release)
+
+	mkBody := func(steps int) string {
+		return fmt.Sprintf(`{"case":"airfoil","steps":%d}`, steps)
+	}
+	resp, v1 := postJob(t, ts, mkBody(1), "acme")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST 1: status %d", resp.StatusCode)
+	}
+	<-started // worker is now pinned on job 1; queue is empty
+	for i := 2; i <= 3; i++ {
+		if resp, _ := postJob(t, ts, mkBody(i), "acme"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp4, v4 := postJob(t, ts, mkBody(4), "acme")
+	if resp4.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST: status %d, want 429", resp4.StatusCode)
+	}
+	if resp4.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if !strings.Contains(v4.Error, "queue full") {
+		t.Errorf("429 body: %s", v4.Error)
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_rejected_total"); got != 1 {
+		t.Errorf("jobs_rejected_total = %g, want 1", got)
+	}
+	// Draining the queue re-opens admission.
+	release <- struct{}{}
+	<-started // job 2 picked up; one slot free
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := postJob(t, ts, mkBody(4), "acme")
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission never re-opened after drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = v1
+}
+
+// TestServerTenantFairness pins round-robin scheduling: a tenant flooding
+// the queue cannot starve another tenant's single job — with one worker,
+// tenant B's job runs second, not last.
+func TestServerTenantFairness(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		order = append(order, job.Tenant)
+		mu.Unlock()
+		return art(job.Case, 8), nil
+	}
+	s := NewServer(Config{Workers: 1, QueueDepth: 16, Runner: stub})
+	// Queue everything before starting the worker so arrival order is
+	// deterministic: A floods three jobs, then B submits one.
+	var ids []string
+	for i, tenant := range []string{"flood", "flood", "flood", "patient"} {
+		j, err := Job{Case: "airfoil", Steps: i + 1, Tenant: tenant}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Tenant = tenant
+		js, cache, err := s.Submit(j)
+		if err != nil || cache != CacheMiss {
+			t.Fatalf("submit %d: cache=%v err=%v", i, cache, err)
+		}
+		ids = append(ids, js.id)
+	}
+	s.Start()
+	for _, id := range ids {
+		js, _ := s.Job(id)
+		select {
+		case <-js.done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("job %s never finished", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"flood", "patient", "flood", "flood"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("execution order %v, want %v (round-robin across tenants)", order, want)
+	}
+}
+
+// TestServerDedupInflight: an identical job submitted while the first is
+// still queued or running coalesces onto it instead of running twice.
+func TestServerDedupInflight(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	runs := 0
+	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		<-release
+		return art(job.Case, 8), nil
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: stub})
+	body := `{"case":"airfoil","steps":3}`
+	_, v1 := postJob(t, ts, body, "acme")
+	_, v2 := postJob(t, ts, body, "zenith")
+	if v2.Cache != string(CacheInflight) {
+		t.Fatalf("second POST cache = %q, want inflight", v2.Cache)
+	}
+	if v2.ID != v1.ID {
+		t.Errorf("dedup returned a different job id (%s vs %s)", v2.ID, v1.ID)
+	}
+	close(release)
+	waitDone(t, ts, v1.ID)
+	mu.Lock()
+	if runs != 1 {
+		t.Errorf("runner executed %d times, want 1", runs)
+	}
+	mu.Unlock()
+	if got := promCounter(t, ts, "overd_serve_jobs_deduped_total"); got != 1 {
+		t.Errorf("jobs_deduped_total = %g, want 1", got)
+	}
+}
+
+// TestServerEventsStream verifies the NDJSON progress stream: queued,
+// start, one step event per timestep (with virtual clock and snapshot),
+// and a terminal done event, after which the stream closes.
+func TestServerEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, v := postJob(t, ts, `{"case":"airfoil","nodes":4,"steps":2,"scale":0.05}`, "")
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var types []string
+	var steps []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		types = append(types, e.Type)
+		if e.Type == "step" {
+			steps = append(steps, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "queued,start,step,step,done"
+	if got := strings.Join(types, ","); got != want {
+		t.Fatalf("event sequence %q, want %q", got, want)
+	}
+	if len(steps) != 2 || steps[0].Step != 0 || steps[1].Step != 1 {
+		t.Errorf("step indices wrong: %+v", steps)
+	}
+	if steps[1].VClock <= steps[0].VClock || steps[0].VClock <= 0 {
+		t.Errorf("virtual clocks not increasing: %g then %g", steps[0].VClock, steps[1].VClock)
+	}
+	for i, e := range steps {
+		if e.Snapshot == nil {
+			t.Fatalf("step %d missing snapshot", i)
+		}
+		if e.Snapshot.MsgsSent <= 0 || e.Snapshot.Flow <= 0 {
+			t.Errorf("step %d snapshot looks empty: %+v", i, *e.Snapshot)
+		}
+	}
+}
+
+// TestServerHTTPErrors covers the API's refusal paths.
+func TestServerHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Invalid job.
+	resp, v := postJob(t, ts, `{"case":"wing47"}`, "")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(v.Error, "wing47") {
+		t.Errorf("bad case: status %d body %s", resp.StatusCode, v.Error)
+	}
+	// Unknown field (typo protection for the cache key).
+	if resp, _ := postJob(t, ts, `{"case":"airfoil","scael":2}`, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+	// Unknown job id.
+	for _, path := range []string{"/jobs/j-999999", "/jobs/j-999999/result", "/jobs/j-999999/events"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, r.StatusCode)
+		}
+	}
+	// Result of an unfinished job is 202 with status, not an artifact.
+	relDone := make(chan struct{})
+	defer close(relDone)
+	_, ts2 := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+		<-relDone
+		return art("a", 4), nil
+	}})
+	_, v2 := postJob(t, ts2, `{"case":"airfoil"}`, "")
+	r2, err := http.Get(ts2.URL + "/jobs/" + v2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusAccepted {
+		t.Errorf("unfinished result: status %d, want 202", r2.StatusCode)
+	}
+	// Bad artifact name on a finished job.
+	_, ts3 := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+		return art("a", 4), nil
+	}})
+	_, v3 := postJob(t, ts3, `{"case":"airfoil"}`, "")
+	waitDone(t, ts3, v3.ID)
+	r3, err := http.Get(ts3.URL + "/jobs/" + v3.ID + "/result?artifact=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus artifact: status %d, want 400", r3.StatusCode)
+	}
+}
+
+// TestServerFailedJob surfaces runner errors as a failed status and a 409
+// result.
+func TestServerFailedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	}})
+	_, v := postJob(t, ts, `{"case":"airfoil"}`, "")
+	done := waitDone(t, ts, v.ID)
+	if done.Status != "failed" || !strings.Contains(done.Error, "synthetic failure") {
+		t.Fatalf("job = %+v, want failed with synthetic failure", done)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("failed job result: status %d, want 409", r.StatusCode)
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_failed_total"); got != 1 {
+		t.Errorf("jobs_failed_total = %g, want 1", got)
+	}
+}
+
+// TestServerPersistentCacheAcrossRestart: with a cache directory, a new
+// server instance serves a previous instance's results byte-identically.
+func TestServerPersistentCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"case":"airfoil","nodes":4,"steps":2,"scale":0.05}`
+
+	_, ts1 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	_, v1 := postJob(t, ts1, body, "")
+	waitDone(t, ts1, v1.ID)
+	tables1 := getArtifact(t, ts1, v1.ID, "tables")
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	resp, v2 := postJob(t, ts2, body, "")
+	if resp.StatusCode != http.StatusOK || v2.Cache != string(CacheHit) {
+		t.Fatalf("restarted server: status %d cache %q, want 200 hit", resp.StatusCode, v2.Cache)
+	}
+	if !bytes.Equal(getArtifact(t, ts2, v2.ID, "tables"), tables1) {
+		t.Error("persistent cache returned different bytes after restart")
+	}
+}
+
+// TestServerShutdownDrains: Shutdown waits for queued jobs to finish.
+func TestServerShutdownDrains(t *testing.T) {
+	var mu sync.Mutex
+	ran := 0
+	s := NewServer(Config{Workers: 2, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return art(job.Case, 4), nil
+	}})
+	for i := 1; i <= 4; i++ {
+		j, err := Job{Case: "airfoil", Steps: i}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 4 {
+		t.Errorf("shutdown drained %d jobs, want 4", ran)
+	}
+	if _, _, err := s.Submit(Job{Case: "airfoil", Machine: "SP2", Nodes: 8, Steps: 9, Scale: 1, CheckEvery: 5}); err != ErrShuttingDown {
+		t.Errorf("post-shutdown Submit error = %v, want ErrShuttingDown", err)
+	}
+}

@@ -104,6 +104,79 @@ func EmitPerfTableJSON(w io.Writer, table string, t *PerfTable) error {
 	return EmitRowsJSON(w, table+".fig.SP", t.FigSP)
 }
 
+// RunRow is the summary row of a single run, emitted (with table id "run")
+// at the head of a job's tables artifact by EmitRunJSON. Every field is a
+// pure function of the run's configuration, so the encoded bytes are too.
+type RunRow struct {
+	Case       string  `json:"case"`
+	Machine    string  `json:"machine"`
+	Nodes      int     `json:"nodes"`
+	Steps      int     `json:"steps"`
+	TotalTime  float64 `json:"total_time"`
+	Flow       float64 `json:"flow"`
+	Motion     float64 `json:"motion"`
+	Connect    float64 `json:"connect"`
+	Balance    float64 `json:"balance"`
+	Mflops     float64 `json:"mflops_per_node"`
+	PctConnect float64 `json:"pct_dcf3d"`
+	IGBPs      int     `json:"igbps"`
+	Orphans    int     `json:"orphans"`
+	Rebalances int     `json:"rebalances"`
+	Recoveries int     `json:"recoveries"`
+	FinalNodes int     `json:"final_nodes"`
+}
+
+// RunStepRow is one timestep's phase breakdown in a job's tables artifact
+// (table id "run.steps").
+type RunStepRow struct {
+	Step    int     `json:"step"`
+	Flow    float64 `json:"flow"`
+	Motion  float64 `json:"motion"`
+	Connect float64 `json:"connect"`
+	Balance float64 `json:"balance"`
+	IGBPs   int     `json:"igbps"`
+	MaxF    float64 `json:"max_f"`
+}
+
+// EmitRunJSON writes one run's summary and per-step rows as JSON lines in
+// the same tagged-row format as EmitTablesJSON, so a job's artifact and a
+// table sweep's output concatenate cleanly. It shares EmitRowsJSON's
+// sanitization, and — like the golden tables — its bytes are a pure
+// function of the run's request, which is what lets the serve layer cache
+// them content-addressed.
+func EmitRunJSON(w io.Writer, res *Result) error {
+	summary := RunRow{
+		Case:       res.Config.Case.Name,
+		Machine:    res.Config.Machine.Name,
+		Nodes:      res.Config.Nodes,
+		Steps:      len(res.Steps),
+		TotalTime:  res.TotalTime,
+		Flow:       res.FlowTime,
+		Motion:     res.MotionTime,
+		Connect:    res.ConnectTime,
+		Balance:    res.BalanceTime,
+		Mflops:     res.MflopsPerNode(),
+		PctConnect: res.PctConnect(),
+		IGBPs:      res.IGBPs,
+		Orphans:    res.Orphans,
+		Rebalances: res.Rebalances,
+		Recoveries: res.Recoveries,
+		FinalNodes: res.FinalNodes,
+	}
+	if err := EmitRowsJSON(w, "run", []RunRow{summary}); err != nil {
+		return err
+	}
+	steps := make([]RunStepRow, len(res.Steps))
+	for i, s := range res.Steps {
+		steps[i] = RunStepRow{
+			Step: i, Flow: s.Flow, Motion: s.Motion,
+			Connect: s.Connect, Balance: s.Balance,
+			IGBPs: s.IGBPs, MaxF: s.MaxF,
+		}
+	}
+	return EmitRowsJSON(w, "run.steps", steps)
+}
+
 // EmitTablesJSON runs the selected tables (in fixed 1,2,3,4,5,5f,6 order)
 // and writes their rows as JSON lines. This is the single code path behind
 // `tables -json` and the bit-identity golden test: any change to the
