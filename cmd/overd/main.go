@@ -51,6 +51,7 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 0, "job-service worker-pool size (0 = default)")
 	serveQueue := flag.Int("serve-queue", 0, "job-service admission queue depth (0 = default)")
 	serveCacheDir := flag.String("serve-cache-dir", "", "job-service persistent result-cache directory (empty = memory only)")
+	serveJournalDir := flag.String("serve-journal-dir", "", "job-service durable journal directory: admitted jobs are fsync'd and replayed after a crash (empty = no journal)")
 	flag.Parse()
 
 	if *serveAddr != "" && *metricsOut == "" {
@@ -63,7 +64,8 @@ func main() {
 		defer stop()
 		err := runJobService(ctx, *serveAddr, serve.Config{
 			Workers: *serveWorkers, QueueDepth: *serveQueue,
-			CacheDir: *serveCacheDir,
+			CacheDir: *serveCacheDir, JournalDir: *serveJournalDir,
+			Logf: log.Printf,
 		}, func(bound string) {
 			fmt.Printf("overd job service on http://%s — POST /jobs, GET /jobs/{id}[/result|/events], /metrics (SIGINT/SIGTERM drains and exits)\n", bound)
 		})

@@ -62,7 +62,11 @@ func runJobService(ctx context.Context, addr string, cfg serve.Config, ready fun
 	if err != nil {
 		return fmt.Errorf("-serve %s: %v", addr, err)
 	}
-	s := serve.NewServer(cfg)
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	s.Start()
 	hs := &http.Server{Handler: s.Handler()}
 	served := make(chan error, 1)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestInterruptStopsRun: the hook's error surfaces as an InterruptError
+// naming the boundary step, and the collective loop exits on every rank
+// (the run returns instead of deadlocking on a barrier).
+func TestInterruptStopsRun(t *testing.T) {
+	sentinel := errors.New("caller went away")
+	var polled []int
+	cfg := smallAirfoil(3, math.Inf(1), 6)
+	cfg.Interrupt = func(step int) error {
+		polled = append(polled, step)
+		if step >= 1 {
+			return sentinel
+		}
+		return nil
+	}
+	res, err := Run(cfg)
+	if res != nil {
+		t.Errorf("interrupted run returned a result: %+v", res)
+	}
+	var ie *InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want an InterruptError", err)
+	}
+	if ie.Step != 1 {
+		t.Errorf("interrupted at step %d, want 1", ie.Step)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("InterruptError does not unwrap to the hook's error: %v", err)
+	}
+	// Rank 0 polls each completed step until the stop: steps 0 and 1.
+	if want := []int{0, 1}; !reflect.DeepEqual(polled, want) {
+		t.Errorf("polled steps %v, want %v", polled, want)
+	}
+}
+
+// TestInterruptNilReturnIsFree pins the clock contract: a hook that never
+// stops the run must leave every measured number bit-identical to a run
+// with no hook at all — the poll is host-side and charges nothing to the
+// virtual clocks.
+func TestInterruptNilReturnIsFree(t *testing.T) {
+	plain, err := Run(smallAirfoil(3, 2.0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallAirfoil(3, 2.0, 5)
+	polls := 0
+	cfg.Interrupt = func(step int) error {
+		polls++
+		return nil
+	}
+	hooked, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls != 4 {
+		// Every step boundary except the final step's.
+		t.Errorf("hook polled %d times, want 4", polls)
+	}
+	// The embedded Config legitimately differs (case pointer, hook pointer);
+	// every measured number must not.
+	plain.Config = Config{}
+	hooked.Config = Config{}
+	if !reflect.DeepEqual(plain, hooked) {
+		t.Errorf("a never-stopping Interrupt hook changed the result:\nplain:  %+v\nhooked: %+v",
+			plain, hooked)
+	}
+}

@@ -74,7 +74,36 @@ type Config struct {
 	// advances a virtual clock, so attaching it leaves runs bit-identical;
 	// on a crash-restart attempt, re-executed steps fire it again.
 	OnStep func(step int, stats StepStats, vclock float64)
+	// Interrupt, when non-nil, is the run's cancellation hook: rank 0
+	// polls it at each step boundary (after that step's OnStep) with the
+	// 0-based step index. Returning a non-nil error stops the run cleanly
+	// — every rank exits the timestep loop at the same boundary, the
+	// world's goroutines join, and Run returns an *InterruptError wrapping
+	// the hook's error instead of a Result. The hook runs on the host wall
+	// clock and is never charged to a virtual clock, so a hook that keeps
+	// returning nil (or a nil hook) leaves the run bit-identical; it is
+	// how the job service threads a context.Context's deadline or a
+	// DELETE /jobs cancellation into a running solve without perturbing
+	// uncancelled runs. The final step is never polled — a run that
+	// reaches it completes.
+	Interrupt func(step int) error
 }
+
+// InterruptError reports a run stopped by Config.Interrupt. Unwrap exposes
+// the hook's error so callers can classify the cause with errors.Is (e.g.
+// context.Canceled vs context.DeadlineExceeded).
+type InterruptError struct {
+	// Step is the 0-based step boundary at which the hook fired.
+	Step int
+	// Err is the hook's error.
+	Err error
+}
+
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("core: run interrupted at step %d: %v", e.Step, e.Err)
+}
+
+func (e *InterruptError) Unwrap() error { return e.Err }
 
 // StepStats records one timestep's virtual-time breakdown (seconds, equal
 // across ranks because modules are barrier-separated).
@@ -283,6 +312,9 @@ func Run(cfg Config) (*Result, error) {
 			rec.faultWait += rk.TotalFaultWaitTime()
 		}
 		if err == nil {
+			if st.stopErr != nil {
+				return nil, &InterruptError{Step: st.stopStep, Err: st.stopErr}
+			}
 			res := rec.merge(st.finish())
 			rollupMetrics(cfg, res)
 			return res, nil
@@ -433,6 +465,12 @@ type runState struct {
 	measStart float64
 	preFlops  []float64
 	preMod    [8]float64
+	// Interrupt outcome: rank 0 writes these between the post-balance
+	// barrier and the trailing step barrier (peers quiescent); every rank
+	// reads them at the next step boundary, after that barrier's
+	// happens-before edge, so all ranks leave the loop together.
+	stopErr  error
+	stopStep int
 }
 
 func newRunState(cfg Config, plan *balance.Plan) *runState {

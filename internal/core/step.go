@@ -90,6 +90,13 @@ func (st *runState) rankMain(r *par.Rank) {
 
 	// ---- Timestep loop. ----
 	for step := st.startStep; step < st.cfg.Steps; step++ {
+		if st.stopErr != nil {
+			// Interrupted: rank 0 set stopErr during the previous step and
+			// the trailing barrier every rank just crossed published it, so
+			// all ranks break at the same boundary and fall through to the
+			// joint post-loop collectives.
+			break
+		}
 		if st.eng != nil {
 			// Scheduled rank crashes fire at the top of the step, where the
 			// module barriers have just equalized every clock; the panic is
@@ -171,6 +178,15 @@ func (st *runState) rankMain(r *par.Rank) {
 			publishStepMetrics(r.MetricsRegistry(), maxF, igbps, r.Clock)
 			if st.cfg.OnStep != nil {
 				st.cfg.OnStep(step, st.stats[len(st.stats)-1], r.Clock)
+			}
+			if st.cfg.Interrupt != nil && step+1 < st.cfg.Steps {
+				// Cancellation poll: host-side only, never charged to a
+				// virtual clock. Skipped on the final step — the run is
+				// about to complete anyway.
+				if err := st.cfg.Interrupt(step); err != nil {
+					st.stopErr = err
+					st.stopStep = step
+				}
 			}
 			if step == st.cfg.Steps-1 {
 				// End-of-run capture from the same snapshot, so phase

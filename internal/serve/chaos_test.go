@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Chaos harness: seeded randomized schedules of worker panics, client
+// cancellations, and simulated kill -9 restarts against one journal+cache
+// directory pair. Invariants checked per schedule:
+//
+//  1. durability — every admitted job reaches exactly one terminal
+//     journal marker; none is lost and none completes twice;
+//  2. no zombie runs — once a job's done marker is durable, no later
+//     incarnation ever invokes the runner for that job again;
+//  3. byte-identity — artifacts of completed jobs equal the
+//     deterministic oracle for their request, no matter how many crashes
+//     and replays happened in between;
+//  4. metrics/journal reconciliation — each incarnation's failed and
+//     cancelled counters equal the markers it wrote.
+
+// chaosArt is the oracle: the artifacts a job's run must produce, as a
+// pure function of the request.
+func chaosArt(job Job) *Artifacts {
+	tag := fmt.Sprintf("chaos:%s:%d:%g", job.Case, job.Steps, job.Scale)
+	return &Artifacts{
+		Tables:  []byte(tag + ":tables"),
+		Trace:   []byte(tag + ":trace"),
+		Metrics: []byte(tag + ":metrics"),
+		Steps:   job.Steps,
+	}
+}
+
+// parseWAL reads every whole record currently in the journal file,
+// tolerating only a torn final line (mirrors replayJournal's contract).
+func parseWAL(t *testing.T, path string) []journalRecord {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []journalRecord
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			if i == len(lines)-1 {
+				continue // torn tail
+			}
+			t.Fatalf("journal line %d corrupt: %v", i+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func TestChaosSchedules(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosSchedule(t, int64(seed))
+		})
+	}
+}
+
+func runChaosSchedule(t *testing.T, seed int64) {
+	jdir, cdir := t.TempDir(), t.TempDir()
+	walPath := filepath.Join(jdir, journalName)
+	rng := rand.New(rand.NewSource(0x9E3779B9 ^ seed))
+	var rmu sync.Mutex
+	rnd := func(n int) int {
+		rmu.Lock()
+		defer rmu.Unlock()
+		return rng.Intn(n)
+	}
+
+	// Runner invocations tagged with the server incarnation they ran in.
+	type invocation struct {
+		incarnation int
+		hash        string
+	}
+	var imu sync.Mutex
+	curInc := 0
+	var invocations []invocation
+	runner := func(ctx context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		imu.Lock()
+		invocations = append(invocations, invocation{curInc, job.Hash()})
+		imu.Unlock()
+		if rnd(100) < 25 {
+			panic(fmt.Sprintf("chaos panic (seed %d)", seed))
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(1+rnd(10)) * time.Millisecond):
+		}
+		return chaosArt(job), nil
+	}
+
+	hashOf := map[string]string{} // admitted id -> job hash
+	doneIn := map[string]int{}    // id -> incarnation whose journal holds its terminal marker
+	var allIDs []string
+
+	incarnations := 2 + rnd(3)
+	nextSteps := 1
+	for inc := 0; inc < incarnations; inc++ {
+		imu.Lock()
+		curInc = inc
+		imu.Unlock()
+		s, err := NewServer(Config{
+			Workers: 2, JournalDir: jdir, CacheDir: cdir,
+			RetryBackoff: time.Millisecond, Runner: runner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Startup compaction rewrites the WAL to meta + pending admits
+		// only: any marker seen later was written by THIS incarnation.
+		for _, r := range parseWAL(t, walPath) {
+			if r.Type == "done" {
+				t.Fatalf("incarnation %d: compacted journal still holds a %s marker for %s",
+					inc, r.Status, r.ID)
+			}
+		}
+		s.Start()
+
+		for n := 3 + rnd(6); n > 0; n-- {
+			j, err := Job{Case: "airfoil", Steps: nextSteps}.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nextSteps++
+			js, _, err := s.Submit(j)
+			if err != nil {
+				t.Fatalf("incarnation %d: submit: %v", inc, err)
+			}
+			allIDs = append(allIDs, js.id)
+		}
+		for n := rnd(3); n > 0; n-- {
+			s.Cancel(allIDs[rnd(len(allIDs))]) // unknown/finished errors are part of the chaos
+		}
+
+		last := inc == incarnations-1
+		if !last {
+			time.Sleep(time.Duration(rnd(15)) * time.Millisecond)
+			s.kill()
+		} else {
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				s.mu.Lock()
+				pending := 0
+				for _, js := range s.jobs {
+					if js.status == StatusQueued || js.status == StatusRunning {
+						pending++
+					}
+				}
+				s.mu.Unlock()
+				if pending == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("final incarnation never drained")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := s.Shutdown(ctx); err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+		}
+
+		// Post-mortem: the journal is the ground truth for what this
+		// incarnation durably admitted and completed.
+		var failedMarks, cancelledMarks float64
+		seenMark := map[string]bool{}
+		for _, r := range parseWAL(t, walPath) {
+			switch r.Type {
+			case "admit":
+				if _, known := hashOf[r.ID]; !known {
+					var job Job
+					if err := json.Unmarshal(r.Job, &job); err != nil {
+						t.Fatalf("admit %s: %v", r.ID, err)
+					}
+					hashOf[r.ID] = job.Hash()
+				}
+			case "done":
+				if seenMark[r.ID] {
+					t.Errorf("incarnation %d wrote two terminal markers for %s", inc, r.ID)
+				}
+				seenMark[r.ID] = true
+				if prev, dup := doneIn[r.ID]; dup {
+					t.Errorf("job %s reached terminal state in incarnations %d and %d — completed twice",
+						r.ID, prev, inc)
+				}
+				doneIn[r.ID] = inc
+				switch r.Status {
+				case StatusFailed:
+					failedMarks++
+				case StatusCancelled:
+					cancelledMarks++
+				}
+			}
+		}
+		if got := s.reg.CounterValue("overd_serve_jobs_failed_total", 0); got != failedMarks {
+			t.Errorf("incarnation %d: jobs_failed_total = %g, journal holds %g failed markers",
+				inc, got, failedMarks)
+		}
+		if got := s.reg.CounterValue("overd_serve_jobs_cancelled_total", 0); got != cancelledMarks {
+			t.Errorf("incarnation %d: jobs_cancelled_total = %g, journal holds %g cancelled markers",
+				inc, got, cancelledMarks)
+		}
+
+		if last {
+			// Durability: every job ever admitted reached a terminal marker.
+			for id := range hashOf {
+				if _, terminal := doneIn[id]; !terminal {
+					t.Errorf("admitted job %s has no terminal marker after the final drain", id)
+				}
+			}
+			// Byte-identity: completed jobs' artifacts match the oracle,
+			// crash-replays and cache hits included.
+			s.mu.Lock()
+			for id, js := range s.jobs {
+				if js.status != StatusDone {
+					continue
+				}
+				want := chaosArt(js.job)
+				if string(js.art.Tables) != string(want.Tables) ||
+					string(js.art.Trace) != string(want.Trace) ||
+					string(js.art.Metrics) != string(want.Metrics) {
+					t.Errorf("job %s artifacts differ from the oracle", id)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+
+	// No zombie runs: once a hash's job had a durable done marker, no
+	// later incarnation may have invoked the runner for it.
+	doneHashIn := map[string]int{}
+	for id, inc := range doneIn {
+		h := hashOf[id]
+		if prev, ok := doneHashIn[h]; !ok || inc < prev {
+			doneHashIn[h] = inc
+		}
+	}
+	imu.Lock()
+	defer imu.Unlock()
+	for _, inv := range invocations {
+		if markInc, ok := doneHashIn[inv.hash]; ok && inv.incarnation > markInc {
+			t.Errorf("hash %.12s ran in incarnation %d after its terminal marker in incarnation %d",
+				inv.hash, inv.incarnation, markInc)
+		}
+	}
+}

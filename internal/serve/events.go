@@ -5,7 +5,9 @@ import "sync"
 // Event is one progress record on a job's event stream, serialized as one
 // NDJSON line on GET /jobs/{id}/events.
 type Event struct {
-	// Type is queued, start, step, done or error.
+	// Type is queued, replayed (re-queued from the journal after a
+	// restart), start, step, retry (infrastructure failure given its one
+	// retry), done, cancelled or error.
 	Type string `json:"type"`
 	// Step and VClock carry a step event's index and rank-0 virtual clock.
 	Step   int     `json:"step,omitempty"`

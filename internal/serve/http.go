@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 )
 
 // jobView is the JSON shape of a job on POST /jobs and GET /jobs/{id}.
@@ -28,6 +29,11 @@ type jobView struct {
 	// artifacts: 0 for cache hits.
 	StepsExecuted int    `json:"steps_executed"`
 	Error         string `json:"error,omitempty"`
+	// Attempts counts runner invocations: 2 after the one infrastructure
+	// retry, 0 while still queued.
+	Attempts int `json:"attempts,omitempty"`
+	// Replayed marks a job re-queued from the journal after a restart.
+	Replayed bool `json:"replayed,omitempty"`
 	// Canonical is the canonical request the hash covers (POST only).
 	Canonical json.RawMessage `json:"canonical,omitempty"`
 }
@@ -38,6 +44,7 @@ func (s *Server) view(js *jobState, cache CacheStatus, withCanonical bool) jobVi
 		ID: js.id, Hash: js.hash, Tenant: js.tenant,
 		Status: js.status, Cache: cache, Cached: js.cached,
 		QueuePosition: -1, Error: js.errMsg,
+		Attempts: js.attempts, Replayed: js.replayed,
 	}
 	if js.art != nil {
 		if js.cached {
@@ -58,16 +65,18 @@ func (s *Server) view(js *jobState, cache CacheStatus, withCanonical bool) jobVi
 
 // Handler returns the service's HTTP API:
 //
-//	POST /jobs               submit a job (409s, 429s and 400s explained in README)
-//	GET  /jobs/{id}          status and queue position
-//	GET  /jobs/{id}/result   artifact metadata, or ?artifact=tables|trace|metrics raw bytes
-//	GET  /jobs/{id}/events   NDJSON progress stream until the job finishes
-//	GET  /metrics            server counters (Prometheus text, ?format=json for JSON)
+//	POST   /jobs               submit a job (409s, 429s, 400s and 503s explained in README)
+//	GET    /jobs/{id}          status and queue position
+//	DELETE /jobs/{id}          cancel (202 accepted, 409 already finished, 404 unknown)
+//	GET    /jobs/{id}/result   artifact metadata, or ?artifact=tables|trace|metrics raw bytes
+//	GET    /jobs/{id}/events   NDJSON progress stream until the job finishes
+//	GET    /metrics            server counters (Prometheus text, ?format=json for JSON)
 //	/debug/vars, /debug/pprof/...  host-process introspection
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -102,7 +111,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
 		return
 	}
-	job, err := ParseJob(body)
+	job, err := ParseJobLimits(body, s.cfg.Limits)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -115,12 +124,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	js, cache, err := s.Submit(job)
 	var full ErrQueueFull
+	var wont ErrWontMeetDeadline
 	switch {
 	case errors.As(err, &full):
 		w.Header().Set("Retry-After", strconv.Itoa(full.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
-	case errors.Is(err, ErrShuttingDown):
+	case errors.As(err, &wont):
+		w.Header().Set("Retry-After", strconv.Itoa(wont.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrJournalUnavailable):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -143,6 +157,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.view(js, "", false))
 }
 
+// handleCancel is DELETE /jobs/{id}: 404 for an unknown id, 409 when the
+// job already finished (its result is not revoked), 202 when the
+// cancellation took — immediately for a queued job, at the next solver
+// step boundary for a running one.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, err := s.Cancel(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	case errors.Is(err, ErrJobFinished):
+		js, _ := s.Job(id)
+		writeJSON(w, http.StatusConflict, s.view(js, "", false))
+		return
+	}
+	js, _ := s.Job(id)
+	writeJSON(w, http.StatusAccepted, s.view(js, "", false))
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -158,6 +192,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	case StatusFailed:
 		writeError(w, http.StatusConflict, "job %s failed: %s", js.id, errMsg)
+		return
+	case StatusCancelled:
+		writeError(w, http.StatusConflict, "job %s was cancelled: %s", js.id, errMsg)
 		return
 	}
 	switch name := r.URL.Query().Get("artifact"); name {
@@ -189,6 +226,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams a job's NDJSON event log. The handler defends
+// itself against slow or vanished clients: every write runs under a per-
+// write deadline (Config.EventWriteTimeout) via the response controller,
+// and the first write error — timeout, reset connection, anything — drops
+// the subscriber instead of letting it pin a handler goroutine for the
+// life of the job.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -197,13 +240,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	s.mu.Lock()
+	s.subscribers++
+	s.mu.Unlock()
+	rc := http.NewResponseController(w)
+	dropped := false
+	defer func() {
+		// Clear the write deadline so the server's own response teardown
+		// (chunked-encoding trailer) is not caught by a stale deadline.
+		_ = rc.SetWriteDeadline(time.Time{})
+		s.mu.Lock()
+		s.subscribers--
+		s.mu.Unlock()
+		if dropped {
+			s.subDropped.Add(0, 1)
+		}
+	}()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	next := 0
 	for {
 		evs, closed, grown := js.events.from(next)
 		for _, e := range evs {
+			// SetWriteDeadline is a no-op error on recorders/test writers
+			// that lack the hook; the encode error is the real tripwire.
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.EventWriteTimeout))
 			if err := enc.Encode(e); err != nil {
+				dropped = true
 				return
 			}
 		}

@@ -58,10 +58,53 @@ type Job struct {
 	// plan (it would be dead weight in the cache key).
 	Seed int64 `json:"seed,omitempty"`
 
+	// Deadline is a wall-clock budget in seconds: the job is cancelled if
+	// it is still running past it, and rejected at admission (503) when
+	// the estimated queue wait alone already exceeds it. 0 means none.
+	// Like Tenant, it is excluded from the canonical form: how long the
+	// caller is willing to wait does not change what the result is.
+	Deadline float64 `json:"deadline,omitempty"`
+	// MaxSteps caps the solver timesteps spent on this job (a compute
+	// budget: the run is cancelled, not truncated-and-returned, when it
+	// would exceed it). 0 means unlimited. Excluded from the canonical
+	// form for the same reason as Deadline.
+	MaxSteps int `json:"max_steps,omitempty"`
+
 	// Tenant is the fairness bucket the job is scheduled under. Filled
 	// from the X-Overd-Tenant header when absent; excluded from the
 	// canonical form and the hash.
 	Tenant string `json:"tenant,omitempty"`
+}
+
+// Limits caps the resources one job may request, so an absurd submission
+// gets a clear 400 instead of attempting a giant world build. Zero values
+// pick the package defaults (DefaultLimits); -1 disables a single cap.
+type Limits struct {
+	// MaxNodes caps the simulated processor count.
+	MaxNodes int
+	// MaxSteps caps the requested timestep count.
+	MaxSteps int
+	// MaxScale caps the gridpoint budget multiplier.
+	MaxScale float64
+}
+
+// DefaultLimits is the admission guard applied when a Limits field is zero:
+// generous enough for every paper table at severalfold scale, small enough
+// that a typo ("nodes": 1000000) cannot take the service down.
+var DefaultLimits = Limits{MaxNodes: 256, MaxSteps: 10000, MaxScale: 64}
+
+// withDefaults fills zero fields from DefaultLimits and maps -1 to "off".
+func (l Limits) withDefaults() Limits {
+	if l.MaxNodes == 0 {
+		l.MaxNodes = DefaultLimits.MaxNodes
+	}
+	if l.MaxSteps == 0 {
+		l.MaxSteps = DefaultLimits.MaxSteps
+	}
+	if l.MaxScale == 0 {
+		l.MaxScale = DefaultLimits.MaxScale
+	}
+	return l
 }
 
 // tableOrder is the fixed canonical order of table ids, matching
@@ -82,12 +125,19 @@ func caseByName(name string) (func(scale float64) *overd.Case, error) {
 	return nil, fmt.Errorf("unknown case %q (valid: airfoil, deltawing, storesep)", name)
 }
 
-// Normalize validates the job and returns a canonical copy: defaults
-// filled, machine name resolved to its canonical spelling, table selection
-// deduplicated and sorted into emission order, empty fault plans dropped,
-// the seed folded into the plan, and the tenant stripped. Two jobs that
-// mean the same run normalize to identical structs.
+// Normalize validates the job under the default resource limits and
+// returns a canonical copy: defaults filled, machine name resolved to its
+// canonical spelling, table selection deduplicated and sorted into emission
+// order, empty fault plans dropped, the seed folded into the plan, and the
+// tenant stripped. Two jobs that mean the same run normalize to identical
+// structs.
 func (j Job) Normalize() (Job, error) {
+	return j.NormalizeLimits(Limits{})
+}
+
+// NormalizeLimits is Normalize under server-configured resource caps.
+func (j Job) NormalizeLimits(lim Limits) (Job, error) {
+	lim = lim.withDefaults()
 	n := j
 	n.Tenant = ""
 
@@ -111,17 +161,26 @@ func (j Job) Normalize() (Job, error) {
 	if n.Nodes < 0 {
 		return n, fmt.Errorf("job: nodes %d: the simulated machine needs at least one processor", n.Nodes)
 	}
+	if lim.MaxNodes > 0 && n.Nodes > lim.MaxNodes {
+		return n, fmt.Errorf("job: nodes %d exceeds this server's limit of %d", n.Nodes, lim.MaxNodes)
+	}
 	if n.Steps == 0 {
 		n.Steps = 5
 	}
 	if n.Steps < 0 {
 		return n, fmt.Errorf("job: steps %d: the timestep count must be positive", n.Steps)
 	}
+	if lim.MaxSteps > 0 && n.Steps > lim.MaxSteps {
+		return n, fmt.Errorf("job: steps %d exceeds this server's limit of %d", n.Steps, lim.MaxSteps)
+	}
 	if n.Scale == 0 {
 		n.Scale = 1
 	}
 	if n.Scale < 0 {
 		return n, fmt.Errorf("job: scale %g: the gridpoint budget multiplier must be positive", n.Scale)
+	}
+	if lim.MaxScale > 0 && n.Scale > lim.MaxScale {
+		return n, fmt.Errorf("job: scale %g exceeds this server's limit of %g", n.Scale, lim.MaxScale)
 	}
 	if n.Fo < 0 {
 		return n, fmt.Errorf("job: fo %g: the load-balance factor cannot be negative (0 disables)", n.Fo)
@@ -171,14 +230,27 @@ func (j Job) Normalize() (Job, error) {
 	if n.CheckpointEvery < 0 {
 		n.CheckpointEvery = -1 // all negatives mean the same thing: off
 	}
+	if n.Deadline < 0 {
+		return n, fmt.Errorf("job: deadline %g: the wall-clock budget cannot be negative (0 means none)", n.Deadline)
+	}
+	if n.MaxSteps < 0 {
+		return n, fmt.Errorf("job: max_steps %d: the step budget cannot be negative (0 means unlimited)", n.MaxSteps)
+	}
+	if n.MaxSteps > 0 && n.MaxSteps < n.Steps {
+		return n, fmt.Errorf("job: max_steps %d is below the %d steps the run needs; it would always be cancelled", n.MaxSteps, n.Steps)
+	}
 	return n, nil
 }
 
-// Canonical returns the canonical JSON bytes of the job (tenant excluded).
-// It must be called on a normalized job; field order is the struct
-// declaration order, which encoding/json emits deterministically.
+// Canonical returns the canonical JSON bytes of the job. It must be called
+// on a normalized job; field order is the struct declaration order, which
+// encoding/json emits deterministically. Tenant, Deadline and MaxSteps are
+// excluded: they say who wants the result and how long they'll wait, not
+// what the result is, so jobs differing only there share one cache entry.
 func (j Job) Canonical() []byte {
 	j.Tenant = ""
+	j.Deadline = 0
+	j.MaxSteps = 0
 	b, err := json.Marshal(j)
 	if err != nil {
 		// Job has no cyclic or non-marshalable fields; this is unreachable.
@@ -194,10 +266,16 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// ParseJob decodes, validates and normalizes a JSON job request. Unknown
-// fields are rejected so that a typo ("scael") cannot silently select the
-// default and collide with a different job's cache entry.
+// ParseJob decodes, validates and normalizes a JSON job request under the
+// default resource limits. Unknown fields are rejected so that a typo
+// ("scael") cannot silently select the default and collide with a
+// different job's cache entry.
 func ParseJob(data []byte) (Job, error) {
+	return ParseJobLimits(data, Limits{})
+}
+
+// ParseJobLimits is ParseJob under server-configured resource caps.
+func ParseJobLimits(data []byte, lim Limits) (Job, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var j Job
@@ -205,7 +283,7 @@ func ParseJob(data []byte) (Job, error) {
 		return j, fmt.Errorf("job: parsing request: %v", err)
 	}
 	tenant := j.Tenant
-	n, err := j.Normalize()
+	n, err := j.NormalizeLimits(lim)
 	if err != nil {
 		return n, err
 	}

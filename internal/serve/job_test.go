@@ -31,9 +31,11 @@ func TestJobHashInvariance(t *testing.T) {
 		{Case: "airfoil", Machine: "SP2"},
 		{Case: "airfoil", Nodes: 8, Steps: 5},
 		{Case: "airfoil", Scale: 1, CheckEvery: 5},
-		{Case: "airfoil", Tenant: "acme"},     // tenant is not identity
-		{Case: "airfoil", Tenant: "zenith"},   // neither is a different tenant
+		{Case: "airfoil", Tenant: "acme"},             // tenant is not identity
+		{Case: "airfoil", Tenant: "zenith"},           // neither is a different tenant
 		{Case: "airfoil", Faults: &overd.FaultPlan{}}, // empty plan = no plan
+		{Case: "airfoil", Deadline: 30},               // how long the caller waits…
+		{Case: "airfoil", MaxSteps: 100},              // …and their budget aren't identity
 	}
 	for i, j := range same {
 		n, err := j.Normalize()
@@ -122,6 +124,12 @@ func TestJobValidationErrors(t *testing.T) {
 		{"negative check", Job{Case: "airfoil", CheckEvery: -1}, "must be positive"},
 		{"bad table", Job{Case: "airfoil", Tables: []string{"9"}}, `unknown table "9"`},
 		{"seed without faults", Job{Case: "airfoil", Seed: 7}, "without a fault plan"},
+		{"nodes over limit", Job{Case: "airfoil", Nodes: 1000000}, "exceeds this server's limit of 256"},
+		{"steps over limit", Job{Case: "airfoil", Steps: 99999}, "exceeds this server's limit of 10000"},
+		{"scale over limit", Job{Case: "airfoil", Scale: 1e6}, "exceeds this server's limit of 64"},
+		{"negative deadline", Job{Case: "airfoil", Deadline: -3}, "cannot be negative"},
+		{"negative max_steps", Job{Case: "airfoil", MaxSteps: -1}, "cannot be negative"},
+		{"max_steps below steps", Job{Case: "airfoil", Steps: 8, MaxSteps: 4}, "always be cancelled"},
 		{"checkpoint without faults", Job{Case: "airfoil", CheckpointEvery: 3}, "without faults"},
 		{"bad plan", Job{Case: "airfoil",
 			Faults: &overd.FaultPlan{Stragglers: []overd.FaultStraggler{{Rank: 0, Factor: 0.5}}}},
@@ -137,6 +145,23 @@ func TestJobValidationErrors(t *testing.T) {
 				t.Fatalf("error %q does not contain %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestJobCustomLimits: server-configured caps replace the defaults, and
+// -1 disables one cap without touching the others.
+func TestJobCustomLimits(t *testing.T) {
+	lim := Limits{MaxNodes: 16, MaxSteps: -1}
+	if _, err := (Job{Case: "airfoil", Nodes: 17}).NormalizeLimits(lim); err == nil ||
+		!strings.Contains(err.Error(), "limit of 16") {
+		t.Errorf("custom node cap not applied: %v", err)
+	}
+	if _, err := (Job{Case: "airfoil", Steps: 50000}).NormalizeLimits(lim); err != nil {
+		t.Errorf("MaxSteps -1 should disable the step cap: %v", err)
+	}
+	// MaxScale stayed zero → default still applies.
+	if _, err := (Job{Case: "airfoil", Scale: 100}).NormalizeLimits(lim); err == nil {
+		t.Error("default scale cap vanished under a partial Limits")
 	}
 }
 

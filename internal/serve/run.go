@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -10,9 +11,12 @@ import (
 )
 
 // Runner executes one job, reporting progress events along the way, and
-// returns its artifacts. The Server's default is RunJob; tests substitute
-// stubs to script timing and failures without paying for real solves.
-type Runner func(job Job, progress func(Event)) (*Artifacts, error)
+// returns its artifacts. The context is the job's cancellation scope
+// (DELETE /jobs/{id}, deadline expiry, server kill): a Runner should stop
+// promptly once it is done and return ctx.Err(). The Server's default is
+// RunJob; tests substitute stubs to script timing and failures without
+// paying for real solves.
+type Runner func(ctx context.Context, job Job, progress func(Event)) (*Artifacts, error)
 
 // RunJob executes a normalized job through the real pipeline and assembles
 // its cacheable artifacts: the tables JSON-lines document (the run's own
@@ -20,12 +24,21 @@ type Runner func(job Job, progress func(Event)) (*Artifacts, error)
 // metrics JSON. Every byte is a pure function of the job's canonical form —
 // the property the content-addressed cache relies on.
 //
+// The context and the job's max_steps budget are threaded into the
+// solver's Config.Interrupt hook, which rank 0 polls at step boundaries:
+// a cancelled run stops at the next boundary, and a run that never trips
+// the hook is bit-identical to one with no hook at all (the poll is
+// host-side and charges nothing to the virtual clocks).
+//
 // progress (may be nil) receives one step event per completed timestep,
 // carrying the step's virtual-time phase split and a live windowed-metrics
 // snapshot (cumulative messages/bytes sent). The snapshot reads the run's
 // registry mid-flight, which the registry's shard locks make safe and the
 // bit-identity tests prove free.
-func RunJob(job Job, progress func(Event)) (*Artifacts, error) {
+func RunJob(ctx context.Context, job Job, progress func(Event)) (*Artifacts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mk, err := caseByName(job.Case)
 	if err != nil {
 		return nil, err
@@ -45,6 +58,22 @@ func RunJob(job Job, progress func(Event)) (*Artifacts, error) {
 		Steps: job.Steps, Fo: fo, CheckInterval: job.CheckEvery,
 		Faults: job.Faults, CheckpointEvery: job.CheckpointEvery,
 		Trace: rec, Metrics: reg,
+	}
+	// The cancellation hook. Each poll marks one completed step, so the
+	// monotonic count doubles as the max_steps budget meter (it keeps
+	// counting across checkpoint-recovery attempts, which re-execute
+	// steps). The final step of a run is never polled, so max_steps ==
+	// steps lets a clean run finish.
+	executed := 0
+	cfg.Interrupt = func(step int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		executed++
+		if job.MaxSteps > 0 && executed >= job.MaxSteps {
+			return fmt.Errorf("max_steps budget of %d exhausted", job.MaxSteps)
+		}
+		return nil
 	}
 	if progress != nil {
 		nodes := job.Nodes

@@ -2,8 +2,12 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"overd/internal/metrics"
 )
@@ -20,6 +24,27 @@ type Config struct {
 	CacheBytes int64
 	// CacheDir optionally adds a persistent write-through cache tier.
 	CacheDir string
+	// JournalDir enables the durable job journal: every admitted job is
+	// fsync'd to an append-only WAL before Submit acknowledges it, and
+	// unfinished jobs are re-queued (in admission order) on the next
+	// NewServer against the same directory. Empty means no journal — a
+	// crash loses queued and running work, as before.
+	JournalDir string
+	// Limits caps per-job resource requests (nodes, steps, scale). Zero
+	// fields fall back to DefaultLimits.
+	Limits Limits
+	// RetryBackoff is the fixed wait before the single retry of an
+	// infrastructure-classified failure (a runner panic). Deterministic —
+	// no jitter — so test schedules replay. Default 100ms.
+	RetryBackoff time.Duration
+	// EventWriteTimeout bounds each write to a GET /events subscriber; a
+	// client slower than this is dropped instead of pinning the handler.
+	// Default 10s.
+	EventWriteTimeout time.Duration
+	// Logf, when non-nil, receives operational log lines (panic stacks,
+	// journal trouble, replay notes). The sanitized errMsg shown to
+	// clients never includes a stack; the full detail lands here.
+	Logf func(format string, args ...any)
 	// Runner executes jobs; nil means the real pipeline (RunJob).
 	Runner Runner
 }
@@ -28,14 +53,16 @@ type Config struct {
 type JobStatus string
 
 const (
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
 )
 
 // ErrQueueFull is returned by Submit when admission control rejects a job;
-// RetryAfter is the suggested client backoff in seconds.
+// RetryAfter is the suggested client backoff in seconds, scaled to the
+// current queue depth and the mean recent job duration.
 type ErrQueueFull struct {
 	Depth      int
 	RetryAfter int
@@ -45,8 +72,34 @@ func (e ErrQueueFull) Error() string {
 	return fmt.Sprintf("serve: queue full (%d jobs waiting); retry in %ds", e.Depth, e.RetryAfter)
 }
 
+// ErrWontMeetDeadline is returned by Submit when the estimated queue wait
+// alone already exceeds the job's deadline: queueing it would be admitting
+// work the server knows it will throw away.
+type ErrWontMeetDeadline struct {
+	EstWait    float64 // seconds until a worker would pick the job up
+	Deadline   float64 // the job's wall-clock budget in seconds
+	RetryAfter int
+}
+
+func (e ErrWontMeetDeadline) Error() string {
+	return fmt.Sprintf("serve: estimated queue wait %.1fs exceeds the job's %.1fs deadline; retry in %ds",
+		e.EstWait, e.Deadline, e.RetryAfter)
+}
+
 // ErrShuttingDown is returned by Submit once Shutdown has begun.
-var ErrShuttingDown = fmt.Errorf("serve: server is shutting down")
+var ErrShuttingDown = errors.New("serve: server is shutting down")
+
+// ErrJournalUnavailable wraps a journal append failure at admission: the
+// job was NOT accepted, because accepting work that would not survive a
+// crash breaks the durability contract the journal exists to keep.
+var ErrJournalUnavailable = errors.New("serve: job journal unavailable")
+
+// ErrUnknownJob is returned by Cancel for an id the server never issued.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// ErrJobFinished is returned by Cancel when the job already reached a
+// terminal state.
+var ErrJobFinished = errors.New("serve: job already finished")
 
 // jobState is one submitted job's record.
 type jobState struct {
@@ -56,65 +109,99 @@ type jobState struct {
 	job    Job
 	seq    int // admission order, for queue-position estimates
 
-	status JobStatus
-	cached bool
-	errMsg string
-	art    *Artifacts
+	status   JobStatus
+	cached   bool
+	replayed bool // re-queued from the journal after a restart
+	attempts int  // runner invocations (>1 after an infrastructure retry)
+	errMsg   string
+	art      *Artifacts
+
+	admitted  time.Time
+	started   time.Time
+	cancelReq bool               // DELETE arrived while running
+	cancel    context.CancelFunc // cancels the running attempt's context
+	ctx       context.Context
 
 	events *eventLog
-	done   chan struct{} // closed on done/failed
+	done   chan struct{} // closed on done/failed/cancelled
 }
 
 // Server is the multi-tenant simulation job service: admission control, a
-// bounded worker pool fed round-robin across per-tenant FIFO queues, and a
-// content-addressed result cache in front of it all.
+// bounded worker pool fed round-robin across per-tenant FIFO queues, a
+// content-addressed result cache, and (optionally) a durable job journal
+// in front of it all.
 type Server struct {
 	cfg     Config
 	cache   *Cache
 	reg     *metrics.Registry
 	tenants *metrics.Interner
 
-	accepted metrics.Counter
-	rejected metrics.Counter
-	deduped  metrics.Counter
-	failed   metrics.Counter
-	steps    metrics.Counter
-	served   metrics.Counter // per tenant
-	hits     metrics.Counter
-	misses   metrics.Counter
-	evict    metrics.Counter
-	depthG   metrics.Gauge
-	runningG metrics.Gauge
-	entriesG metrics.Gauge
-	bytesG   metrics.Gauge
+	accepted   metrics.Counter
+	rejected   metrics.Counter
+	shed       metrics.Counter
+	deduped    metrics.Counter
+	failed     metrics.Counter
+	cancelled  metrics.Counter
+	panics     metrics.Counter
+	retries    metrics.Counter
+	replayedC  metrics.Counter
+	steps      metrics.Counter
+	served     metrics.Counter // per tenant
+	hits       metrics.Counter
+	misses     metrics.Counter
+	evict      metrics.Counter
+	subDropped metrics.Counter
+	depthG     metrics.Gauge
+	runningG   metrics.Gauge
+	entriesG   metrics.Gauge
+	bytesG     metrics.Gauge
+	subsG      metrics.Gauge
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	jobs       map[string]*jobState
-	inflight   map[string]*jobState // hash → queued-or-running job
-	queues     map[string][]*jobState
-	ring       []string // tenant round-robin order
-	rr         int
-	queued     int
-	running    int
-	nextID     int
-	lastEvict  int64
-	closed     bool
-	workersRun bool
-	wg         sync.WaitGroup
+	mu          sync.Mutex
+	cond        *sync.Cond
+	jrnl        *journal
+	jobs        map[string]*jobState
+	inflight    map[string]*jobState // hash → queued-or-running job
+	queues      map[string][]*jobState
+	ring        []string // tenant round-robin order
+	rr          int
+	queued      int
+	running     int
+	nextID      int
+	lastEvict   int64
+	durs        []float64 // ring of recent job wall durations (seconds)
+	durNext     int
+	subscribers int
+	closed      bool
+	killed      bool // simulated kill -9: workers abandon in place
+	workersRun  bool
+	wg          sync.WaitGroup
 }
 
-// NewServer builds a server (workers not yet started; call Start).
-func NewServer(cfg Config) *Server {
+// durWindow is how many recent job durations feed the queue-wait estimate.
+const durWindow = 32
+
+// NewServer builds a server (workers not yet started; call Start). With
+// Config.JournalDir set it replays the journal first: admitted jobs whose
+// results are now cached complete immediately, the rest re-queue in their
+// original admission order under their original ids.
+func NewServer(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.EventWriteTimeout <= 0 {
+		cfg.EventWriteTimeout = 10 * time.Second
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = RunJob
 	}
+	cfg.Limits = cfg.Limits.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheBytes, cfg.CacheDir),
@@ -134,8 +221,13 @@ func NewServer(cfg Config) *Server {
 	}
 	s.accepted = c("overd_serve_jobs_accepted_total", "jobs admitted (including cache hits and dedups)")
 	s.rejected = c("overd_serve_jobs_rejected_total", "jobs refused by admission control (429)")
+	s.shed = c("overd_serve_jobs_shed_total", "jobs refused because the estimated queue wait exceeded their deadline (503)")
 	s.deduped = c("overd_serve_jobs_deduped_total", "submissions coalesced onto an identical in-flight job")
 	s.failed = c("overd_serve_jobs_failed_total", "jobs whose run returned an error")
+	s.cancelled = c("overd_serve_jobs_cancelled_total", "jobs cancelled by request or deadline")
+	s.panics = c("overd_serve_panics_total", "runner panics caught and isolated by worker supervision")
+	s.retries = c("overd_serve_retries_total", "infrastructure-classified failures given their one retry")
+	s.replayedC = c("overd_serve_jobs_replayed_total", "journal admits re-queued at startup")
 	s.steps = c("overd_serve_solver_steps_total", "solver timesteps actually executed (cache hits add zero)")
 	s.served = s.reg.Counter("overd_serve_jobs_served_total", metrics.Opts{
 		Help: "completed jobs per tenant (cached results included)", Global: true,
@@ -144,11 +236,77 @@ func NewServer(cfg Config) *Server {
 	s.hits = c("overd_serve_cache_hits_total", "result-cache hits")
 	s.misses = c("overd_serve_cache_misses_total", "result-cache misses")
 	s.evict = c("overd_serve_cache_evictions_total", "result-cache LRU evictions")
+	s.subDropped = c("overd_serve_event_subscribers_dropped_total", "event-stream subscribers dropped for slow or failed writes")
 	s.depthG = g("overd_serve_queue_depth", "jobs admitted and waiting for a worker")
 	s.runningG = g("overd_serve_jobs_running", "jobs currently on a worker")
 	s.entriesG = g("overd_serve_cache_entries", "resident result-cache entries")
 	s.bytesG = g("overd_serve_cache_bytes", "resident result-cache bytes")
-	return s
+	s.subsG = g("overd_serve_event_subscribers", "open GET /events streams")
+
+	if cfg.JournalDir != "" {
+		jrnl, pending, maxSeq, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.jrnl = jrnl
+		s.nextID = maxSeq
+		if err := s.replay(pending); err != nil {
+			jrnl.close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replay re-admits the journal's unfinished jobs. Runs before Start, so no
+// worker races it; it still takes s.mu because journalDoneLocked expects
+// it. A replayed job whose hash is now cached — the crash landed between
+// the cache write and the done marker — completes on the spot.
+func (s *Server) replay(pending []journalRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range pending {
+		var job Job
+		if err := json.Unmarshal(r.Job, &job); err != nil {
+			return fmt.Errorf("serve: journal job %s: %v", r.ID, err)
+		}
+		job.Tenant = r.Tenant
+		js := &jobState{
+			id: r.ID, hash: job.Hash(), tenant: r.Tenant, job: job,
+			seq: r.Seq, replayed: true, admitted: time.Now(),
+			events: newEventLog(), done: make(chan struct{}),
+		}
+		if js.tenant == "" {
+			js.tenant = "anonymous"
+		}
+		s.jobs[js.id] = js
+		s.replayedC.Add(0, 1)
+		js.events.append(Event{Type: "queued"})
+		js.events.append(Event{Type: "replayed"})
+		if art, ok := s.cache.Get(js.hash); ok {
+			js.status = StatusDone
+			js.cached = true
+			js.art = art
+			s.hits.Add(0, 1)
+			s.served.Add1(0, s.tenants.ID(js.tenant), 1)
+			js.events.append(Event{Type: "done", Cached: true})
+			js.events.closeLog()
+			close(js.done)
+			s.journalDoneLocked(js.id, StatusDone, "")
+			continue
+		}
+		js.status = StatusQueued
+		s.inflight[js.hash] = js
+		if _, known := s.queues[js.tenant]; !known {
+			s.ring = append(s.ring, js.tenant)
+		}
+		s.queues[js.tenant] = append(s.queues[js.tenant], js)
+		s.queued++
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("serve: journal replay: re-queued job %s (tenant %s)", js.id, js.tenant)
+		}
+	}
+	return nil
 }
 
 // Registry exposes the server's own metrics registry (the /metrics page).
@@ -169,7 +327,8 @@ func (s *Server) Start() {
 }
 
 // Shutdown stops admission, wakes idle workers, and waits — up to the
-// context's deadline — for queued and running jobs to drain.
+// context's deadline — for queued and running jobs to drain. On a clean
+// drain the journal (now holding only terminal markers) is closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -182,6 +341,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.mu.Lock()
+		if s.jrnl != nil && !s.killed {
+			s.jrnl.close()
+			s.jrnl = nil
+		}
+		s.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -199,7 +364,10 @@ const (
 
 // Submit admits a normalized job (Tenant already resolved). On a cache hit
 // the returned job is already done and carries the cached artifacts; on an
-// inflight dedup it is the existing job; otherwise it is queued.
+// inflight dedup it is the existing job; otherwise it is journaled (when a
+// journal is configured), then queued. Deadline-aware shedding runs before
+// queueing: a job whose estimated queue wait exceeds its own deadline is
+// refused with ErrWontMeetDeadline rather than queued as doomed work.
 func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 	hash := job.Hash()
 	s.mu.Lock()
@@ -227,12 +395,25 @@ func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.rejected.Add(0, 1)
-		retry := 1 + s.queued/s.cfg.Workers
-		return nil, "", ErrQueueFull{Depth: s.queued, RetryAfter: retry}
+		return nil, "", ErrQueueFull{Depth: s.queued, RetryAfter: s.retryAfterLocked()}
+	}
+	if job.Deadline > 0 {
+		if est := s.estQueueWaitLocked(); est > job.Deadline {
+			s.shed.Add(0, 1)
+			return nil, "", ErrWontMeetDeadline{
+				EstWait: est, Deadline: job.Deadline, RetryAfter: s.retryAfterLocked(),
+			}
+		}
+	}
+	js := s.newJobLocked(job, hash)
+	if s.jrnl != nil {
+		if err := s.journalAdmitLocked(js); err != nil {
+			delete(s.jobs, js.id)
+			return nil, "", fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
+		}
 	}
 	s.misses.Add(0, 1)
 	s.accepted.Add(0, 1)
-	js := s.newJobLocked(job, hash)
 	js.status = StatusQueued
 	s.inflight[hash] = js
 	if _, known := s.queues[js.tenant]; !known {
@@ -245,17 +426,61 @@ func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 	return js, CacheMiss, nil
 }
 
+// journalAdmitLocked makes a job's admission durable. The job JSON is the
+// normalized struct minus tenant (which rides in its own field) — unlike
+// the canonical form it keeps deadline and max_steps, so a replayed job
+// retains its budgets (the wall-clock deadline restarts from replay time;
+// the original submission instant died with the process).
+func (s *Server) journalAdmitLocked(js *jobState) error {
+	j := js.job
+	j.Tenant = ""
+	b, err := json.Marshal(j)
+	if err != nil {
+		panic(fmt.Sprintf("serve: journal job marshal: %v", err))
+	}
+	rec := journalRecord{Type: "admit", Seq: js.seq, ID: js.id, Tenant: js.tenant, Job: b}
+	if err := s.jrnl.append(rec); err == nil {
+		return nil
+	}
+	// Journal I/O is infrastructure: one bounded retry, then refuse.
+	s.retries.Add(0, 1)
+	err = s.jrnl.append(rec)
+	if err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("serve: journal admit for %s failed twice: %v", js.id, err)
+	}
+	return err
+}
+
+// journalDoneLocked records a job's terminal state. A failure here cannot
+// un-finish the job; it means the journal may replay it after the next
+// restart (at-least-once in this corner), where the cache check makes the
+// re-completion free for done jobs.
+func (s *Server) journalDoneLocked(id string, status JobStatus, errMsg string) {
+	if s.jrnl == nil || s.killed {
+		return
+	}
+	rec := journalRecord{Type: "done", ID: id, Status: status, Error: errMsg}
+	if err := s.jrnl.append(rec); err == nil {
+		return
+	}
+	s.retries.Add(0, 1)
+	if err := s.jrnl.append(rec); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("serve: journal done marker for %s failed twice: %v", id, err)
+	}
+}
+
 // newJobLocked allocates a job record under s.mu.
 func (s *Server) newJobLocked(job Job, hash string) *jobState {
 	s.nextID++
 	js := &jobState{
-		id:     fmt.Sprintf("j-%06d", s.nextID),
-		hash:   hash,
-		tenant: job.Tenant,
-		job:    job,
-		seq:    s.nextID,
-		events: newEventLog(),
-		done:   make(chan struct{}),
+		id:       fmt.Sprintf("j-%06d", s.nextID),
+		hash:     hash,
+		tenant:   job.Tenant,
+		job:      job,
+		seq:      s.nextID,
+		admitted: time.Now(),
+		events:   newEventLog(),
+		done:     make(chan struct{}),
 	}
 	if js.tenant == "" {
 		js.tenant = "anonymous"
@@ -264,12 +489,99 @@ func (s *Server) newJobLocked(job Job, hash string) *jobState {
 	return js
 }
 
+// Cancel stops a job: a queued job is removed from its queue and finished
+// as cancelled on the spot; a running job has its context cancelled and
+// finishes as cancelled at the solver's next step boundary. Terminal jobs
+// return ErrJobFinished, unknown ids ErrUnknownJob.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	switch js.status {
+	case StatusQueued:
+		q := s.queues[js.tenant]
+		for i, other := range q {
+			if other == js {
+				s.queues[js.tenant] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		s.queued--
+		delete(s.inflight, js.hash)
+		js.status = StatusCancelled
+		js.errMsg = "cancelled by request"
+		s.cancelled.Add(0, 1)
+		s.journalDoneLocked(js.id, StatusCancelled, js.errMsg)
+		js.events.append(Event{Type: "cancelled", Error: js.errMsg})
+		js.events.closeLog()
+		close(js.done)
+		return StatusCancelled, nil
+	case StatusRunning:
+		js.cancelReq = true
+		if js.cancel != nil {
+			js.cancel()
+		}
+		return StatusRunning, nil
+	default:
+		return js.status, ErrJobFinished
+	}
+}
+
 // Job looks up a job by id.
 func (s *Server) Job(id string) (*jobState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	js, ok := s.jobs[id]
 	return js, ok
+}
+
+// meanDurLocked is the mean of the recent-duration ring; with no history
+// yet it assumes one second per job, a deliberately modest guess that
+// keeps early Retry-After advice small.
+func (s *Server) meanDurLocked() float64 {
+	if len(s.durs) == 0 {
+		return 1.0
+	}
+	sum := 0.0
+	for _, d := range s.durs {
+		sum += d
+	}
+	return sum / float64(len(s.durs))
+}
+
+// recordDurLocked pushes one finished job's wall duration into the ring.
+func (s *Server) recordDurLocked(d float64) {
+	if len(s.durs) < durWindow {
+		s.durs = append(s.durs, d)
+		return
+	}
+	s.durs[s.durNext] = d
+	s.durNext = (s.durNext + 1) % durWindow
+}
+
+// estQueueWaitLocked estimates how long a job admitted now would wait for
+// a worker: everything queued ahead of it, spread over the pool, at the
+// mean recent duration.
+func (s *Server) estQueueWaitLocked() float64 {
+	return s.meanDurLocked() * float64(s.queued) / float64(s.cfg.Workers)
+}
+
+// retryAfterLocked turns the current backlog into honest backoff advice:
+// the estimated time for the backlog plus one more job to clear, clamped
+// to [1s, 15min].
+func (s *Server) retryAfterLocked() int {
+	est := s.meanDurLocked() * float64(s.queued+1) / float64(s.cfg.Workers)
+	r := int(math.Ceil(est))
+	if r < 1 {
+		r = 1
+	}
+	if r > 900 {
+		r = 900
+	}
+	return r
 }
 
 // queuePosition estimates how many admitted jobs precede js (by admission
@@ -294,12 +606,17 @@ func (s *Server) queuePosition(js *jobState) int {
 
 // dequeue blocks for the next job, rotating fairly across tenants: each
 // pop advances the ring, so a tenant flooding its own FIFO cannot starve
-// another tenant's single job. Returns nil when the server drained and
-// closed.
+// another tenant's single job. The popped job gets its run context here —
+// cancellable, deadline-bounded when the job asked for one — so Cancel
+// and kill can reach the attempt from outside. Returns nil when the
+// server drained and closed (or was killed).
 func (s *Server) dequeue() *jobState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.killed {
+			return nil
+		}
 		if s.queued > 0 {
 			n := len(s.ring)
 			for i := 0; i < n; i++ {
@@ -314,6 +631,19 @@ func (s *Server) dequeue() *jobState {
 				s.queued--
 				s.running++
 				js.status = StatusRunning
+				js.started = time.Now()
+				if js.job.Deadline > 0 {
+					// The budget started at admission; only the remainder
+					// is available for the run itself.
+					rem := js.job.Deadline - time.Since(js.admitted).Seconds()
+					if rem < 0 {
+						rem = 0
+					}
+					js.ctx, js.cancel = context.WithTimeout(
+						context.Background(), time.Duration(rem*float64(time.Second)))
+				} else {
+					js.ctx, js.cancel = context.WithCancel(context.Background())
+				}
 				return js
 			}
 		}
@@ -324,56 +654,17 @@ func (s *Server) dequeue() *jobState {
 	}
 }
 
-// worker is one pool goroutine: dequeue, run, publish, repeat.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for {
-		js := s.dequeue()
-		if js == nil {
-			return
-		}
-		js.events.append(Event{Type: "start"})
-		art, err := s.cfg.Runner(js.job, js.events.append)
-
-		s.mu.Lock()
-		s.running--
-		delete(s.inflight, js.hash)
-		if err != nil {
-			js.status = StatusFailed
-			js.errMsg = err.Error()
-			s.failed.Add(0, 1)
-			js.events.append(Event{Type: "error", Error: js.errMsg})
-		} else {
-			js.status = StatusDone
-			js.art = art
-			s.steps.Add(0, float64(art.Steps))
-			s.served.Add1(0, s.tenants.ID(js.tenant), 1)
-			if perr := s.cache.Put(js.hash, art); perr != nil {
-				// The result still serves; only persistence degraded.
-				js.events.append(Event{Type: "error", Error: "cache store: " + perr.Error()})
-			}
-			if ev := s.cache.Stats().Evictions; ev > s.lastEvict {
-				s.evict.Add(0, float64(ev-s.lastEvict))
-				s.lastEvict = ev
-			}
-			js.events.append(Event{Type: "done", Steps: art.Steps})
-		}
-		s.mu.Unlock()
-		js.events.closeLog()
-		close(js.done)
-	}
-}
-
 // refreshGauges updates the point-in-time gauges before a scrape. The
 // virtual-time stamp slot is 0: the server lives on the wall clock, not a
 // simulated one.
 func (s *Server) refreshGauges() {
 	s.mu.Lock()
-	queued, running := s.queued, s.running
+	queued, running, subs := s.queued, s.running, s.subscribers
 	s.mu.Unlock()
 	cs := s.cache.Stats()
 	s.depthG.Set(0, float64(queued), 0)
 	s.runningG.Set(0, float64(running), 0)
 	s.entriesG.Set(0, float64(cs.Entries), 0)
 	s.bytesG.Set(0, float64(cs.Bytes), 0)
+	s.subsG.Set(0, float64(subs), 0)
 }

@@ -32,7 +32,10 @@ type viewResp struct {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -137,11 +140,11 @@ func promCounter(t *testing.T, ts *httptest.Server, name string) float64 {
 func TestServerCacheHitByteIdenticalZeroSteps(t *testing.T) {
 	runs := 0
 	var mu sync.Mutex
-	counted := func(job Job, progress func(Event)) (*Artifacts, error) {
+	counted := func(ctx context.Context, job Job, progress func(Event)) (*Artifacts, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
-		return RunJob(job, progress)
+		return RunJob(ctx, job, progress)
 	}
 	_, ts := newTestServer(t, Config{Workers: 1, Runner: counted})
 
@@ -218,7 +221,7 @@ func TestServerCacheHitByteIdenticalZeroSteps(t *testing.T) {
 func TestServerAdmissionControl(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 8)
-	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+	stub := func(_ context.Context, job Job, progress func(Event)) (*Artifacts, error) {
 		started <- job.Tenant
 		<-release
 		return art(job.Case, 8), nil
@@ -275,13 +278,16 @@ func TestServerAdmissionControl(t *testing.T) {
 func TestServerTenantFairness(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
-	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+	stub := func(_ context.Context, job Job, progress func(Event)) (*Artifacts, error) {
 		mu.Lock()
 		order = append(order, job.Tenant)
 		mu.Unlock()
 		return art(job.Case, 8), nil
 	}
-	s := NewServer(Config{Workers: 1, QueueDepth: 16, Runner: stub})
+	s, err := NewServer(Config{Workers: 1, QueueDepth: 16, Runner: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Queue everything before starting the worker so arrival order is
 	// deterministic: A floods three jobs, then B submits one.
 	var ids []string
@@ -325,7 +331,7 @@ func TestServerDedupInflight(t *testing.T) {
 	release := make(chan struct{})
 	var mu sync.Mutex
 	runs := 0
-	stub := func(job Job, progress func(Event)) (*Artifacts, error) {
+	stub := func(_ context.Context, job Job, progress func(Event)) (*Artifacts, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
@@ -430,7 +436,7 @@ func TestServerHTTPErrors(t *testing.T) {
 	// Result of an unfinished job is 202 with status, not an artifact.
 	relDone := make(chan struct{})
 	defer close(relDone)
-	_, ts2 := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+	_, ts2 := newTestServer(t, Config{Workers: 1, Runner: func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
 		<-relDone
 		return art("a", 4), nil
 	}})
@@ -444,7 +450,7 @@ func TestServerHTTPErrors(t *testing.T) {
 		t.Errorf("unfinished result: status %d, want 202", r2.StatusCode)
 	}
 	// Bad artifact name on a finished job.
-	_, ts3 := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+	_, ts3 := newTestServer(t, Config{Workers: 1, Runner: func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
 		return art("a", 4), nil
 	}})
 	_, v3 := postJob(t, ts3, `{"case":"airfoil"}`, "")
@@ -462,7 +468,7 @@ func TestServerHTTPErrors(t *testing.T) {
 // TestServerFailedJob surfaces runner errors as a failed status and a 409
 // result.
 func TestServerFailedJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
 		return nil, fmt.Errorf("synthetic failure")
 	}})
 	_, v := postJob(t, ts, `{"case":"airfoil"}`, "")
@@ -508,13 +514,16 @@ func TestServerPersistentCacheAcrossRestart(t *testing.T) {
 func TestServerShutdownDrains(t *testing.T) {
 	var mu sync.Mutex
 	ran := 0
-	s := NewServer(Config{Workers: 2, Runner: func(job Job, _ func(Event)) (*Artifacts, error) {
+	s, err := NewServer(Config{Workers: 2, Runner: func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
 		time.Sleep(20 * time.Millisecond)
 		mu.Lock()
 		ran++
 		mu.Unlock()
 		return art(job.Case, 4), nil
 	}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i <= 4; i++ {
 		j, err := Job{Case: "airfoil", Steps: i}.Normalize()
 		if err != nil {

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStatus polls until the job reaches any terminal status.
+func waitStatus(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	js, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("unknown job %s", id)
+	}
+	select {
+	case <-js.done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("job %s never finished", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return js.status
+}
+
+// TestWorkerPanicIsolated is the headline supervision test: a panicking
+// runner marks its job failed — sanitized message, no stack — and the
+// daemon keeps serving. Before this layer existed the panic killed the
+// whole process, which is why the scenario was untestable.
+func TestWorkerPanicIsolated(t *testing.T) {
+	var logMu sync.Mutex
+	var logged []string
+	stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		if job.Steps == 13 {
+			panic("index out of range [4096] with length 3\nsecret internal detail")
+		}
+		return art(job.Case, job.Steps), nil
+	}
+	_, ts := newTestServer(t, Config{
+		Workers: 1, Runner: stub, RetryBackoff: time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	_, v := postJob(t, ts, `{"case":"airfoil","steps":13}`, "")
+	done := waitDone(t, ts, v.ID)
+	if done.Status != string(StatusFailed) {
+		t.Fatalf("panicking job status = %q, want failed", done.Status)
+	}
+	if !strings.Contains(done.Error, "runner panic: index out of range") {
+		t.Errorf("errMsg = %q, want the sanitized panic message", done.Error)
+	}
+	if strings.Contains(done.Error, "\n") || strings.Contains(done.Error, "goroutine") {
+		t.Errorf("errMsg leaks raw panic detail: %q", done.Error)
+	}
+	logMu.Lock()
+	if len(logged) == 0 || !strings.Contains(logged[0], "supervise_test.go") {
+		t.Errorf("full stack should land in Logf, got %q", logged)
+	}
+	logMu.Unlock()
+
+	// A panic is infrastructure-classified: one retry, which panics again.
+	if got := promCounter(t, ts, "overd_serve_panics_total"); got != 2 {
+		t.Errorf("panics_total = %g, want 2 (attempt + its one retry)", got)
+	}
+	if got := promCounter(t, ts, "overd_serve_retries_total"); got != 1 {
+		t.Errorf("retries_total = %g, want 1", got)
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_failed_total"); got != 1 {
+		t.Errorf("jobs_failed_total = %g, want 1", got)
+	}
+
+	// The daemon survived: the next job runs normally.
+	_, v2 := postJob(t, ts, `{"case":"airfoil","steps":2}`, "")
+	if done2 := waitDone(t, ts, v2.ID); done2.Status != string(StatusDone) {
+		t.Fatalf("daemon did not survive the panic: next job %+v", done2)
+	}
+}
+
+// TestPanicRetryRecovers: a transient panic (first invocation only) is
+// healed by the single retry; the job completes with attempts = 2.
+func TestPanicRetryRecovers(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			panic("transient infrastructure hiccup")
+		}
+		return art(job.Case, job.Steps), nil
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub, RetryBackoff: time.Millisecond})
+	_ = s
+	_, v := postJob(t, ts, `{"case":"airfoil","steps":3}`, "")
+	done := waitDone(t, ts, v.ID)
+	if done.Status != string(StatusDone) {
+		t.Fatalf("job = %+v, want done after the retry", done)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full struct {
+		Attempts int `json:"attempts"`
+	}
+	if err := jsonDecode(resp, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", full.Attempts)
+	}
+	if got := promCounter(t, ts, "overd_serve_retries_total"); got != 1 {
+		t.Errorf("retries_total = %g, want 1", got)
+	}
+}
+
+// TestDeterministicErrorNotRetried: a plain runner error is deterministic
+// — the same inputs would fail identically — so it gets no retry.
+func TestDeterministicErrorNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return nil, fmt.Errorf("solver diverged")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: stub, RetryBackoff: time.Millisecond})
+	_, v := postJob(t, ts, `{"case":"airfoil"}`, "")
+	if done := waitDone(t, ts, v.ID); done.Status != string(StatusFailed) {
+		t.Fatalf("job = %+v, want failed", done)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("deterministic failure invoked the runner %d times, want 1", calls)
+	}
+}
+
+// TestCancelQueuedJob: DELETE on a queued job removes it before it ever
+// reaches a worker — 202, terminal "cancelled", result 409.
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		mu.Lock()
+		ran[job.Steps] = true
+		mu.Unlock()
+		started <- struct{}{}
+		<-release
+		return art(job.Case, job.Steps), nil
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub})
+	defer close(release)
+	_, v1 := postJob(t, ts, `{"case":"airfoil","steps":1}`, "")
+	<-started // worker pinned on job 1
+	_, v2 := postJob(t, ts, `{"case":"airfoil","steps":2}`, "")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+v2.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE queued job: status %d, want 202", resp.StatusCode)
+	}
+	if st := waitStatus(t, s, v2.ID); st != StatusCancelled {
+		t.Fatalf("cancelled job status = %q", st)
+	}
+	r, err := http.Get(ts.URL + "/jobs/" + v2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("cancelled job result: status %d, want 409", r.StatusCode)
+	}
+	// Unknown id → 404; finishing the running job then DELETE → 409.
+	req404, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/j-999999", nil)
+	if resp, err := http.DefaultClient.Do(req404); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("DELETE unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+	release <- struct{}{}
+	waitDone(t, ts, v1.ID)
+	reqDone, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+v1.ID, nil)
+	if resp, err := http.DefaultClient.Do(reqDone); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("DELETE finished job: status %d, want 409", resp.StatusCode)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran[2] {
+		t.Error("cancelled queued job still reached the worker")
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_cancelled_total"); got != 1 {
+		t.Errorf("jobs_cancelled_total = %g, want 1", got)
+	}
+}
+
+// TestCancelRunningJob: DELETE on a running job cancels its context; a
+// context-respecting runner winds down and the job lands "cancelled".
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{}, 1)
+	stub := func(ctx context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub})
+	_, v := postJob(t, ts, `{"case":"airfoil"}`, "")
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE running job: status %d, want 202", resp.StatusCode)
+	}
+	if st := waitStatus(t, s, v.ID); st != StatusCancelled {
+		t.Fatalf("status after cancel = %q, want cancelled", st)
+	}
+	js, _ := s.Job(v.ID)
+	s.mu.Lock()
+	msg := js.errMsg
+	s.mu.Unlock()
+	if !strings.Contains(msg, "cancelled by request") {
+		t.Errorf("errMsg = %q", msg)
+	}
+}
+
+// TestDeadlineCancelsRun: a job whose wall budget expires mid-run is
+// cancelled at the context deadline with a message naming the budget.
+func TestDeadlineCancelsRun(t *testing.T) {
+	stub := func(ctx context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(20 * time.Second):
+			return art(job.Case, job.Steps), nil
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub})
+	_, v := postJob(t, ts, `{"case":"airfoil","deadline":0.05}`, "")
+	if st := waitStatus(t, s, v.ID); st != StatusCancelled {
+		t.Fatalf("status = %q, want cancelled on deadline expiry", st)
+	}
+	js, _ := s.Job(v.ID)
+	s.mu.Lock()
+	msg := js.errMsg
+	s.mu.Unlock()
+	if !strings.Contains(msg, "deadline of 0.05s exceeded") {
+		t.Errorf("errMsg = %q", msg)
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_cancelled_total"); got != 1 {
+		t.Errorf("jobs_cancelled_total = %g, want 1", got)
+	}
+}
+
+// TestDeadlineLoadShedding: with the queue backed up past a job's
+// deadline, admission refuses it with 503 + Retry-After instead of
+// queueing doomed work — and a patient job is still accepted.
+func TestDeadlineLoadShedding(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 32)
+	stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		started <- struct{}{}
+		<-release
+		return art(job.Case, job.Steps), nil
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16, Runner: stub})
+	defer close(release)
+	_, _ = postJob(t, ts, `{"case":"airfoil","steps":1}`, "")
+	<-started
+	for i := 2; i <= 6; i++ {
+		if resp, _ := postJob(t, ts, fmt.Sprintf(`{"case":"airfoil","steps":%d}`, i), ""); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue fill POST %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// Five queued jobs, one worker, no duration history → the estimate is
+	// 5 × 1s / 1 = 5s. A 2-second deadline cannot be met.
+	resp, v := postJob(t, ts, `{"case":"airfoil","steps":7,"deadline":2}`, "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("doomed job: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(v.Error, "exceeds the job's 2.0s deadline") {
+		t.Errorf("503 body: %s", v.Error)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("503 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if got := promCounter(t, ts, "overd_serve_jobs_shed_total"); got != 1 {
+		t.Errorf("jobs_shed_total = %g, want 1", got)
+	}
+	// Plenty of budget → accepted despite the same backlog.
+	if resp, _ := postJob(t, ts, `{"case":"airfoil","steps":7,"deadline":600}`, ""); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("patient job: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog pins the honest-backoff satellite: the
+// 429's Retry-After grows with queue depth instead of sitting at a
+// constant. With no duration history the estimate is 1s per queued job
+// per worker.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	retryAfterAtDepth := func(depth int) int {
+		release := make(chan struct{})
+		started := make(chan struct{}, 32)
+		stub := func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+			started <- struct{}{}
+			<-release
+			return art(job.Case, job.Steps), nil
+		}
+		_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: depth, Runner: stub})
+		defer close(release)
+		_, _ = postJob(t, ts, `{"case":"airfoil","steps":1}`, "")
+		<-started
+		for i := 0; i < depth; i++ {
+			if resp, _ := postJob(t, ts, fmt.Sprintf(`{"case":"airfoil","steps":%d}`, i+2), ""); resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("fill POST %d: status %d", i, resp.StatusCode)
+			}
+		}
+		resp, _ := postJob(t, ts, `{"case":"airfoil","steps":99}`, "")
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overflow POST: status %d, want 429", resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+		}
+		return ra
+	}
+	shallow := retryAfterAtDepth(2) // ceil(1s × 3 / 1) = 3
+	deep := retryAfterAtDepth(12)   // ceil(1s × 13 / 1) = 13
+	if shallow != 3 || deep != 13 {
+		t.Errorf("Retry-After = %d at depth 2 and %d at depth 12, want 3 and 13", shallow, deep)
+	}
+	if deep <= shallow {
+		t.Errorf("Retry-After does not scale with backlog: %d then %d", shallow, deep)
+	}
+}
+
+// TestEventsSubscriberDisconnect pins the hardened /events path: a client
+// that vanishes mid-stream is dropped — the handler goroutine exits and
+// the subscriber gauge returns to zero — instead of leaking for the life
+// of the job.
+func TestEventsSubscriberDisconnect(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	stub := func(_ context.Context, job Job, progress func(Event)) (*Artifacts, error) {
+		started <- struct{}{}
+		<-release
+		progress(Event{Type: "step", Step: 0})
+		return art(job.Case, job.Steps), nil
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stub, EventWriteTimeout: 100 * time.Millisecond})
+	_, v := postJob(t, ts, `{"case":"airfoil"}`, "")
+	<-started
+
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream is live (job still running): one subscriber registered.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.subscribers == 1
+	}, "subscriber registered")
+	// Client walks away without reading to the end.
+	resp.Body.Close()
+	close(release)
+	waitDone(t, ts, v.ID)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.subscribers == 0
+	}, "subscriber released after disconnect")
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// jsonDecode decodes a response body and closes it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -102,6 +102,11 @@ type StepStats = core.StepStats
 // same configuration produces bit-identical virtual times and flow fields.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
+// InterruptError is the error Run returns when Config.Interrupt stopped the
+// run at a step boundary; Unwrap exposes the hook's error so callers can
+// classify the cause (e.g. context.Canceled vs context.DeadlineExceeded).
+type InterruptError = core.InterruptError
+
 // EstimateSerialTime models the single-processor execution time of the
 // given floating-point workload on a serial machine (the Cray YMP baseline
 // of Table 6).
