@@ -29,6 +29,23 @@ type Metric struct {
 	Value float64 `json:"value"`
 }
 
+// trimProcSuffix strips the -GOMAXPROCS suffix the bench runner appends
+// (Table4_StoreSep-8 -> Table4_StoreSep). Only a trailing run of digits
+// after the final hyphen qualifies: a hyphen elsewhere in the name
+// (Halo-SIMD) is part of the name, not a processor count.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i+1 == len(name) {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 // parseBenchOutput extracts result lines from `go test -bench -benchmem`
 // output. Lines it does not recognize (logs, PASS, ok) are skipped.
 func parseBenchOutput(out string) ([]BenchResult, error) {
@@ -49,10 +66,7 @@ func parseBenchOutput(out string) ([]BenchResult, error) {
 		if err != nil {
 			continue
 		}
-		name := strings.TrimPrefix(fields[0], "Benchmark")
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
-		}
+		name := trimProcSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
 		r := BenchResult{Name: name, Iters: iters, BytesPerOp: -1, AllocsPerOp: -1}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, unit := fields[i], fields[i+1]

@@ -44,6 +44,37 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+func TestTrimProcSuffix(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"Table4_StoreSep-8", "Table4_StoreSep"},
+		{"Table4_StoreSep-128", "Table4_StoreSep"},
+		{"Halo-SIMD", "Halo-SIMD"},       // hyphenated name, no proc suffix
+		{"Halo-SIMD-8", "Halo-SIMD"},     // hyphenated name with suffix
+		{"Halo-SIMD-v2", "Halo-SIMD-v2"}, // trailing segment not all digits
+		{"Table1_OscAirfoil", "Table1_OscAirfoil"},
+		{"X-", "X-"}, // trailing hyphen, nothing to strip
+		{"-8", "-8"}, // leading hyphen is not a suffix separator
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := trimProcSuffix(c.in); got != c.want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBenchOutputHyphenatedName(t *testing.T) {
+	results, err := parseBenchOutput("BenchmarkHalo-SIMD-8 \t 3 \t 400 ns/op\nPASS\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.Name != "Halo-SIMD" {
+		t.Errorf("name = %q, want Halo-SIMD (only the proc suffix stripped)", r.Name)
+	}
+}
+
 func TestParseBenchOutputNoBenchmem(t *testing.T) {
 	results, err := parseBenchOutput("BenchmarkX-4 \t 2 \t 500 ns/op\nPASS\n")
 	if err != nil {

@@ -20,6 +20,7 @@ type runFlags struct {
 	steps           int
 	scale           float64
 	fo              float64
+	balancer        string
 	checkEvery      int
 	checkpointEvery int
 	faultsPath      string
@@ -65,6 +66,9 @@ func validateRunFlags(f runFlags) (validated, error) {
 	}
 	if f.checkEvery <= 0 {
 		return v, fmt.Errorf("-check %d: the balance-check interval must be positive", f.checkEvery)
+	}
+	if err := overd.ValidateBalancer(f.balancer, f.fo); err != nil {
+		return v, fmt.Errorf("-balancer %v", err)
 	}
 	if f.checkpointEvery > 0 && f.faultsPath == "" {
 		return v, fmt.Errorf("-checkpoint-every %d without -faults: checkpoints only matter when the fault plan can crash ranks", f.checkpointEvery)

@@ -30,6 +30,20 @@ func TestValidateRunFlags(t *testing.T) {
 		{"negative fo", func(f *runFlags) { f.fo = -1 }, "cannot be negative"},
 		{"zero fo ok", func(f *runFlags) { f.fo = 0 }, ""},
 		{"zero check interval", func(f *runFlags) { f.checkEvery = 0 }, "must be positive"},
+		{"empty balancer ok", func(f *runFlags) { f.balancer = "" }, ""},
+		{"static balancer ok", func(f *runFlags) { f.balancer = "static" }, ""},
+		{"sfc balancer ok", func(f *runFlags) { f.balancer = "sfc" }, ""},
+		{"diffusive balancer ok", func(f *runFlags) { f.balancer = "diffusive" }, ""},
+		{"dynamic balancer with fo ok", func(f *runFlags) {
+			f.balancer = "dynamic"
+			f.fo = 2
+		}, ""},
+		{"dynamic balancer without fo", func(f *runFlags) { f.balancer = "dynamic" }, "finite load factor"},
+		{"static balancer with fo", func(f *runFlags) {
+			f.balancer = "static"
+			f.fo = 2
+		}, "no effect"},
+		{"unknown balancer", func(f *runFlags) { f.balancer = "magic" }, `unknown balancer "magic"`},
 		{"checkpoint without faults", func(f *runFlags) { f.checkpointEvery = 3 }, "without -faults"},
 		{"checkpoint with faults ok", func(f *runFlags) {
 			f.checkpointEvery = 3

@@ -39,6 +39,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
 	fo := flag.Float64("fo", math.Inf(1), "dynamic load-balance factor (Algorithm 2); +Inf disables")
 	checkEvery := flag.Int("check", 5, "steps between dynamic-balance checks")
+	balancerName := flag.String("balancer", "", "load balancer: "+strings.Join(overd.BalancerNames(), ", ")+" (empty resolves from -fo)")
 	dump := flag.Bool("dump", false, "print the grid system and static partition, then exit")
 	fieldOut := flag.String("field", "", "write a field CSV of the given grid id after the run (format gridID:file.csv)")
 	xyzOut := flag.String("xyz", "", "write the grid system as a PLOT3D XYZ file after the run (suffix .g for ASCII, .gb for binary)")
@@ -77,7 +78,7 @@ func main() {
 
 	v, err := validateRunFlags(runFlags{
 		caseName: *caseName, nodes: *nodes, machineName: *machineName,
-		steps: *steps, scale: *scale, fo: *fo,
+		steps: *steps, scale: *scale, fo: *fo, balancer: *balancerName,
 		checkEvery: *checkEvery, checkpointEvery: *checkpointEvery,
 		faultsPath: *faultsPath, fieldOut: *fieldOut,
 		metricsOut: *metricsOut, serveAddr: *serveAddr,
@@ -115,7 +116,7 @@ func main() {
 
 	cfg := overd.Config{
 		Case: c, Nodes: *nodes, Machine: m, Steps: *steps,
-		Fo: *fo, CheckInterval: *checkEvery,
+		Fo: *fo, CheckInterval: *checkEvery, Balancer: *balancerName,
 		CheckpointEvery: *checkpointEvery,
 	}
 	if *faultsPath != "" {
@@ -165,10 +166,12 @@ func main() {
 	}
 	lastRes = res
 
-	fmt.Printf("\nprocessors per grid (Algorithm 1): %v  (τ = %.3f)\n", res.Np, res.Tau)
+	fmt.Printf("\nprocessors per grid (balancer %s): %v  (τ = %.3f)\n",
+		res.Config.Balancer, res.Np, res.Tau)
 	fmt.Printf("IGBPs: %d  orphans: %d\n", res.IGBPs, res.Orphans)
 	if res.Rebalances > 0 {
-		fmt.Printf("dynamic repartitions (Algorithm 2): %d\n", res.Rebalances)
+		fmt.Printf("step-boundary repartitions: %d (%d gridpoints moved)\n",
+			res.Rebalances, res.MovedPoints)
 	}
 	fmt.Printf("\nvirtual time: %.3f s over %d steps (%.3f s/step) on the %s\n",
 		res.TotalTime, len(res.Steps), res.TimePerStep(), m.Name)

@@ -7,35 +7,43 @@ import (
 
 func TestValidateTablesFlags(t *testing.T) {
 	cases := []struct {
-		name    string
-		scale   float64
-		steps   int
-		only    string
-		figures bool
-		asJSON  bool
-		wantErr string // substring, "" = must succeed
+		name      string
+		scale     float64
+		steps     int
+		only      string
+		figures   bool
+		asJSON    bool
+		balancers bool
+		wantErr   string // substring, "" = must succeed
 	}{
-		{"defaults", 1, 4, "1,2,3,4,5,6", false, false, ""},
-		{"json mode", 0.05, 2, "4", false, true, ""},
-		{"faulted table", 1, 4, "5f", false, false, ""},
-		{"zero scale", 0, 4, "1", false, false, "-scale must be > 0"},
-		{"negative scale", -1, 4, "1", false, false, "-scale must be > 0"},
-		{"zero steps", 1, 0, "1", false, false, "-steps must be > 0"},
-		{"negative steps", 1, -2, "1", false, false, "-steps must be > 0"},
-		{"unknown table", 1, 4, "1,9", false, false, `unknown table "9"`},
-		{"garbage table", 1, 4, "five", false, false, `unknown table "five"`},
-		{"empty selection", 1, 4, "", false, false, "empty table selection"},
-		{"figures with json", 1, 4, "1", true, true, "no effect with -json"},
+		{"defaults", 1, 4, "1,2,3,4,5,6", false, false, false, ""},
+		{"json mode", 0.05, 2, "4", false, true, false, ""},
+		{"faulted table", 1, 4, "5f", false, false, false, ""},
+		{"zero scale", 0, 4, "1", false, false, false, "-scale must be > 0"},
+		{"negative scale", -1, 4, "1", false, false, false, "-scale must be > 0"},
+		{"zero steps", 1, 0, "1", false, false, false, "-steps must be > 0"},
+		{"negative steps", 1, -2, "1", false, false, false, "-steps must be > 0"},
+		{"unknown table", 1, 4, "1,9", false, false, false, `unknown table "9"`},
+		{"garbage table", 1, 4, "five", false, false, false, `unknown table "five"`},
+		{"empty selection", 1, 4, "", false, false, false, "empty table selection"},
+		{"figures with json", 1, 4, "1", true, true, false, "no effect with -json"},
+		{"balancers mode", 0.05, 4, "1,2,3,4,5,6", false, false, true, ""},
+		{"balancers json", 0.05, 4, "1,2,3,4,5,6", false, true, true, ""},
+		{"balancers ignores -only", 0.05, 4, "bogus", false, false, true, ""},
+		{"balancers with figures", 1, 4, "1", true, false, true, "no effect with -balancers"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			cfg, err := validateTablesFlags(c.scale, c.steps, c.only, c.figures, c.asJSON, nil)
+			cfg, err := validateTablesFlags(c.scale, c.steps, c.only, c.figures, c.asJSON, c.balancers, nil)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
 				}
-				if len(cfg.want) == 0 {
+				if !c.balancers && len(cfg.want) == 0 {
 					t.Fatal("valid flags produced empty selection")
+				}
+				if c.balancers && !cfg.balancers {
+					t.Fatal("balancers flag lost in validation")
 				}
 				return
 			}

@@ -7,6 +7,7 @@
 // straggler (the robustness experiment; see package fault).
 //
 //	tables [-scale f] [-steps n] [-only 1,2,3,4,5,5f,6] [-v] [-json]
+//	tables -balancers [-scale f] [-steps n] [-v] [-json]
 package main
 
 import (
@@ -20,16 +21,17 @@ import (
 
 // tablesConfig is the validated form of the command-line flags.
 type tablesConfig struct {
-	opt     overd.Options
-	want    map[string]bool
-	figures bool
-	asJSON  bool
+	opt       overd.Options
+	want      map[string]bool
+	figures   bool
+	asJSON    bool
+	balancers bool
 }
 
 // validateTablesFlags turns raw flag values into a runnable config,
 // rejecting nonsensical inputs with a clear error instead of letting them
 // degrade into silent defaults or a hung run.
-func validateTablesFlags(scale float64, steps int, only string, figures, asJSON bool, logw io.Writer) (tablesConfig, error) {
+func validateTablesFlags(scale float64, steps int, only string, figures, asJSON, balancers bool, logw io.Writer) (tablesConfig, error) {
 	if scale <= 0 {
 		return tablesConfig{}, fmt.Errorf("-scale must be > 0 (got %g)", scale)
 	}
@@ -39,16 +41,25 @@ func validateTablesFlags(scale float64, steps int, only string, figures, asJSON 
 	if figures && asJSON {
 		return tablesConfig{}, fmt.Errorf("-figures has no effect with -json; pick one output mode")
 	}
+	if balancers && figures {
+		return tablesConfig{}, fmt.Errorf("-figures has no effect with -balancers; pick one output mode")
+	}
+	cfg := tablesConfig{
+		opt:       overd.Options{Scale: scale, Steps: steps, Log: logw},
+		figures:   figures,
+		asJSON:    asJSON,
+		balancers: balancers,
+	}
+	if balancers {
+		// The sweep replaces the paper tables; -only is ignored.
+		return cfg, nil
+	}
 	want, err := overd.ParseTableSelection(only)
 	if err != nil {
 		return tablesConfig{}, err
 	}
-	return tablesConfig{
-		opt:     overd.Options{Scale: scale, Steps: steps, Log: logw},
-		want:    want,
-		figures: figures,
-		asJSON:  asJSON,
-	}, nil
+	cfg.want = want
+	return cfg, nil
 }
 
 func main() {
@@ -58,6 +69,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	figures := flag.Bool("figures", false, "render the speedup figures (Figs. 5/7/10) as text plots")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per table row instead of text")
+	balancers := flag.Bool("balancers", false, "race every registered load balancer across cases, machines and fault plans instead of the paper tables")
 	flag.Parse()
 
 	var logw io.Writer
@@ -70,9 +82,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg, err := validateTablesFlags(*scale, *steps, *only, *figures, *asJSON, logw)
+	cfg, err := validateTablesFlags(*scale, *steps, *only, *figures, *asJSON, *balancers, logw)
 	if err != nil {
 		fail(err)
+	}
+
+	if cfg.balancers {
+		rows, err := overd.RunBalancerSweep(cfg.opt)
+		if err != nil {
+			fail(err)
+		}
+		if cfg.asJSON {
+			if err := overd.EmitBalancerSweepJSON(os.Stdout, rows); err != nil {
+				fail(err)
+			}
+			return
+		}
+		overd.FprintBalancerSweep(os.Stdout, rows)
+		return
 	}
 
 	if cfg.asJSON {

@@ -53,11 +53,15 @@ func NewRunner(sys *System, nodes int, fs flow.Freestream, grouping bool) (*Runn
 		return nil, fmt.Errorf("adapt: need at least one node")
 	}
 	ru := &Runner{Sys: sys, FS: fs}
-	if grouping {
-		ru.Groups = balance.Group(sys.Sizes(), sys.Connected, nodes)
-	} else {
-		ru.Groups = balance.RoundRobin(len(sys.Bricks), nodes)
+	name := "group"
+	if !grouping {
+		name = "roundrobin"
 	}
+	gr, err := balance.NewGrouper(name)
+	if err != nil {
+		return nil, err
+	}
+	ru.Groups = gr.Group(sys.Sizes(), sys.Connected, nodes)
 	ru.GroupOf = make([]int, len(sys.Bricks))
 	for g, members := range ru.Groups {
 		for _, b := range members {

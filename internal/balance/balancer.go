@@ -1,0 +1,342 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overd/internal/grid"
+)
+
+// Input is everything an initial-plan balancer may consult: the per-grid
+// point counts and index dimensions Algorithm 1 uses, the world-space grid
+// centers the SFC scheme orders by, the processor count, and the
+// subdivision flavor (slabs is the Fig. 4 ablation baseline).
+type Input struct {
+	// Sizes are the component gridpoint counts g(n).
+	Sizes []int
+	// Dims are the per-component index dimensions.
+	Dims [][3]int
+	// Centers are the world-space grid centers (geometry input for
+	// space-filling-curve placement); may be nil for balancers that do
+	// not consult geometry.
+	Centers [][3]float64
+	// NP is the processor count to distribute.
+	NP int
+	// Slabs selects 1-D slab subdomains instead of the prime-factor
+	// minimal-surface subdivision.
+	Slabs bool
+}
+
+// Balancer produces a complete initial partition, boxes filled. All
+// registered balancers are deterministic: the same Input yields the same
+// Plan, which is what lets the sweep harness and the serve cache treat a
+// balancer name as part of a run's identity.
+type Balancer interface {
+	// Name is the registry name ("static", "dynamic", "sfc", ...).
+	Name() string
+	// Plan computes the initial partition with every Part's Box filled.
+	Plan(in Input) (*Plan, error)
+}
+
+// Needs declares which step-boundary measurements a StepBalancer wants
+// gathered. Each gathered quantity costs one modeled collective per check,
+// so the runtime gathers only what the balancer asks for — a balancer that
+// needs nothing (Active() false) perturbs no virtual clock at all.
+type Needs struct {
+	// IGBPs requests the per-rank received intergrid-boundary-point counts
+	// (Algorithm 2's I(p)).
+	IGBPs bool
+	// Waits requests the per-rank busy and blocked virtual seconds since
+	// the previous check (the trace layer's decomposition, measured live).
+	Waits bool
+}
+
+// Feedback is the step-boundary measurement delivered to Rebalance. Only
+// the slices matching Needs are populated; all are indexed by rank and
+// identical on every rank (they come off a collective).
+type Feedback struct {
+	// Step is the 0-based timestep the check runs after.
+	Step int
+	// ReceivedIGBPs are the per-rank received IGBP counts since the last
+	// connectivity solve (when Needs.IGBPs).
+	ReceivedIGBPs []int
+	// Busy and Wait are per-rank virtual seconds since the previous check:
+	// Busy is clock advance minus blocked time, Wait the blocked time
+	// (receive + barrier + fault wait). Populated when Needs.Waits.
+	Busy []float64
+	Wait []float64
+}
+
+// StepResult summarizes one step-boundary rebalance decision.
+type StepResult struct {
+	// Rebalanced reports whether a new plan was produced.
+	Rebalanced bool
+	// MaxF is the maximum observed load factor (scheme-specific: received
+	// IGBPs over the mean for the dynamic scheme, busy time over the mean
+	// for the diffusive one).
+	MaxF float64
+}
+
+// StepBalancer is a Balancer with a periodic step-boundary rebalance hook.
+// The runtime consults Active() once per run: an inactive step balancer is
+// treated as a pure initial-plan balancer and triggers no measurement
+// collectives, keeping such runs bit-identical to static ones.
+type StepBalancer interface {
+	Balancer
+	// Active reports whether the step hook should run at all.
+	Active() bool
+	// Needs declares the measurements to gather before each Rebalance.
+	Needs() Needs
+	// Rebalance inspects the feedback and either returns the current plan
+	// unchanged or a new plan with boxes filled. It must be a
+	// deterministic pure function of its arguments: every rank calls it
+	// with identical inputs and must reach the identical decision.
+	Rebalance(cur *Plan, in Input, fb Feedback) (*Plan, StepResult, error)
+}
+
+// Params carries the user-facing tuning knobs into a balancer factory.
+type Params struct {
+	// Fo is the load factor: the dynamic scheme's I(p)/Ī trigger, and
+	// (when finite and > 1) the diffusive scheme's busy-ratio threshold.
+	Fo float64
+	// CheckInterval is the number of timesteps between step-boundary
+	// checks (enforced by the runtime, recorded here for reference).
+	CheckInterval int
+}
+
+// Factory builds a balancer from its parameters.
+type Factory func(p Params) Balancer
+
+var registry = map[string]Factory{}
+
+// Register adds a balancer factory under a unique name. Called from init
+// functions; a duplicate name is a programming error and panics.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("balance: duplicate balancer %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named balancer, or an error naming the valid choices.
+func New(name string, p Params) (Balancer, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("balance: unknown balancer %q (valid: %s)",
+			name, namesList())
+	}
+	return f(p), nil
+}
+
+// Names returns the registered balancer names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func namesList() string {
+	s := ""
+	for i, n := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// ValidateSelection checks a balancer name against the registry and the
+// compatibility of the dynamic load factor fo with it (fo as the runtime
+// sees it: +Inf or 0 means "no dynamic scheme"). It exists so the flag
+// surface and the job service reject contradictions — a "static" run with a
+// finite fo, a "dynamic" run with none — with one shared rule.
+func ValidateSelection(name string, fo float64) error {
+	if name == "" {
+		// Unset: the runtime resolves it from fo, which cannot contradict
+		// itself.
+		return nil
+	}
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("balance: unknown balancer %q (valid: %s)", name, namesList())
+	}
+	finite := fo > 0 && !math.IsInf(fo, 1)
+	switch name {
+	case "dynamic":
+		if !finite {
+			return fmt.Errorf("balance: the dynamic balancer needs a finite load factor fo > 0 (got %g)", fo)
+		}
+	case "static", "sfc":
+		if finite {
+			return fmt.Errorf("balance: fo %g has no effect on the %s balancer (it never rebalances); leave it unset", fo, name)
+		}
+	case "diffusive":
+		if finite && fo <= 1 {
+			return fmt.Errorf("balance: the diffusive busy-ratio threshold must exceed 1 (got fo %g)", fo)
+		}
+	}
+	return nil
+}
+
+func init() {
+	Register("static", func(Params) Balancer { return staticBalancer{} })
+	Register("dynamic", func(p Params) Balancer {
+		return &dynamicBalancer{d: Dynamic{Fo: p.Fo, CheckInterval: p.CheckInterval}}
+	})
+}
+
+// fillBoxes fills a plan's boxes with the subdivision flavor the input
+// selects.
+func fillBoxes(plan *Plan, in Input) {
+	if in.Slabs {
+		SubdividePlanSlabs(plan, in.Dims)
+	} else {
+		SubdividePlan(plan, in.Dims)
+	}
+}
+
+// staticBalancer is Algorithm 1 behind the interface: the paper's
+// gridpoint-volume distribution with prime-factor minimal-surface
+// subdivision, and no step hook.
+type staticBalancer struct{}
+
+func (staticBalancer) Name() string { return "static" }
+
+func (staticBalancer) Plan(in Input) (*Plan, error) {
+	plan, err := Static(in.Sizes, in.NP)
+	if err != nil {
+		return nil, err
+	}
+	fillBoxes(plan, in)
+	return plan, nil
+}
+
+// dynamicBalancer is Algorithm 2 behind the interface: a static initial
+// plan plus the connectivity-driven regrow check at step boundaries. With a
+// disabled load factor (fo <= 0 or +Inf) it is inert and the runtime treats
+// it exactly like the static balancer.
+type dynamicBalancer struct {
+	staticBalancer
+	d Dynamic
+}
+
+func (b *dynamicBalancer) Name() string { return "dynamic" }
+
+func (b *dynamicBalancer) Active() bool {
+	return b.d.Fo > 0 && !math.IsInf(b.d.Fo, 1)
+}
+
+func (b *dynamicBalancer) Needs() Needs { return Needs{IGBPs: true} }
+
+func (b *dynamicBalancer) Rebalance(cur *Plan, in Input, fb Feedback) (*Plan, StepResult, error) {
+	newPlan, res, err := b.d.Check(cur, in.Sizes, fb.ReceivedIGBPs)
+	if err != nil || !res.Rebalanced {
+		return cur, StepResult{MaxF: res.MaxF}, err
+	}
+	// The dynamic scheme always re-cuts with the minimal-surface rule, as
+	// the original in-loop implementation did.
+	SubdividePlan(newPlan, in.Dims)
+	return newPlan, StepResult{Rebalanced: true, MaxF: res.MaxF}, nil
+}
+
+// MovedPoints counts the gridpoints whose owning rank differs between two
+// box-filled plans of the same grid system — the volume the repartition
+// actually shipped. Computed host-side from box intersections so recording
+// it costs no collective (and therefore perturbs no virtual clock).
+func MovedPoints(oldPlan, newPlan *Plan) int {
+	moved := 0
+	for _, np := range newPlan.Parts {
+		for _, op := range oldPlan.Parts {
+			if op.Grid != np.Grid || op.Rank == np.Rank {
+				continue
+			}
+			if ix := op.Box.Intersect(np.Box); ix.Valid() {
+				moved += ix.Count()
+			}
+		}
+	}
+	return moved
+}
+
+// Grouper is the coarse-grained counterpart of Balancer for the §5
+// many-small-grids regime: instead of splitting component grids across
+// ranks it assigns whole grids to m groups (one per node). Algorithm 3 and
+// the locality-blind round-robin baseline both implement it; the adaptive
+// Cartesian runner picks one by name.
+type Grouper interface {
+	// Name is the registry name ("group" or "roundrobin").
+	Name() string
+	// Group assigns each grid index to exactly one of m groups. connected
+	// reports intergrid overlap (the communication edges Algorithm 3
+	// keeps within a group).
+	Group(sizes []int, connected func(a, b int) bool, m int) [][]int
+}
+
+var grouperRegistry = map[string]Grouper{
+	"group":      alg3Grouper{},
+	"roundrobin": roundRobinGrouper{},
+}
+
+// NewGrouper resolves a grouping strategy by name.
+func NewGrouper(name string) (Grouper, error) {
+	g, ok := grouperRegistry[name]
+	if !ok {
+		names := make([]string, 0, len(grouperRegistry))
+		for n := range grouperRegistry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s := ""
+		for i, n := range names {
+			if i > 0 {
+				s += ", "
+			}
+			s += n
+		}
+		return nil, fmt.Errorf("balance: unknown grouper %q (valid: %s)", name, s)
+	}
+	return g, nil
+}
+
+// alg3Grouper is Algorithm 3 behind the Grouper interface.
+type alg3Grouper struct{}
+
+func (alg3Grouper) Name() string { return "group" }
+func (alg3Grouper) Group(sizes []int, connected func(a, b int) bool, m int) [][]int {
+	return Group(sizes, connected, m)
+}
+
+// roundRobinGrouper is the locality-blind baseline.
+type roundRobinGrouper struct{}
+
+func (roundRobinGrouper) Name() string { return "roundrobin" }
+func (roundRobinGrouper) Group(sizes []int, connected func(a, b int) bool, m int) [][]int {
+	return RoundRobin(len(sizes), m)
+}
+
+// subdivideSlabs cuts a box into count 1-D slabs along its largest
+// dimension, bisecting the largest piece greedily when the dimension cannot
+// honor the count (shared by SubdividePlanSlabs and the SFC balancer's slab
+// mode).
+func subdivideSlabs(full grid.IBox, count int) []grid.IBox {
+	boxes := full.SplitDim(full.LargestDim(), count)
+	for len(boxes) < count && len(boxes) < full.Count() {
+		bi, bc := 0, 0
+		for i, p := range boxes {
+			if c := p.Count(); c > bc {
+				bi, bc = i, c
+			}
+		}
+		p := boxes[bi]
+		halves := p.SplitDim(p.LargestDim(), 2)
+		if len(halves) < 2 {
+			break
+		}
+		boxes = append(boxes[:bi], append(halves, boxes[bi+1:]...)...)
+	}
+	return boxes
+}

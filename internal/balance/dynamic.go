@@ -1,5 +1,7 @@
 package balance
 
+import "math"
+
 // Dynamic implements Algorithm 2, the connectivity-solution re-balancer.
 //
 // After the solution has run for a specified number of timesteps, the
@@ -38,7 +40,10 @@ func (d Dynamic) Check(plan *Plan, sizes []int, receivedIGBPs []int) (*Plan, Res
 	if len(receivedIGBPs) != np {
 		return plan, res, errLenMismatch(np, len(receivedIGBPs))
 	}
-	if d.Fo <= 0 || isInf(d.Fo) {
+	// Fo <= 0 (which also catches -Inf) and +Inf both mean "disabled";
+	// NaN can never compare above any load factor, so treat it the same
+	// way instead of silently running a check that cannot fire.
+	if d.Fo <= 0 || math.IsInf(d.Fo, 1) || math.IsNaN(d.Fo) {
 		return plan, res, nil
 	}
 
@@ -95,8 +100,6 @@ func (d Dynamic) Check(plan *Plan, sizes []int, receivedIGBPs []int) (*Plan, Res
 	res.Rebalanced = true
 	return newPlan, res, nil
 }
-
-func isInf(f float64) bool { return f > 1e300 }
 
 type lenErr struct{ want, got int }
 

@@ -247,22 +247,9 @@ func SubdividePlanSlabs(plan *Plan, dims [][3]int) {
 	idx := 0
 	for n, count := range plan.Np {
 		full := grid.FullBox(dims[n][0], dims[n][1], dims[n][2])
-		boxes := full.SplitDim(full.LargestDim(), count)
-		// Degenerate grids may not honor count slabs; bisect the largest.
-		for len(boxes) < count && len(boxes) < full.Count() {
-			bi, bc := 0, 0
-			for i, p := range boxes {
-				if c := p.Count(); c > bc {
-					bi, bc = i, c
-				}
-			}
-			p := boxes[bi]
-			halves := p.SplitDim(p.LargestDim(), 2)
-			if len(halves) < 2 {
-				break
-			}
-			boxes = append(boxes[:bi], append(halves, boxes[bi+1:]...)...)
-		}
+		// Degenerate grids may not honor count slabs; subdivideSlabs
+		// bisects the largest piece until the count is met.
+		boxes := subdivideSlabs(full, count)
 		for _, b := range boxes {
 			plan.Parts[idx].Box = b
 			idx++

@@ -44,6 +44,7 @@ func publishRunMetrics(reg *metrics.Registry, res *Result) {
 	g("overd_run_orphans", "final orphan count", float64(res.Orphans))
 	g("overd_run_static_tau", "static balancer converged tolerance factor", res.Tau)
 	c("overd_run_rebalances_total", "dynamic-scheme repartitions", float64(res.Rebalances))
+	c("overd_run_moved_points_total", "gridpoints shipped by step-boundary repartitions", float64(res.MovedPoints))
 
 	mod := reg.Gauge("overd_run_module_seconds", metrics.Opts{
 		Help: "virtual seconds per timestep module (rank 0)", Global: true,

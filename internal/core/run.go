@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"overd/internal/balance"
 	"overd/internal/cases"
@@ -35,6 +36,13 @@ type Config struct {
 	Fo float64
 	// CheckInterval is the number of steps between dynamic-balance checks.
 	CheckInterval int
+	// Balancer selects the load-balancing scheme by registry name
+	// ("static", "dynamic", "sfc", "diffusive"; see package balance).
+	// Empty resolves from Fo for compatibility: a finite positive Fo means
+	// "dynamic", anything else "static" — exactly the pre-interface
+	// behavior, bit for bit. Run stores the resolved name back into
+	// Result.Config.Balancer.
+	Balancer string
 	// CFL scales the stability-limited timestep when the case's DT is 0.
 	CFL float64
 	// Sample optionally extracts field and surface data from the final
@@ -147,8 +155,12 @@ type Result struct {
 	// Per-module blocked time (rank 0's receive + barrier wait seconds)
 	// over the measured steps; subsets of the matching phase totals.
 	FlowWaitTime, MotionWaitTime, ConnectWaitTime, BalanceWaitTime float64
-	// Rebalances counts dynamic-scheme repartitions.
+	// Rebalances counts step-boundary repartitions (dynamic or diffusive
+	// scheme).
 	Rebalances int
+	// MovedPoints is the total gridpoint volume those repartitions
+	// shipped between ranks (owner changed), summed over all rebalances.
+	MovedPoints int
 	// IGBPs is the steady-state composite fringe count.
 	IGBPs int
 	// Orphans is the final orphan count.
@@ -261,6 +273,34 @@ func Run(cfg Config) (*Result, error) {
 	sizes := c.GridSizes()
 	dims := c.GridDims()
 
+	// Resolve the balancer. The empty name reproduces the historical
+	// behavior exactly: a finite positive Fo selects the dynamic scheme,
+	// anything else pure static balancing.
+	if cfg.Balancer == "" {
+		if cfg.Fo > 0 && !math.IsInf(cfg.Fo, 1) {
+			cfg.Balancer = "dynamic"
+		} else {
+			cfg.Balancer = "static"
+		}
+	}
+	bal, err := balance.New(cfg.Balancer, balance.Params{
+		Fo: cfg.Fo, CheckInterval: cfg.CheckInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Grid centers feed geometry-aware balancers (SFC placement); computed
+	// host-side, they cost no virtual time and are ignored by the others.
+	centers := make([][3]float64, len(c.Sys.Grids))
+	for i, g := range c.Sys.Grids {
+		b := g.Bounds()
+		centers[i] = [3]float64{
+			(b.Min.X + b.Max.X) / 2,
+			(b.Min.Y + b.Max.Y) / 2,
+			(b.Min.Z + b.Max.Z) / 2,
+		}
+	}
+
 	eng := fault.NewEngine(cfg.Faults)
 	ckEvery := cfg.CheckpointEvery
 	if ckEvery == 0 && cfg.Faults.HasCrashes() {
@@ -274,14 +314,13 @@ func Run(cfg Config) (*Result, error) {
 	var rec recovery
 	var ck *checkpoint
 	for {
-		plan, err := balance.Static(sizes, nodes)
+		input := balance.Input{
+			Sizes: sizes, Dims: dims, Centers: centers,
+			NP: nodes, Slabs: cfg.SlabDecomp,
+		}
+		plan, err := bal.Plan(input)
 		if err != nil {
 			return nil, err
-		}
-		if cfg.SlabDecomp {
-			balance.SubdividePlanSlabs(plan, dims)
-		} else {
-			balance.SubdividePlan(plan, dims)
 		}
 
 		// The world's machine copy carries the fault hooks; cfg.Machine
@@ -301,6 +340,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		st := newRunState(cfg, plan)
 		st.eng, st.ckEvery = eng, ckEvery
+		st.balInput = input
+		if sb, ok := bal.(balance.StepBalancer); ok && sb.Active() {
+			// Only an active step balancer gathers measurements at check
+			// boundaries; anything else leaves the balance phase exactly
+			// as a pure static run (bit-identical clocks).
+			st.stepBal = sb
+		}
 		if ck != nil {
 			st.restoreFrom(ck)
 		}
@@ -409,6 +455,7 @@ func (st *runState) finish() *Result {
 	res.Config = st.cfg
 	res.Steps = st.stats
 	res.Rebalances = st.rebalances
+	res.MovedPoints = st.movedPoints
 	res.Np = append([]int(nil), st.plan.Np...)
 	res.Tau = st.plan.Tau
 	res.FinalNodes = st.plan.NP()
@@ -447,9 +494,20 @@ type runState struct {
 
 	dt float64
 
-	stats      []StepStats
-	rebalances int
-	result     Result
+	stats       []StepStats
+	rebalances  int
+	movedPoints int
+	result      Result
+
+	// Step-boundary balancer state: stepBal is non-nil only when the
+	// resolved balancer has an active step hook; balInput is the planning
+	// input re-presented at each check; prevClock/prevWait are per-rank
+	// snapshots from the previous check, used to compute busy/wait deltas
+	// for balancers that need them.
+	stepBal   balance.StepBalancer
+	balInput  balance.Input
+	prevClock []float64
+	prevWait  []float64
 
 	// Fault layer (nil/zero on unfaulted runs).
 	eng     *fault.Engine
@@ -476,11 +534,13 @@ type runState struct {
 func newRunState(cfg Config, plan *balance.Plan) *runState {
 	n := plan.NP()
 	st := &runState{
-		cfg:      cfg,
-		plan:     plan,
-		blocks:   make([]*flow.Block, n),
-		solvers:  make([]*dcf.Solver, n),
-		preFlops: make([]float64, n),
+		cfg:       cfg,
+		plan:      plan,
+		blocks:    make([]*flow.Block, n),
+		solvers:   make([]*dcf.Solver, n),
+		preFlops:  make([]float64, n),
+		prevClock: make([]float64, n),
+		prevWait:  make([]float64, n),
 	}
 	return st
 }

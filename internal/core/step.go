@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"overd/internal/balance"
 	"overd/internal/dcf"
 	"overd/internal/flow"
@@ -82,6 +80,11 @@ func (st *runState) rankMain(r *par.Rank) {
 	// straight-line code right after the preprocessing barrier, before any
 	// blocking call could observe a peer's crash.
 	st.preFlops[r.ID] = s0Flops
+	// Busy/wait baselines for wait-fed step balancers: deltas start at the
+	// measurement window, not at rank launch, so preprocessing cost never
+	// reads as timestep-loop imbalance.
+	st.prevClock[r.ID] = r.Clock
+	st.prevWait[r.ID] = r.TotalWaitTime()
 	if r.ID == 0 {
 		st.measStart = startClock
 		st.preMod = [8]float64{s0Flow, s0Motion, s0Connect, s0Balance,
@@ -126,11 +129,13 @@ func (st *runState) rankMain(r *par.Rank) {
 		st.blocks[r.ID].RefreshMasks()
 		r.Barrier()
 
-		// Dynamic load balance check (Algorithm 2).
+		// Step-boundary load balance check (Algorithm 2 or a registered
+		// competitor). stepBal is nil unless the resolved balancer has an
+		// active step hook, so static-style runs cross this phase without
+		// a single collective.
 		r.SetPhase(par.PhaseBalance)
-		if st.cfg.Fo > 0 && !math.IsInf(st.cfg.Fo, 1) &&
-			(step+1)%st.cfg.CheckInterval == 0 {
-			st.dynamicCheck(r)
+		if st.stepBal != nil && (step+1)%st.cfg.CheckInterval == 0 {
+			st.balanceStep(r, step)
 		}
 		r.Barrier()
 		if step == st.cfg.Steps-1 {
@@ -322,21 +327,41 @@ func isFirstRankOfGrid(plan *balance.Plan, rank, gi int) bool {
 	return false
 }
 
-// dynamicCheck runs Algorithm 2 collectively: gather I(p), decide
-// deterministically on every rank, and repartition if the scheme grew any
-// grid's processor count.
-func (st *runState) dynamicCheck(r *par.Rank) {
-	recvAny := r.AllGather(st.solvers[r.ID].ReceivedIGBPs, 8)
-	recv := make([]int, len(recvAny))
-	for i, v := range recvAny {
-		recv[i] = v.(int)
+// balanceStep runs the active step balancer's check collectively: gather
+// exactly the measurements it declared (each gather is a modeled
+// collective, identical on every rank), decide deterministically
+// everywhere, and repartition if a new plan came back.
+func (st *runState) balanceStep(r *par.Rank, step int) {
+	needs := st.stepBal.Needs()
+	fb := balance.Feedback{Step: step}
+	if needs.IGBPs {
+		recvAny := r.AllGather(st.solvers[r.ID].ReceivedIGBPs, 8)
+		recv := make([]int, len(recvAny))
+		for i, v := range recvAny {
+			recv[i] = v.(int)
+		}
+		fb.ReceivedIGBPs = recv
 	}
-	d := balance.Dynamic{Fo: st.cfg.Fo, CheckInterval: st.cfg.CheckInterval}
-	newPlan, res, err := d.Check(st.plan, st.cfg.Case.GridSizes(), recv)
-	if err != nil || !res.Rebalanced {
+	if needs.Waits {
+		// Busy/wait deltas since the previous check: clock advance minus
+		// blocked time is compute+send-overhead time, the diffusive
+		// scheme's load signal. One 16-byte gather ships both.
+		wait := r.TotalWaitTime() - st.prevWait[r.ID]
+		busy := (r.Clock - st.prevClock[r.ID]) - wait
+		bwAny := r.AllGather([2]float64{busy, wait}, 16)
+		fb.Busy = make([]float64, len(bwAny))
+		fb.Wait = make([]float64, len(bwAny))
+		for i, v := range bwAny {
+			bw := v.([2]float64)
+			fb.Busy[i], fb.Wait[i] = bw[0], bw[1]
+		}
+		st.prevClock[r.ID] = r.Clock
+		st.prevWait[r.ID] = r.TotalWaitTime()
+	}
+	newPlan, _, err := st.stepBal.Rebalance(st.plan, st.balInput, fb)
+	if err != nil || newPlan == st.plan {
 		return
 	}
-	balance.SubdividePlan(newPlan, st.cfg.Case.GridDims())
 	st.repartition(r, newPlan)
 }
 
@@ -351,6 +376,9 @@ func (st *runState) repartition(r *par.Rank, newPlan *balance.Plan) {
 	if r.ID == 0 {
 		st.plan = newPlan
 		st.rebalances++
+		// The shipped volume, from box intersections: host-side, so the
+		// accounting itself costs no collective.
+		st.movedPoints += balance.MovedPoints(oldPlan, newPlan)
 		st.buildBlocks()
 	}
 	r.Barrier()

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"overd"
@@ -44,6 +45,12 @@ type Job struct {
 	// CheckEvery is the number of steps between dynamic-balance checks.
 	// Default 5.
 	CheckEvery int `json:"check_every"`
+	// Balancer selects the load-balancing strategy by registry name
+	// (overd.BalancerNames). Empty resolves from Fo — "dynamic" when
+	// Fo > 0, "static" otherwise — so older requests hash as before the
+	// field's introduction only in spelling, not in meaning: the resolved
+	// name is canonical and participates in the cache key.
+	Balancer string `json:"balancer"`
 	// Tables optionally selects paper tables ("1".."6", "5f") to
 	// regenerate at this job's Scale/Steps and append to the tables
 	// artifact after the run's own rows.
@@ -191,6 +198,16 @@ func (j Job) NormalizeLimits(lim Limits) (Job, error) {
 	if n.CheckEvery < 0 {
 		return n, fmt.Errorf("job: check_every %d: the balance-check interval must be positive", n.CheckEvery)
 	}
+	if n.Balancer == "" {
+		if n.Fo > 0 {
+			n.Balancer = "dynamic"
+		} else {
+			n.Balancer = "static"
+		}
+	}
+	if err := overd.ValidateBalancer(n.Balancer, foRuntime(n.Fo)); err != nil {
+		return n, fmt.Errorf("job: %w", err)
+	}
 
 	if len(n.Tables) > 0 {
 		sel, err := overd.ParseTableSelection(strings.Join(n.Tables, ","))
@@ -240,6 +257,16 @@ func (j Job) NormalizeLimits(lim Limits) (Job, error) {
 		return n, fmt.Errorf("job: max_steps %d is below the %d steps the run needs; it would always be cancelled", n.MaxSteps, n.Steps)
 	}
 	return n, nil
+}
+
+// foRuntime maps the job-model load-balance factor (0 = disabled, JSON has
+// no +Inf) to the runtime convention (+Inf = disabled) that the balancer
+// validation rules are written against.
+func foRuntime(fo float64) float64 {
+	if fo > 0 {
+		return fo
+	}
+	return math.Inf(1)
 }
 
 // Canonical returns the canonical JSON bytes of the job. It must be called

@@ -13,9 +13,53 @@ func TestJobNormalizeDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Job{Case: "airfoil", Machine: "SP2", Nodes: 8, Steps: 5, Scale: 1, CheckEvery: 5}
+	want := Job{Case: "airfoil", Machine: "SP2", Nodes: 8, Steps: 5, Scale: 1, CheckEvery: 5, Balancer: "static"}
 	if !reflect.DeepEqual(n, want) {
 		t.Errorf("normalized = %+v, want %+v", n, want)
+	}
+}
+
+// TestJobBalancerResolution pins the canonical balancer field: empty
+// resolves from fo (so pre-field requests keep one meaning), explicit
+// spellings canonicalize, and contradictions are rejected.
+func TestJobBalancerResolution(t *testing.T) {
+	n, err := Job{Case: "airfoil", Fo: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Balancer != "dynamic" {
+		t.Errorf("fo=2 resolved to %q, want dynamic", n.Balancer)
+	}
+	// An explicit spelling of the resolved default is the same job.
+	implicit, _ := Job{Case: "airfoil"}.Normalize()
+	explicit, err := Job{Case: "airfoil", Balancer: "static"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("implicit and explicit static balancer hash apart")
+	}
+	// Different balancer, different result, different cache entry.
+	sfc, err := Job{Case: "airfoil", Balancer: "sfc"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfc.Hash() == implicit.Hash() {
+		t.Error("sfc and static jobs share a hash")
+	}
+	bad := []struct {
+		job  Job
+		want string
+	}{
+		{Job{Case: "airfoil", Balancer: "magic"}, "unknown balancer"},
+		{Job{Case: "airfoil", Balancer: "dynamic"}, "finite load factor"},
+		{Job{Case: "airfoil", Balancer: "static", Fo: 2}, "no effect"},
+		{Job{Case: "airfoil", Balancer: "diffusive", Fo: 0.5}, "must exceed 1"},
+	}
+	for _, c := range bad {
+		if _, err := c.job.Normalize(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%+v: err = %v, want %q", c.job, err, c.want)
+		}
 	}
 }
 

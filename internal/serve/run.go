@@ -56,7 +56,8 @@ func RunJob(ctx context.Context, job Job, progress func(Event)) (*Artifacts, err
 	cfg := overd.Config{
 		Case: mk(job.Scale), Nodes: job.Nodes, Machine: m,
 		Steps: job.Steps, Fo: fo, CheckInterval: job.CheckEvery,
-		Faults: job.Faults, CheckpointEvery: job.CheckpointEvery,
+		Balancer: job.Balancer,
+		Faults:   job.Faults, CheckpointEvery: job.CheckpointEvery,
 		Trace: rec, Metrics: reg,
 	}
 	// The cancellation hook. Each poll marks one completed step, so the

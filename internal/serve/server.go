@@ -562,11 +562,22 @@ func (s *Server) recordDurLocked(d float64) {
 	s.durNext = (s.durNext + 1) % durWindow
 }
 
+// minEstJobDur floors the per-job duration used for deadline shedding. A
+// ring full of near-zero durations (instant cache hits, stub runners)
+// would otherwise estimate a zero wait for any backlog and quietly disable
+// shedding entirely; no real solve finishes in under a second.
+const minEstJobDur = 1.0
+
 // estQueueWaitLocked estimates how long a job admitted now would wait for
 // a worker: everything queued ahead of it, spread over the pool, at the
-// mean recent duration.
+// mean recent duration (floored at minEstJobDur — the floor applies only
+// here, so Retry-After advice still tracks the true mean).
 func (s *Server) estQueueWaitLocked() float64 {
-	return s.meanDurLocked() * float64(s.queued) / float64(s.cfg.Workers)
+	mean := s.meanDurLocked()
+	if mean < minEstJobDur {
+		mean = minEstJobDur
+	}
+	return mean * float64(s.queued) / float64(s.cfg.Workers)
 }
 
 // retryAfterLocked turns the current backlog into honest backoff advice:

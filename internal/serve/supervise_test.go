@@ -364,6 +364,41 @@ func TestRetryAfterScalesWithBacklog(t *testing.T) {
 	}
 }
 
+// TestEstQueueWaitDegenerateRing pins the shedding floor: a duration ring
+// full of near-zero entries (instant cache hits, stub runners) must not
+// estimate a zero wait for a deep backlog — that would silently disable
+// deadline shedding exactly when the history is least representative. The
+// floor applies only to the shedding estimate; Retry-After keeps tracking
+// the true mean.
+func TestEstQueueWaitDegenerateRing(t *testing.T) {
+	s, err := NewServer(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < durWindow; i++ {
+		s.recordDurLocked(1e-6)
+	}
+	s.queued = 10
+
+	if est := s.estQueueWaitLocked(); est < 10*minEstJobDur/2 {
+		t.Errorf("degenerate ring: estimated wait %gs for 10 queued on 2 workers, want >= %g",
+			est, 10*minEstJobDur/2)
+	}
+	if ra := s.retryAfterLocked(); ra != 1 {
+		t.Errorf("Retry-After = %d with a near-zero mean, want the 1s clamp (floor must not leak here)", ra)
+	}
+
+	// A healthy ring is unaffected by the floor.
+	s.durs = s.durs[:0]
+	s.durNext = 0
+	for i := 0; i < durWindow; i++ {
+		s.recordDurLocked(4.0)
+	}
+	if est := s.estQueueWaitLocked(); est != 4.0*10/2 {
+		t.Errorf("healthy ring: estimated wait %gs, want 20", est)
+	}
+}
+
 // TestEventsSubscriberDisconnect pins the hardened /events path: a client
 // that vanishes mid-stream is dropped — the handler goroutine exits and
 // the subscriber gauge returns to zero — instead of leaking for the life

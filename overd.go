@@ -102,6 +102,19 @@ type StepStats = core.StepStats
 // same configuration produces bit-identical virtual times and flow fields.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
+// BalancerNames lists the registered load balancers ("static", "dynamic",
+// "sfc", "diffusive", ...) in sorted order; any of them is a valid
+// Config.Balancer value.
+func BalancerNames() []string { return balance.Names() }
+
+// ValidateBalancer reports whether name selects a registered balancer and
+// whether it is consistent with the given load-balance factor fo (e.g.
+// "dynamic" needs a finite fo > 0, "static" rejects one). An empty name is
+// always valid: Run resolves it from fo.
+func ValidateBalancer(name string, fo float64) error {
+	return balance.ValidateSelection(name, fo)
+}
+
 // InterruptError is the error Run returns when Config.Interrupt stopped the
 // run at a step boundary; Unwrap exposes the hook's error so callers can
 // classify the cause (e.g. context.Canceled vs context.DeadlineExceeded).

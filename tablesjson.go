@@ -110,6 +110,7 @@ func EmitPerfTableJSON(w io.Writer, table string, t *PerfTable) error {
 type RunRow struct {
 	Case       string  `json:"case"`
 	Machine    string  `json:"machine"`
+	Balancer   string  `json:"balancer"`
 	Nodes      int     `json:"nodes"`
 	Steps      int     `json:"steps"`
 	TotalTime  float64 `json:"total_time"`
@@ -122,6 +123,7 @@ type RunRow struct {
 	IGBPs      int     `json:"igbps"`
 	Orphans    int     `json:"orphans"`
 	Rebalances int     `json:"rebalances"`
+	Moved      int     `json:"moved_points"`
 	Recoveries int     `json:"recoveries"`
 	FinalNodes int     `json:"final_nodes"`
 }
@@ -148,6 +150,7 @@ func EmitRunJSON(w io.Writer, res *Result) error {
 	summary := RunRow{
 		Case:       res.Config.Case.Name,
 		Machine:    res.Config.Machine.Name,
+		Balancer:   res.Config.Balancer,
 		Nodes:      res.Config.Nodes,
 		Steps:      len(res.Steps),
 		TotalTime:  res.TotalTime,
@@ -160,6 +163,7 @@ func EmitRunJSON(w io.Writer, res *Result) error {
 		IGBPs:      res.IGBPs,
 		Orphans:    res.Orphans,
 		Rebalances: res.Rebalances,
+		Moved:      res.MovedPoints,
 		Recoveries: res.Recoveries,
 		FinalNodes: res.FinalNodes,
 	}
