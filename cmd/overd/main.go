@@ -53,6 +53,7 @@ func main() {
 	serveQueue := flag.Int("serve-queue", 0, "job-service admission queue depth (0 = default)")
 	serveCacheDir := flag.String("serve-cache-dir", "", "job-service persistent result-cache directory (empty = memory only)")
 	serveJournalDir := flag.String("serve-journal-dir", "", "job-service durable journal directory: admitted jobs are fsync'd and replayed after a crash (empty = no journal)")
+	serveFlight := flag.Int("serve-flight", 0, "job-service span flight-recorder capacity: the last N finished jobs keep wall-clock spans for GET /jobs/{id}/spans and /status (0 = default 64, negative = disable the span layer)")
 	flag.Parse()
 
 	if *serveAddr != "" && *metricsOut == "" {
@@ -66,9 +67,10 @@ func main() {
 		err := runJobService(ctx, *serveAddr, serve.Config{
 			Workers: *serveWorkers, QueueDepth: *serveQueue,
 			CacheDir: *serveCacheDir, JournalDir: *serveJournalDir,
-			Logf: log.Printf,
+			FlightRecorder: *serveFlight,
+			Logf:           log.Printf,
 		}, func(bound string) {
-			fmt.Printf("overd job service on http://%s — POST /jobs, GET /jobs/{id}[/result|/events], /metrics (SIGINT/SIGTERM drains and exits)\n", bound)
+			fmt.Printf("overd job service on http://%s — POST /jobs, GET /jobs/{id}[/result|/events|/spans], /status, /metrics (SIGINT/SIGTERM drains and exits)\n", bound)
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -345,6 +345,14 @@ func (h Histogram) Observe1(rank, l0 int, v float64) {
 	h.observe(rank, int32(l0), 0, v)
 }
 
+func (h Histogram) Observe2(rank, l0, l1 int, v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.checkArity(2)
+	h.observe(rank, int32(l0), int32(l1), v)
+}
+
 // MarkWindowStart zeroes every windowed metric's values for rank (keeping
 // registered series), so subsequent additions cover exactly the measurement
 // window in the same accumulation order trace.Summarize uses. Global

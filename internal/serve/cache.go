@@ -21,13 +21,17 @@ type Artifacts struct {
 	Trace []byte
 	// Metrics is the run's metrics-registry JSON export.
 	Metrics []byte
+	// Chrome is the run's full virtual-time Chrome trace-event document;
+	// GET /jobs/{id}/spans?format=chrome merges wall-clock service spans
+	// into it. Deterministic like every other artifact.
+	Chrome []byte
 	// Steps is the solver timestep count executed to produce the bytes.
 	Steps int
 }
 
 // Size returns the byte footprint charged against the cache budget.
 func (a *Artifacts) Size() int64 {
-	return int64(len(a.Tables) + len(a.Trace) + len(a.Metrics))
+	return int64(len(a.Tables) + len(a.Trace) + len(a.Metrics) + len(a.Chrome))
 }
 
 // clone returns an independent copy so cached bytes can never be mutated by
@@ -37,6 +41,7 @@ func (a *Artifacts) clone() *Artifacts {
 		Tables:  append([]byte(nil), a.Tables...),
 		Trace:   append([]byte(nil), a.Trace...),
 		Metrics: append([]byte(nil), a.Metrics...),
+		Chrome:  append([]byte(nil), a.Chrome...),
 		Steps:   a.Steps,
 	}
 }
@@ -160,18 +165,21 @@ func (c *Cache) entryDir(hash string) string {
 	return filepath.Join(c.dir, hash[:2], hash)
 }
 
-var diskFiles = []string{"tables.jsonl", "trace.json", "metrics.json"}
+// diskFiles are the persisted artifact documents. chrome.json joined the
+// set with the span layer; entries written before it lack the file and read
+// back as misses (a cold re-run, never a torn artifact).
+var diskFiles = []string{"tables.jsonl", "trace.json", "metrics.json", "chrome.json"}
 
 func (c *Cache) writeDisk(hash string, art *Artifacts) error {
 	dir := c.entryDir(hash)
-	if _, err := os.Stat(filepath.Join(dir, diskFiles[0])); err == nil {
+	if _, err := os.Stat(filepath.Join(dir, diskFiles[len(diskFiles)-1])); err == nil {
 		return nil // already stored; artifacts are deterministic
 	}
 	tmp := dir + ".tmp"
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("serve: cache dir: %w", err)
 	}
-	for i, b := range [][]byte{art.Tables, art.Trace, art.Metrics} {
+	for i, b := range [][]byte{art.Tables, art.Trace, art.Metrics, art.Chrome} {
 		if err := os.WriteFile(filepath.Join(tmp, diskFiles[i]), b, 0o644); err != nil {
 			return fmt.Errorf("serve: cache write: %w", err)
 		}
@@ -180,6 +188,18 @@ func (c *Cache) writeDisk(hash string, art *Artifacts) error {
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
 	if err := os.Rename(tmp, dir); err != nil {
+		// An entry written before chrome.json joined the artifact set blocks
+		// the rename; replace it wholesale (the other three documents are
+		// byte-identical by determinism, so nothing of value is lost).
+		if _, statErr := os.Stat(filepath.Join(dir, diskFiles[len(diskFiles)-1])); os.IsNotExist(statErr) {
+			if _, oldErr := os.Stat(filepath.Join(dir, diskFiles[0])); oldErr == nil {
+				if rmErr := os.RemoveAll(dir); rmErr == nil {
+					if err = os.Rename(tmp, dir); err == nil {
+						return nil
+					}
+				}
+			}
+		}
 		// A concurrent writer may have won the rename; that copy is
 		// byte-identical by construction, so losing the race is fine.
 		if _, statErr := os.Stat(filepath.Join(dir, diskFiles[0])); statErr == nil {
@@ -196,7 +216,7 @@ func (c *Cache) readDisk(hash string) (*Artifacts, bool) {
 		return nil, false
 	}
 	dir := c.entryDir(hash)
-	var bufs [3][]byte
+	var bufs [4][]byte
 	for i, name := range diskFiles {
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -204,7 +224,7 @@ func (c *Cache) readDisk(hash string) (*Artifacts, bool) {
 		}
 		bufs[i] = b
 	}
-	art := &Artifacts{Tables: bufs[0], Trace: bufs[1], Metrics: bufs[2]}
+	art := &Artifacts{Tables: bufs[0], Trace: bufs[1], Metrics: bufs[2], Chrome: bufs[3]}
 	if b, err := os.ReadFile(filepath.Join(dir, "steps")); err == nil {
 		fmt.Sscanf(string(b), "%d", &art.Steps)
 	}

@@ -7,8 +7,13 @@ import "sync"
 type Event struct {
 	// Type is queued, replayed (re-queued from the journal after a
 	// restart), start, step, retry (infrastructure failure given its one
-	// retry), done, cancelled or error.
+	// retry), done, cancelled, error, or heartbeat (synthesized per
+	// subscriber at stream time — never stored in the log).
 	Type string `json:"type"`
+	// Seq is the per-subscriber monotonic sequence number, stamped at
+	// stream-write time (a late subscriber's replayed history renumbers
+	// from 0; heartbeats consume numbers too). Not stored in the log.
+	Seq int `json:"seq"`
 	// Step and VClock carry a step event's index and rank-0 virtual clock.
 	Step   int     `json:"step,omitempty"`
 	VClock float64 `json:"vclock,omitempty"`

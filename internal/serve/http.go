@@ -10,6 +10,9 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"overd/internal/span"
+	"overd/internal/trace"
 )
 
 // jobView is the JSON shape of a job on POST /jobs and GET /jobs/{id}.
@@ -68,8 +71,10 @@ func (s *Server) view(js *jobState, cache CacheStatus, withCanonical bool) jobVi
 //	POST   /jobs               submit a job (409s, 429s, 400s and 503s explained in README)
 //	GET    /jobs/{id}          status and queue position
 //	DELETE /jobs/{id}          cancel (202 accepted, 409 already finished, 404 unknown)
-//	GET    /jobs/{id}/result   artifact metadata, or ?artifact=tables|trace|metrics raw bytes
-//	GET    /jobs/{id}/events   NDJSON progress stream until the job finishes
+//	GET    /jobs/{id}/result   artifact metadata, or ?artifact=tables|trace|metrics|chrome raw bytes
+//	GET    /jobs/{id}/events   NDJSON progress stream (seq-numbered, heartbeats) until the job finishes
+//	GET    /jobs/{id}/spans    wall-clock span record (?format=chrome merges it with the solver trace)
+//	GET    /status             one-page JSON service overview
 //	GET    /metrics            server counters (Prometheus text, ?format=json for JSON)
 //	/debug/vars, /debug/pprof/...  host-process introspection
 func (s *Server) Handler() http.Handler {
@@ -79,6 +84,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/spans", s.handleSpans)
+	mux.HandleFunc("GET /status", s.handleOverview)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -207,6 +214,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case "metrics":
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(art.Metrics)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(art.Chrome)
 	case "":
 		steps := art.Steps
 		if js.cached {
@@ -217,12 +227,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			"steps_executed": steps,
 			"artifacts": map[string]int{
 				"tables": len(art.Tables), "trace": len(art.Trace),
-				"metrics": len(art.Metrics),
+				"metrics": len(art.Metrics), "chrome": len(art.Chrome),
 			},
 		})
 	default:
 		writeError(w, http.StatusBadRequest,
-			"unknown artifact %q (valid: tables, trace, metrics)", name)
+			"unknown artifact %q (valid: tables, trace, metrics, chrome)", name)
 	}
 }
 
@@ -232,6 +242,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // and the first write error — timeout, reset connection, anything — drops
 // the subscriber instead of letting it pin a handler goroutine for the
 // life of the job.
+//
+// Each subscriber gets its own monotonic seq numbering (stamped on copies
+// at write time — the stored log is never renumbered) and, after
+// Config.EventHeartbeat of idleness, synthetic heartbeat events, so a
+// client can both detect gaps in its own stream and tell an idle stream
+// from a dead connection. The whole attach-to-detach window is recorded as
+// one stream span on the job's flight-recorder record.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -244,7 +261,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.subscribers++
 	s.mu.Unlock()
 	rc := http.NewResponseController(w)
-	dropped := false
+	st0 := time.Now()
+	seq := 0
+	fate := "completed"
 	defer func() {
 		// Clear the write deadline so the server's own response teardown
 		// (chunked-encoding trailer) is not caught by a stale deadline.
@@ -252,23 +271,39 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.subscribers--
 		s.mu.Unlock()
-		if dropped {
+		if fate == "dropped" {
 			s.subDropped.Add(0, 1)
+		}
+		// The subscriber's window is itself a span: attached to the live
+		// record, or post-mortem to the flight-recorder ring when the job
+		// finished before the client detached.
+		attrs := []span.Attr{
+			{Key: "events", Value: strconv.Itoa(seq)},
+			{Key: "fate", Value: fate},
+		}
+		if rec := js.spans.Load(); rec != nil {
+			rec.AddStage(span.StageStream, st0, time.Now(), attrs...)
+		} else {
+			s.flight.Append(js.id, span.StageStream, st0, time.Now(), attrs...)
 		}
 	}()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	heartbeat := time.NewTicker(s.cfg.EventHeartbeat)
+	defer heartbeat.Stop()
 	next := 0
 	for {
 		evs, closed, grown := js.events.from(next)
 		for _, e := range evs {
 			// SetWriteDeadline is a no-op error on recorders/test writers
 			// that lack the hook; the encode error is the real tripwire.
+			e.Seq = seq
 			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.EventWriteTimeout))
 			if err := enc.Encode(e); err != nil {
-				dropped = true
+				fate = "dropped"
 				return
 			}
+			seq++
 		}
 		next += len(evs)
 		if flusher != nil && len(evs) > 0 {
@@ -279,10 +314,113 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-grown:
+		case <-heartbeat.C:
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.EventWriteTimeout))
+			if err := enc.Encode(Event{Type: "heartbeat", Seq: seq}); err != nil {
+				fate = "dropped"
+				return
+			}
+			seq++
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
+			fate = "client-gone"
 			return
 		}
 	}
+}
+
+// Chrome-track layout for the merged span export: the solver's virtual-time
+// trace stays pid 0 (as WriteChromeTrace emits it); the service's wall-clock
+// spans become pid 1, lifecycle stages on one thread track and event-stream
+// windows on another.
+const (
+	serviceChromePID = 1
+	lifecycleTID     = 0
+	streamTID        = 1
+)
+
+// handleSpans is GET /jobs/{id}/spans: the job's wall-clock span record —
+// live for a queued/running job, from the flight recorder's bounded ring
+// once it finished (410 Gone after eviction). ?format=chrome returns the
+// merged Chrome trace document instead: the job's virtual-time solver
+// timeline next to the service's wall-clock spans, on separate clock
+// tracks, both starting at zero.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "span layer disabled (flight recorder off)")
+		return
+	}
+	js, known := s.Job(id)
+	var rec *span.Record
+	if known {
+		rec = js.spans.Load()
+	}
+	if rec == nil {
+		rec, _ = s.flight.Get(id)
+	}
+	switch {
+	case rec == nil && !known:
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	case rec == nil:
+		writeError(w, http.StatusGone,
+			"job %s's span record was evicted from the flight recorder (ring keeps the last %d finished jobs)",
+			id, s.flight.Cap())
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		s.writeMergedChrome(w, js, rec)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.View())
+}
+
+// writeMergedChrome merges the job's virtual-time Chrome trace artifact
+// (when the job is done and has one) with its wall-clock service spans.
+func (s *Server) writeMergedChrome(w http.ResponseWriter, js *jobState, rec *span.Record) {
+	var doc []byte
+	if js != nil {
+		s.mu.Lock()
+		if js.art != nil {
+			doc = js.art.Chrome
+		}
+		s.mu.Unlock()
+	}
+	v := rec.View()
+	threads := map[int]string{lifecycleTID: "lifecycle", streamTID: "event streams"}
+	slices := make([]trace.ExtraSlice, 0, len(v.Spans))
+	for _, sp := range v.Spans {
+		tid := lifecycleTID
+		if sp.Stage == span.StageStream.String() {
+			tid = streamTID
+		}
+		start := sp.Start.Sub(v.Start).Seconds() * 1e6
+		if start < 0 {
+			start = 0
+		}
+		var args map[string]any
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]any, len(sp.Attrs))
+			for k, val := range sp.Attrs {
+				args[k] = val
+			}
+		}
+		slices = append(slices, trace.ExtraSlice{
+			Name: sp.Stage, Cat: "service", TID: tid,
+			StartUS: start, DurUS: sp.DurationSeconds * 1e6, Args: args,
+		})
+	}
+	merged, err := trace.MergeChromeTrace(doc, serviceChromePID,
+		"overd service wall clock (job "+v.ID+")", threads, slices)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "merging chrome trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(merged)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Structured logging: every operational line the server emits is key=value
+// formatted — always carrying event, job_id, tenant and the server's
+// incarnation id — and, when the line concerns a job, correlated into that
+// job's span record so the flight recorder can replay a job's log context
+// right next to its wall-clock spans. Config.Logf stays the single external
+// sink; this layer only formats and correlates.
+//
+// Two tiers keep the sink quiet:
+//
+//   - annotate: span correlation only. Routine lifecycle notes (dedup,
+//     retries, cancel requests) are post-mortem context, not operator
+//     pages; they land in the flight recorder and never reach the sink.
+//   - logEvent / logPanic: sink + correlation. Reserved for lines an
+//     operator should see — the same call sites that used raw Logf before
+//     this layer existed (panic stacks, journal trouble, replay notes).
+
+// kv is one structured log field.
+type kv struct{ key, val string }
+
+// formatKV renders "event=<e> job_id=… tenant=… incarnation=… k=v …".
+// Values containing spaces, quotes or '=' are %q-quoted so the line stays
+// machine-parseable with a naive splitter.
+func (s *Server) formatKV(js *jobState, event string, fields []kv) string {
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(event)
+	if js != nil {
+		b.WriteString(" job_id=")
+		b.WriteString(js.id)
+		b.WriteString(" tenant=")
+		b.WriteString(kvQuote(js.tenant))
+	}
+	b.WriteString(" incarnation=")
+	b.WriteString(s.incarnation)
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.key)
+		b.WriteByte('=')
+		b.WriteString(kvQuote(f.val))
+	}
+	return b.String()
+}
+
+func kvQuote(v string) string {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}
+
+// annotate correlates a structured line with a job's span record only; the
+// Logf sink never sees it.
+func (s *Server) annotate(js *jobState, event string, fields ...kv) {
+	rec := js.spans.Load()
+	if rec == nil {
+		return
+	}
+	rec.Log(s.formatKV(js, event, fields))
+}
+
+// logEvent formats one structured line for the Logf sink and correlates it
+// with the job's span record. js may be nil for server-scoped lines.
+func (s *Server) logEvent(js *jobState, event string, fields ...kv) {
+	if s.cfg.Logf == nil && (js == nil || js.spans.Load() == nil) {
+		return
+	}
+	line := s.formatKV(js, event, fields)
+	if js != nil {
+		js.spans.Load().Log(line)
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("%s", line)
+	}
+}
+
+// logPanic sends the structured panic line with the full stack attached to
+// the sink in a single write — the stack must land in the first sink line,
+// where operators (and the supervision tests) expect it — while the span
+// record gets only the stackless summary (bounded retention).
+func (s *Server) logPanic(js *jobState, p any, stack []byte) {
+	line := s.formatKV(js, "panic", []kv{{"panic", sanitizePanic(p)}})
+	js.spans.Load().Log(line)
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("%s\n%s", line, stack)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPprofEndpoints smoke-tests the mounted /debug/pprof surface: the CPU
+// profile endpoint returns a gzip'd protobuf, and the heap and goroutine
+// profiles answer non-empty in both debug renderings.
+func TestPprofEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(_ context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		return art("p", 4), nil
+	}})
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		if len(b) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+		return b
+	}
+
+	if b := get("/debug/pprof/profile?seconds=1"); len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Errorf("CPU profile is not gzip (leading bytes % x)", b[:min(2, len(b))])
+	}
+	if b := get("/debug/pprof/heap?debug=1"); !strings.Contains(string(b), "heap profile") {
+		t.Error("heap?debug=1 missing the heap profile header")
+	}
+	get("/debug/pprof/goroutine?debug=0") // binary protobuf; non-empty is the bar
+	if b := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(string(b), "goroutine profile") {
+		t.Error("goroutine?debug=1 missing the goroutine profile header")
+	}
+}
+
+// TestPprofLabelsOnRunningJob blocks a stub runner and takes a labeled
+// goroutine dump: the worker goroutine executing the job must carry the
+// job_id/tenant/balancer pprof labels that invoke() attaches, so profiles
+// of the daemon attribute samples to jobs.
+func TestPprofLabelsOnRunningJob(t *testing.T) {
+	release := make(chan struct{})
+	stub := func(ctx context.Context, job Job, _ func(Event)) (*Artifacts, error) {
+		select {
+		case <-release:
+			return art("l", 4), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: stub})
+	_, v := postJob(t, ts, `{"case":"airfoil","steps":2}`, "acme")
+
+	// The labeled dump only shows the job once the worker is inside
+	// pprof.Do; poll briefly rather than trusting the queued→running race.
+	deadline := time.Now().Add(5 * time.Second)
+	var dump string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		dump = string(b)
+		if strings.Contains(dump, `"job_id":"`+v.ID+`"`) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`"job_id":"` + v.ID + `"`,
+		`"tenant":"acme"`,
+		`"balancer":"`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("goroutine dump missing pprof label %s", want)
+		}
+	}
+	close(release)
+	waitDone(t, ts, v.ID)
+}

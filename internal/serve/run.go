@@ -122,10 +122,20 @@ func RunJob(ctx context.Context, job Job, progress func(Event)) (*Artifacts, err
 		return nil, fmt.Errorf("serve: encoding metrics: %w", err)
 	}
 
+	// The full virtual-time timeline, kept as an artifact so the span layer
+	// can later merge the service's wall-clock spans next to it (GET
+	// /jobs/{id}/spans?format=chrome) without re-running the solve. Like
+	// every artifact it is a pure function of the canonical job.
+	var chromeBuf bytes.Buffer
+	if err := rec.WriteChromeTrace(&chromeBuf); err != nil {
+		return nil, fmt.Errorf("serve: encoding chrome trace: %w", err)
+	}
+
 	return &Artifacts{
 		Tables:  tables.Bytes(),
 		Trace:   traceJSON,
 		Metrics: metricsBuf.Bytes(),
+		Chrome:  chromeBuf.Bytes(),
 		Steps:   len(res.Steps) + res.RecoverySteps,
 	}, nil
 }

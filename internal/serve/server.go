@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"overd/internal/metrics"
+	"overd/internal/span"
 )
 
 // Config sizes the server. Zero values pick modest defaults.
@@ -41,6 +44,18 @@ type Config struct {
 	// client slower than this is dropped instead of pinning the handler.
 	// Default 10s.
 	EventWriteTimeout time.Duration
+	// EventHeartbeat is the idle interval after which a GET /events stream
+	// emits a synthetic heartbeat event, so a subscriber can tell an idle
+	// stream from a dead connection. Heartbeats are synthesized per
+	// subscriber at stream time and never stored in the job's event log.
+	// Default 15s.
+	EventHeartbeat time.Duration
+	// FlightRecorder sizes the wall-clock span flight recorder: the last N
+	// finished jobs keep their span records resident for GET
+	// /jobs/{id}/spans and the /status failure context. 0 picks
+	// span.DefaultCapacity (64); negative disables the span layer entirely
+	// (zero cost — see internal/span).
+	FlightRecorder int
 	// Logf, when non-nil, receives operational log lines (panic stacks,
 	// journal trouble, replay notes). The sanitized errMsg shown to
 	// clients never includes a stack; the full detail lands here.
@@ -124,6 +139,13 @@ type jobState struct {
 
 	events *eventLog
 	done   chan struct{} // closed on done/failed/cancelled
+
+	// spans is the job's live wall-clock span record (nil when the span
+	// layer is disabled). Cleared at finish: the flight recorder's bounded
+	// ring owns the finished record, so a long-lived jobs map cannot grow
+	// span retention without bound. Atomic because event-stream handlers
+	// read it while finalize clears it.
+	spans atomic.Pointer[span.Record]
 }
 
 // Server is the multi-tenant simulation job service: admission control, a
@@ -135,6 +157,16 @@ type Server struct {
 	cache   *Cache
 	reg     *metrics.Registry
 	tenants *metrics.Interner
+
+	// The wall-clock observability plane: spans + flight recorder (nil when
+	// Config.FlightRecorder < 0), the per-stage/per-job latency histograms
+	// it feeds, and the incarnation id that tags this process's log lines.
+	flight      *span.Recorder
+	outcomes    *metrics.Interner
+	stageH      metrics.Histogram
+	jobH        metrics.Histogram
+	started     time.Time
+	incarnation string
 
 	accepted   metrics.Counter
 	rejected   metrics.Counter
@@ -167,15 +199,52 @@ type Server struct {
 	rr          int
 	queued      int
 	running     int
+	runningBy   map[string]int // tenant → jobs currently on a worker
 	nextID      int
 	lastEvict   int64
 	durs        []float64 // ring of recent job wall durations (seconds)
 	durNext     int
 	subscribers int
+	jrnlAppends int64  // successful journal appends (admit + done markers)
+	jrnlFails   int64  // failed journal append attempts
+	jrnlLastErr string // most recent journal append error
+	failures    []failureNote
+	failNext    int
 	closed      bool
 	killed      bool // simulated kill -9: workers abandon in place
 	workersRun  bool
 	wg          sync.WaitGroup
+}
+
+// failureNote is one entry of the bounded recent-failure ring surfaced on
+// GET /status: enough context to pivot to GET /jobs/{id}/spans.
+type failureNote struct {
+	ID     string    `json:"id"`
+	Tenant string    `json:"tenant"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	At     time.Time `json:"at"`
+}
+
+// failureRingCap bounds the /status recent-failure ring.
+const failureRingCap = 16
+
+// recordFailureLocked pushes one failed/cancelled job into the ring.
+func (s *Server) recordFailureLocked(js *jobState) {
+	n := failureNote{ID: js.id, Tenant: js.tenant, Status: js.status, Error: js.errMsg, At: time.Now()}
+	if len(s.failures) < failureRingCap {
+		s.failures = append(s.failures, n)
+		s.failNext = len(s.failures) % failureRingCap
+		return
+	}
+	s.failures[s.failNext] = n
+	s.failNext = (s.failNext + 1) % failureRingCap
+}
+
+// wallBuckets lay out the service latency histograms: jobs span microsecond
+// cache hits to multi-minute solves, so the buckets cover 10µs..300s.
+var wallBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 0.1, 0.5, 1, 2.5, 10, 30, 120, 300,
 }
 
 // durWindow is how many recent job durations feed the queue-wait estimate.
@@ -198,18 +267,29 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.EventWriteTimeout <= 0 {
 		cfg.EventWriteTimeout = 10 * time.Second
 	}
+	if cfg.EventHeartbeat <= 0 {
+		cfg.EventHeartbeat = 15 * time.Second
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = RunJob
 	}
 	cfg.Limits = cfg.Limits.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheBytes, cfg.CacheDir),
-		reg:      metrics.New(),
-		tenants:  metrics.NewInterner(),
-		jobs:     make(map[string]*jobState),
-		inflight: make(map[string]*jobState),
-		queues:   make(map[string][]*jobState),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes, cfg.CacheDir),
+		reg:       metrics.New(),
+		tenants:   metrics.NewInterner(),
+		outcomes:  metrics.NewInterner(),
+		jobs:      make(map[string]*jobState),
+		inflight:  make(map[string]*jobState),
+		queues:    make(map[string][]*jobState),
+		runningBy: make(map[string]int),
+		started:   time.Now(),
+	}
+	s.incarnation = fmt.Sprintf("%d-%x", os.Getpid(), s.started.UnixNano())
+	if cfg.FlightRecorder >= 0 {
+		s.flight = span.NewRecorder(cfg.FlightRecorder)
+		s.flight.OnFinish = s.observeFinished
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.reg.Reset(1)
@@ -237,6 +317,19 @@ func NewServer(cfg Config) (*Server, error) {
 	s.misses = c("overd_serve_cache_misses_total", "result-cache misses")
 	s.evict = c("overd_serve_cache_evictions_total", "result-cache LRU evictions")
 	s.subDropped = c("overd_serve_event_subscribers_dropped_total", "event-stream subscribers dropped for slow or failed writes")
+	outcomeL := metrics.Label{Name: "outcome", Namer: s.outcomes.Name}
+	s.stageH = s.reg.Histogram("overd_serve_stage_seconds", metrics.Opts{
+		Help: "wall-clock seconds per job lifecycle stage (span layer)", Global: true,
+		Buckets: wallBuckets,
+		Labels: []metrics.Label{
+			{Name: "stage", Namer: func(i int) string { return span.Stage(i).String() }},
+			outcomeL,
+		},
+	})
+	s.jobH = s.reg.Histogram("overd_serve_job_seconds", metrics.Opts{
+		Help: "end-to-end wall-clock seconds per job, admission to terminal state (span layer)",
+		Global: true, Buckets: wallBuckets, Labels: []metrics.Label{outcomeL},
+	})
 	s.depthG = g("overd_serve_queue_depth", "jobs admitted and waiting for a worker")
 	s.runningG = g("overd_serve_jobs_running", "jobs currently on a worker")
 	s.entriesG = g("overd_serve_cache_entries", "resident result-cache entries")
@@ -280,10 +373,18 @@ func (s *Server) replay(pending []journalRecord) error {
 			js.tenant = "anonymous"
 		}
 		s.jobs[js.id] = js
+		js.spans.Store(s.flight.StartAt(js.id, js.tenant, job.Balancer, js.admitted))
+		rec := js.spans.Load()
 		s.replayedC.Add(0, 1)
 		js.events.append(Event{Type: "queued"})
 		js.events.append(Event{Type: "replayed"})
-		if art, ok := s.cache.Get(js.hash); ok {
+		ct0 := time.Now()
+		art, hit := s.cache.Get(js.hash)
+		rec.AddStage(span.StageCache, ct0, time.Now())
+		if hit {
+			// The crash landed between the cache write and the done marker;
+			// the replay completes on the spot.
+			rec.SetCache(string(CacheHit))
 			js.status = StatusDone
 			js.cached = true
 			js.art = art
@@ -292,9 +393,12 @@ func (s *Server) replay(pending []journalRecord) error {
 			js.events.append(Event{Type: "done", Cached: true})
 			js.events.closeLog()
 			close(js.done)
-			s.journalDoneLocked(js.id, StatusDone, "")
+			s.journalDoneLocked(js, StatusDone, "")
+			rec.Finish(string(StatusDone))
+			js.spans.Store(nil)
 			continue
 		}
+		rec.SetCache(string(CacheMiss))
 		js.status = StatusQueued
 		s.inflight[js.hash] = js
 		if _, known := s.queues[js.tenant]; !known {
@@ -302,11 +406,24 @@ func (s *Server) replay(pending []journalRecord) error {
 		}
 		s.queues[js.tenant] = append(s.queues[js.tenant], js)
 		s.queued++
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("serve: journal replay: re-queued job %s (tenant %s)", js.id, js.tenant)
-		}
+		s.logEvent(js, "journal-replay", kv{"seq", fmt.Sprintf("%d", js.seq)})
 	}
 	return nil
+}
+
+// observeFinished is the flight recorder's OnFinish hook: every finished
+// record feeds the per-stage and end-to-end wall-clock latency histograms,
+// labeled by stage and terminal outcome.
+func (s *Server) observeFinished(rec *span.Record) {
+	out := s.outcomes.ID(rec.Outcome())
+	s.jobH.Observe1(0, out, rec.Duration().Seconds())
+	for _, sp := range rec.Spans() {
+		d := sp.End.Sub(sp.Start).Seconds()
+		if d < 0 {
+			d = 0 // the wall clock can step backwards; a negative latency only misleads
+		}
+		s.stageH.Observe2(0, int(sp.Stage), out, d)
+	}
 }
 
 // Registry exposes the server's own metrics registry (the /metrics page).
@@ -369,16 +486,24 @@ const (
 // queueing: a job whose estimated queue wait exceeds its own deadline is
 // refused with ErrWontMeetDeadline rather than queued as doomed work.
 func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
+	t0 := time.Now() // root-span start: the instant the job entered the server
 	hash := job.Hash()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, "", ErrShuttingDown
 	}
-	if art, ok := s.cache.Get(hash); ok {
+	ct0 := time.Now()
+	art, hit := s.cache.Get(hash)
+	ct1 := time.Now()
+	if hit {
 		s.hits.Add(0, 1)
 		s.accepted.Add(0, 1)
 		js := s.newJobLocked(job, hash)
+		js.spans.Store(s.flight.StartAt(js.id, js.tenant, job.Balancer, t0))
+		rec := js.spans.Load()
+		rec.SetCache(string(CacheHit))
+		rec.AddStage(span.StageCache, ct0, ct1)
 		js.status = StatusDone
 		js.cached = true
 		js.art = art
@@ -387,10 +512,14 @@ func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 		js.events.closeLog()
 		close(js.done)
 		s.served.Add1(0, s.tenants.ID(js.tenant), 1)
+		rec.AddStage(span.StageAdmit, t0, time.Now())
+		rec.Finish(string(StatusDone))
+		js.spans.Store(nil)
 		return js, CacheHit, nil
 	}
 	if ex, ok := s.inflight[hash]; ok {
 		s.deduped.Add(0, 1)
+		s.annotate(ex, "dedup", kv{"hash", hash[:12]})
 		return ex, CacheInflight, nil
 	}
 	if s.queued >= s.cfg.QueueDepth {
@@ -406,9 +535,19 @@ func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 		}
 	}
 	js := s.newJobLocked(job, hash)
+	js.spans.Store(s.flight.StartAt(js.id, js.tenant, job.Balancer, t0))
+	rec := js.spans.Load()
+	rec.SetCache(string(CacheMiss))
+	rec.AddStage(span.StageCache, ct0, ct1)
 	if s.jrnl != nil {
-		if err := s.journalAdmitLocked(js); err != nil {
+		jt0 := time.Now()
+		err := s.journalAdmitLocked(js)
+		rec.AddStage(span.StageJournal, jt0, time.Now())
+		if err != nil {
 			delete(s.jobs, js.id)
+			rec.AddStage(span.StageAdmit, t0, time.Now())
+			rec.Finish("rejected")
+			js.spans.Store(nil)
 			return nil, "", fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
 		}
 	}
@@ -422,6 +561,7 @@ func (s *Server) Submit(job Job) (*jobState, CacheStatus, error) {
 	s.queues[js.tenant] = append(s.queues[js.tenant], js)
 	s.queued++
 	js.events.append(Event{Type: "queued"})
+	rec.AddStage(span.StageAdmit, t0, time.Now())
 	s.cond.Signal()
 	return js, CacheMiss, nil
 }
@@ -440,33 +580,45 @@ func (s *Server) journalAdmitLocked(js *jobState) error {
 	}
 	rec := journalRecord{Type: "admit", Seq: js.seq, ID: js.id, Tenant: js.tenant, Job: b}
 	if err := s.jrnl.append(rec); err == nil {
+		s.jrnlAppends++
 		return nil
 	}
 	// Journal I/O is infrastructure: one bounded retry, then refuse.
+	s.jrnlFails++
 	s.retries.Add(0, 1)
 	err = s.jrnl.append(rec)
-	if err != nil && s.cfg.Logf != nil {
-		s.cfg.Logf("serve: journal admit for %s failed twice: %v", js.id, err)
+	if err != nil {
+		s.jrnlFails++
+		s.jrnlLastErr = err.Error()
+		s.logEvent(js, "journal-admit-failed", kv{"error", err.Error()})
+		return err
 	}
-	return err
+	s.jrnlAppends++
+	return nil
 }
 
 // journalDoneLocked records a job's terminal state. A failure here cannot
 // un-finish the job; it means the journal may replay it after the next
 // restart (at-least-once in this corner), where the cache check makes the
 // re-completion free for done jobs.
-func (s *Server) journalDoneLocked(id string, status JobStatus, errMsg string) {
+func (s *Server) journalDoneLocked(js *jobState, status JobStatus, errMsg string) {
 	if s.jrnl == nil || s.killed {
 		return
 	}
-	rec := journalRecord{Type: "done", ID: id, Status: status, Error: errMsg}
+	rec := journalRecord{Type: "done", ID: js.id, Status: status, Error: errMsg}
 	if err := s.jrnl.append(rec); err == nil {
+		s.jrnlAppends++
 		return
 	}
+	s.jrnlFails++
 	s.retries.Add(0, 1)
-	if err := s.jrnl.append(rec); err != nil && s.cfg.Logf != nil {
-		s.cfg.Logf("serve: journal done marker for %s failed twice: %v", id, err)
+	if err := s.jrnl.append(rec); err != nil {
+		s.jrnlFails++
+		s.jrnlLastErr = err.Error()
+		s.logEvent(js, "journal-done-failed", kv{"status", string(status)}, kv{"error", err.Error()})
+		return
 	}
+	s.jrnlAppends++
 }
 
 // newJobLocked allocates a job record under s.mu.
@@ -514,13 +666,18 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		js.status = StatusCancelled
 		js.errMsg = "cancelled by request"
 		s.cancelled.Add(0, 1)
-		s.journalDoneLocked(js.id, StatusCancelled, js.errMsg)
+		s.journalDoneLocked(js, StatusCancelled, js.errMsg)
 		js.events.append(Event{Type: "cancelled", Error: js.errMsg})
 		js.events.closeLog()
 		close(js.done)
+		s.recordFailureLocked(js)
+		rec := js.spans.Load()
+		rec.Finish(string(StatusCancelled))
+		js.spans.Store(nil)
 		return StatusCancelled, nil
 	case StatusRunning:
 		js.cancelReq = true
+		s.annotate(js, "cancel-requested")
 		if js.cancel != nil {
 			js.cancel()
 		}
@@ -641,8 +798,10 @@ func (s *Server) dequeue() *jobState {
 				s.rr = (s.rr + i + 1) % n
 				s.queued--
 				s.running++
+				s.runningBy[js.tenant]++
 				js.status = StatusRunning
 				js.started = time.Now()
+				js.spans.Load().AddStage(span.StageQueue, js.admitted, js.started)
 				if js.job.Deadline > 0 {
 					// The budget started at admission; only the remainder
 					// is available for the run itself.

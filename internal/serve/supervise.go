@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
+
+	"overd/internal/span"
 )
 
 // Worker supervision: each pool goroutine runs jobs through a recover()
@@ -66,11 +70,15 @@ func (s *Server) runJob(js *jobState) {
 		s.mu.Lock()
 		js.attempts = attempt
 		s.mu.Unlock()
+		et0 := time.Now()
 		art, err := s.invoke(js)
+		js.spans.Load().AddStage(span.StageExecute, et0, time.Now(),
+			span.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
 		if err != nil && isInfra(err) && attempt == 1 &&
 			js.ctx.Err() == nil && !s.isKilled() {
 			s.retries.Add(0, 1)
 			js.events.append(Event{Type: "retry", Error: err.Error()})
+			s.annotate(js, "retry", kv{"error", err.Error()})
 			time.Sleep(s.cfg.RetryBackoff)
 			continue
 		}
@@ -79,18 +87,24 @@ func (s *Server) runJob(js *jobState) {
 	}
 }
 
-// invoke runs the Runner behind the panic boundary.
+// invoke runs the Runner behind the panic boundary, under runtime/pprof
+// labels: every profile sample and labeled goroutine dump taken while the
+// job executes carries its id, tenant and balancer, so a CPU profile of the
+// daemon attributes time to jobs without any solver instrumentation.
 func (s *Server) invoke(js *jobState) (art *Artifacts, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.panics.Add(0, 1)
-			if s.cfg.Logf != nil {
-				s.cfg.Logf("serve: job %s: runner panic: %v\n%s", js.id, p, debug.Stack())
-			}
+			s.logPanic(js, p, debug.Stack())
 			art, err = nil, &panicError{msg: sanitizePanic(p)}
 		}
 	}()
-	return s.cfg.Runner(js.ctx, js.job, js.events.append)
+	pprof.Do(js.ctx, pprof.Labels(
+		"job_id", js.id, "tenant", js.tenant, "balancer", js.job.Balancer,
+	), func(ctx context.Context) {
+		art, err = s.cfg.Runner(ctx, js.job, js.events.append)
+	})
+	return art, err
 }
 
 // finalize publishes a finished attempt's outcome: terminal status, result
@@ -99,12 +113,18 @@ func (s *Server) invoke(js *jobState) (art *Artifacts, err error) {
 // makes the journal's replay the only survivor, exactly as after a real
 // SIGKILL between a job's last step and its done marker.
 func (s *Server) finalize(js *jobState, art *Artifacts, err error) {
+	pt0 := time.Now()
 	s.mu.Lock()
 	if s.killed {
 		s.mu.Unlock()
 		return
 	}
 	s.running--
+	if s.runningBy[js.tenant] <= 1 {
+		delete(s.runningBy, js.tenant)
+	} else {
+		s.runningBy[js.tenant]--
+	}
 	delete(s.inflight, js.hash)
 	js.cancel() // release the deadline timer
 	s.recordDurLocked(time.Since(js.started).Seconds())
@@ -122,24 +142,34 @@ func (s *Server) finalize(js *jobState, art *Artifacts, err error) {
 			s.evict.Add(0, float64(ev-s.lastEvict))
 			s.lastEvict = ev
 		}
-		s.journalDoneLocked(js.id, StatusDone, "")
+		s.journalDoneLocked(js, StatusDone, "")
 		js.events.append(Event{Type: "done", Steps: art.Steps})
 	case js.cancelReq || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		js.status = StatusCancelled
 		js.errMsg = cancelReason(js, err)
 		s.cancelled.Add(0, 1)
-		s.journalDoneLocked(js.id, StatusCancelled, js.errMsg)
+		s.journalDoneLocked(js, StatusCancelled, js.errMsg)
 		js.events.append(Event{Type: "cancelled", Error: js.errMsg})
+		s.recordFailureLocked(js)
 	default:
 		js.status = StatusFailed
 		js.errMsg = err.Error()
 		s.failed.Add(0, 1)
-		s.journalDoneLocked(js.id, StatusFailed, js.errMsg)
+		s.journalDoneLocked(js, StatusFailed, js.errMsg)
 		js.events.append(Event{Type: "error", Error: js.errMsg})
+		s.recordFailureLocked(js)
 	}
 	s.mu.Unlock()
 	js.events.closeLog()
 	close(js.done)
+	// Publication is the last child span; then the root closes and the
+	// record moves to the flight recorder's ring (feeding the latency
+	// histograms via OnFinish). Clearing js.spans hands retention to the
+	// bounded ring — post-mortem reads go through GET /jobs/{id}/spans.
+	rec := js.spans.Load()
+	rec.AddStage(span.StagePublish, pt0, time.Now())
+	rec.Finish(string(js.status))
+	js.spans.Store(nil)
 }
 
 // cancelReason explains a cancellation in the client-visible errMsg.

@@ -1,0 +1,46 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDetachedSpanLayerZeroAlloc pins the package's zero-cost contract: a
+// detached recorder (nil *Recorder, nil *Record) must not allocate on any
+// recording operation. This is the same discipline internal/trace and
+// internal/metrics follow — attaching observability is a choice, and NOT
+// attaching it must be free — and it is what lets the server embed span
+// calls unconditionally on its hot paths (admit, dequeue, finalize) without
+// a configuration check at every site.
+//
+// The solver's own hot paths (the Table-4 bench) never see this package at
+// all: spans live in internal/serve, above overd.Run. The companion test
+// TestServeBitIdenticalWithSpans (internal/serve) proves the stronger
+// property that an *attached* recorder leaves the artifacts byte-identical.
+func TestDetachedSpanLayerZeroAlloc(t *testing.T) {
+	var rec *Recorder
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		j := rec.StartAt("j-000001", "tenant", "static", t0)
+		j.AddStage(StageAdmit, t0, t0)
+		j.AddStage(StageQueue, t0, t0)
+		j.AddStage(StageExecute, t0, t0)
+		j.SetCache("miss")
+		j.Log("event=admit")
+		j.AddStage(StagePublish, t0, t0)
+		j.Finish("done")
+		_ = j.View()
+	}); n != 0 {
+		t.Fatalf("detached span layer allocated %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if rec.Len() != 0 || rec.Cap() != 0 {
+			t.Fatal("nil recorder not empty")
+		}
+		if _, ok := rec.Get("j-000001"); ok {
+			t.Fatal("nil recorder returned a record")
+		}
+	}); n != 0 {
+		t.Fatalf("detached recorder reads allocated %.1f allocs/op, want 0", n)
+	}
+}

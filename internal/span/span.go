@@ -1,0 +1,416 @@
+// Package span is the wall-clock observability plane of the job service: a
+// zero-cost-when-detached span layer plus a bounded per-job flight recorder.
+//
+// The repository already has two observability planes that explain the
+// *simulated* machine — virtual-time traces (internal/trace) and
+// virtual-time metrics (internal/metrics). Both are clock-exact and feed the
+// paper tables. This package is the third plane: it explains where the
+// *service's* wall-clock time went for each job (admission, journal fsync,
+// queue wait, execution, publication, event streaming), which is an
+// operational question the virtual planes cannot answer.
+//
+// Discipline (same contract as internal/trace and internal/metrics):
+//
+//   - spans observe the host wall clock only; nothing here reads or writes
+//     virtual clocks, artifacts or result hashes, so runs are bit-identical
+//     with the recorder attached or absent;
+//   - a nil *Recorder is a valid "disabled" recorder: Start returns a nil
+//     *Record, and every *Record method nil-checks and returns, so a
+//     detached server pays one predictable branch per would-be span and
+//     allocates nothing (AllocsPerRun-guarded in alloc_test.go).
+//
+// The flight recorder is a fixed-capacity ring of the most recently finished
+// jobs' records — spans plus correlated structured log lines — so a
+// post-mortem ("why was job j-000317 slow at 03:12?") can be answered from
+// GET /jobs/{id}/spans without unbounded per-job retention.
+package span
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage identifies one lifecycle stage of a job inside the service.
+type Stage uint8
+
+const (
+	// StageAdmit covers Submit from entry to the admission decision
+	// (validation, hashing, cache consult, journal append, queue insert).
+	StageAdmit Stage = iota
+	// StageJournal is the durable WAL append (fsync included) inside
+	// admission.
+	StageJournal
+	// StageQueue is the time from admission to a worker dequeue.
+	StageQueue
+	// StageCache is the content-addressed result-cache lookup.
+	StageCache
+	// StageExecute is one runner invocation (one per attempt).
+	StageExecute
+	// StagePublish covers finalization: cache store, journal terminal
+	// marker, metrics and event-log close.
+	StagePublish
+	// StageStream is one GET /events subscriber's attach-to-detach window.
+	StageStream
+	// NumStages is the count of defined stages (for label tables).
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"admit", "journal-append", "queue", "cache-lookup",
+	"execute", "publish", "stream",
+}
+
+// String implements fmt.Stringer; unknown values render as "stage(?)".
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage(?)"
+}
+
+// Attr is one small stage-specific annotation (cache disposition, attempt
+// number, subscriber fate, ...).
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one closed wall-clock interval of a job's lifecycle.
+type Span struct {
+	Stage Stage
+	Start time.Time
+	End   time.Time
+	Attrs []Attr
+}
+
+// LogLine is one structured log line correlated with a job.
+type LogLine struct {
+	Time time.Time
+	Text string
+}
+
+// Record is one job's span set: a root interval (Start→Finish) with child
+// stage spans and correlated log lines. Safe for concurrent use; a nil
+// *Record is a valid disabled record and every method no-ops on it.
+type Record struct {
+	rec *Recorder
+
+	mu       sync.Mutex
+	id       string
+	tenant   string
+	balancer string
+	start    time.Time
+	end      time.Time
+	outcome  string
+	cache    string
+	spans    []Span
+	logs     []LogLine
+	finished bool
+}
+
+// Recorder is the bounded flight recorder: finished records land in a ring
+// of fixed capacity, evicting the oldest. A nil *Recorder disables the whole
+// layer at zero cost.
+type Recorder struct {
+	// OnFinish, when set, observes every finished record (the server feeds
+	// its wall-clock latency histograms here). Set it before records
+	// finish; it is called outside the recorder lock.
+	OnFinish func(*Record)
+
+	mu   sync.Mutex
+	cap  int
+	ring []*Record
+	next int
+	byID map[string]*Record
+}
+
+// DefaultCapacity is the flight-recorder ring size when none is configured.
+const DefaultCapacity = 64
+
+// NewRecorder returns a flight recorder retaining the last capacity finished
+// jobs (<= 0 picks DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		cap:  capacity,
+		ring: make([]*Record, 0, capacity),
+		byID: make(map[string]*Record),
+	}
+}
+
+// StartAt opens a record for one job with an explicit root start time (the
+// wall instant the request entered the server). Returns nil — a free no-op
+// record — when the recorder is detached.
+func (r *Recorder) StartAt(id, tenant, balancer string, start time.Time) *Record {
+	if r == nil {
+		return nil
+	}
+	return &Record{rec: r, id: id, tenant: tenant, balancer: balancer, start: start}
+}
+
+// Get returns the finished record for a job id still resident in the ring.
+func (r *Recorder) Get(id string) (*Record, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.byID[id]
+	return rec, ok
+}
+
+// Append attaches one more closed span (e.g. an event-stream window that
+// outlived the job) to a finished record still in the ring. Reports whether
+// the record was found.
+func (r *Recorder) Append(id string, st Stage, start, end time.Time, attrs ...Attr) bool {
+	rec, ok := r.Get(id)
+	if !ok {
+		return false
+	}
+	rec.mu.Lock()
+	rec.spans = append(rec.spans, Span{Stage: st, Start: start, End: end, Attrs: attrs})
+	rec.mu.Unlock()
+	return true
+}
+
+// Recent returns views of the most recently finished records, newest first,
+// capped at n (n <= 0 means all resident).
+func (r *Recorder) Recent(n int) []View {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	recs := make([]*Record, 0, len(r.ring))
+	// Ring order: r.next points at the oldest once full; walk backwards
+	// from the newest.
+	for i := 0; i < len(r.ring); i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		recs = append(recs, r.ring[idx])
+	}
+	r.mu.Unlock()
+	if n > 0 && len(recs) > n {
+		recs = recs[:n]
+	}
+	out := make([]View, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, rec.View())
+	}
+	return out
+}
+
+// Len reports how many finished records are resident.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Cap reports the ring capacity (0 when detached).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// admit lands a finished record in the ring, evicting the oldest.
+func (r *Recorder) admit(rec *Record) {
+	r.mu.Lock()
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, rec)
+		r.next = len(r.ring) % r.cap
+	} else {
+		old := r.ring[r.next]
+		delete(r.byID, old.id)
+		r.ring[r.next] = rec
+		r.next = (r.next + 1) % r.cap
+	}
+	r.byID[rec.id] = rec
+	r.mu.Unlock()
+}
+
+// AddStage records one closed stage span.
+func (j *Record) AddStage(st Stage, start, end time.Time, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.spans = append(j.spans, Span{Stage: st, Start: start, End: end, Attrs: attrs})
+	j.mu.Unlock()
+}
+
+// SetCache records the content-address disposition (hit, miss, inflight).
+func (j *Record) SetCache(disposition string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.cache = disposition
+	j.mu.Unlock()
+}
+
+// Log correlates one pre-formatted structured log line with the job.
+func (j *Record) Log(text string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.logs = append(j.logs, LogLine{Time: time.Now(), Text: text})
+	j.mu.Unlock()
+}
+
+// Finish closes the root span with the job's terminal outcome and lands the
+// record in the flight recorder's ring. Idempotent: a second Finish is
+// ignored.
+func (j *Record) Finish(outcome string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = true
+	j.outcome = outcome
+	j.end = time.Now()
+	rec := j.rec
+	j.mu.Unlock()
+	if rec != nil {
+		rec.admit(j)
+		if rec.OnFinish != nil {
+			rec.OnFinish(j)
+		}
+	}
+}
+
+// ID returns the job id the record belongs to.
+func (j *Record) ID() string {
+	if j == nil {
+		return ""
+	}
+	return j.id
+}
+
+// Outcome returns the terminal outcome ("" while the job is live).
+func (j *Record) Outcome() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// Duration is the root span's wall-clock length (Finish−Start; time-to-now
+// for a live record).
+func (j *Record) Duration() time.Duration {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return j.end.Sub(j.start)
+	}
+	return time.Since(j.start)
+}
+
+// Spans returns a copy of the closed stage spans recorded so far.
+func (j *Record) Spans() []Span {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Span(nil), j.spans...)
+}
+
+// View is the JSON shape of one job's span record. The top-level fields are
+// the root span; Spans are its children sorted by start time.
+type View struct {
+	ID              string     `json:"id"`
+	Tenant          string     `json:"tenant"`
+	Balancer        string     `json:"balancer,omitempty"`
+	Outcome         string     `json:"outcome,omitempty"`
+	Cache           string     `json:"cache,omitempty"`
+	Finished        bool       `json:"finished"`
+	Start           time.Time  `json:"start"`
+	DurationSeconds float64    `json:"duration_seconds"`
+	Spans           []SpanView `json:"spans"`
+	Logs            []LogView  `json:"logs,omitempty"`
+}
+
+// SpanView is one child span in the JSON view.
+type SpanView struct {
+	Stage           string            `json:"stage"`
+	Start           time.Time         `json:"start"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+}
+
+// LogView is one correlated log line in the JSON view.
+type LogView struct {
+	Time time.Time `json:"time"`
+	Text string    `json:"text"`
+}
+
+// View snapshots the record for JSON rendering: child spans sorted by start
+// time (stable, so same-instant spans keep recording order), durations never
+// negative. Returns a zero View on a nil record.
+func (j *Record) View() View {
+	if j == nil {
+		return View{}
+	}
+	j.mu.Lock()
+	v := View{
+		ID: j.id, Tenant: j.tenant, Balancer: j.balancer,
+		Outcome: j.outcome, Cache: j.cache, Finished: j.finished,
+		Start: j.start,
+	}
+	end := j.end
+	if !j.finished {
+		end = time.Now()
+	}
+	v.DurationSeconds = clampSeconds(end.Sub(j.start))
+	spans := append([]Span(nil), j.spans...)
+	logs := append([]LogLine(nil), j.logs...)
+	j.mu.Unlock()
+
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+	v.Spans = make([]SpanView, 0, len(spans))
+	for _, sp := range spans {
+		sv := SpanView{
+			Stage: sp.Stage.String(), Start: sp.Start,
+			DurationSeconds: clampSeconds(sp.End.Sub(sp.Start)),
+		}
+		if len(sp.Attrs) > 0 {
+			sv.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				sv.Attrs[a.Key] = a.Value
+			}
+		}
+		v.Spans = append(v.Spans, sv)
+	}
+	if len(logs) > 0 {
+		v.Logs = make([]LogView, 0, len(logs))
+		for _, l := range logs {
+			v.Logs = append(v.Logs, LogView{Time: l.Time, Text: l.Text})
+		}
+	}
+	return v
+}
+
+// clampSeconds renders a duration as non-negative seconds: the wall clock
+// can step backwards (NTP), and a negative "latency" would only mislead.
+func clampSeconds(d time.Duration) float64 {
+	if d < 0 {
+		return 0
+	}
+	return d.Seconds()
+}

@@ -1,0 +1,199 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageAdmit:   "admit",
+		StageJournal: "journal-append",
+		StageQueue:   "queue",
+		StageCache:   "cache-lookup",
+		StageExecute: "execute",
+		StagePublish: "publish",
+		StageStream:  "stream",
+	}
+	for st, name := range want {
+		if got := st.String(); got != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", st, got, name)
+		}
+	}
+	if got := Stage(200).String(); got != "stage(?)" {
+		t.Errorf("unknown stage renders %q", got)
+	}
+}
+
+func TestRecordLifecycleAndView(t *testing.T) {
+	rec := NewRecorder(4)
+	t0 := time.Now()
+	j := rec.StartAt("j-000001", "acme", "static", t0)
+	j.SetCache("miss")
+	// Record out of start order on purpose: the view must sort by start.
+	j.AddStage(StageQueue, t0.Add(2*time.Millisecond), t0.Add(5*time.Millisecond))
+	j.AddStage(StageAdmit, t0, t0.Add(time.Millisecond), Attr{"queue_depth", "0"})
+	j.AddStage(StageExecute, t0.Add(5*time.Millisecond), t0.Add(9*time.Millisecond),
+		Attr{"attempt", "1"})
+	j.Log("event=test msg=hello")
+	if rec.Len() != 0 {
+		t.Fatalf("record landed in ring before Finish: len=%d", rec.Len())
+	}
+	j.Finish("done")
+	j.Finish("failed") // idempotent: first outcome wins
+	if got := j.Outcome(); got != "done" {
+		t.Errorf("outcome = %q, want done", got)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1", rec.Len())
+	}
+
+	got, ok := rec.Get("j-000001")
+	if !ok {
+		t.Fatal("finished record not retrievable by id")
+	}
+	v := got.View()
+	if v.ID != "j-000001" || v.Tenant != "acme" || v.Balancer != "static" {
+		t.Errorf("view identity wrong: %+v", v)
+	}
+	if !v.Finished || v.Outcome != "done" || v.Cache != "miss" {
+		t.Errorf("view outcome wrong: %+v", v)
+	}
+	stages := make([]string, 0, len(v.Spans))
+	for _, sp := range v.Spans {
+		stages = append(stages, sp.Stage)
+		if sp.DurationSeconds < 0 {
+			t.Errorf("stage %s has negative duration %g", sp.Stage, sp.DurationSeconds)
+		}
+	}
+	want := []string{"admit", "queue", "execute"}
+	if fmt.Sprint(stages) != fmt.Sprint(want) {
+		t.Errorf("view stages = %v, want %v (sorted by start)", stages, want)
+	}
+	if v.Spans[2].Attrs["attempt"] != "1" {
+		t.Errorf("execute attrs lost: %+v", v.Spans[2])
+	}
+	if len(v.Logs) != 1 || v.Logs[0].Text != "event=test msg=hello" {
+		t.Errorf("correlated logs wrong: %+v", v.Logs)
+	}
+
+	// The view must be valid JSON with the documented field names.
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal view: %v", err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatalf("view JSON does not round-trip: %v", err)
+	}
+	for _, key := range []string{"id", "tenant", "outcome", "finished", "start", "duration_seconds", "spans"} {
+		if _, ok := round[key]; !ok {
+			t.Errorf("view JSON missing %q: %s", key, b)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	rec := NewRecorder(2)
+	for i := 1; i <= 3; i++ {
+		j := rec.StartAt(fmt.Sprintf("j-%06d", i), "t", "", time.Now())
+		j.Finish("done")
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("ring len = %d, want capacity 2", rec.Len())
+	}
+	if _, ok := rec.Get("j-000001"); ok {
+		t.Error("oldest record should have been evicted")
+	}
+	for _, id := range []string{"j-000002", "j-000003"} {
+		if _, ok := rec.Get(id); !ok {
+			t.Errorf("record %s missing from ring", id)
+		}
+	}
+	views := rec.Recent(0)
+	if len(views) != 2 || views[0].ID != "j-000003" || views[1].ID != "j-000002" {
+		t.Errorf("Recent order wrong: %+v", views)
+	}
+	if one := rec.Recent(1); len(one) != 1 || one[0].ID != "j-000003" {
+		t.Errorf("Recent(1) = %+v, want just the newest", one)
+	}
+}
+
+func TestAppendPostMortem(t *testing.T) {
+	rec := NewRecorder(2)
+	j := rec.StartAt("j-000009", "t", "", time.Now())
+	j.Finish("done")
+	now := time.Now()
+	if !rec.Append("j-000009", StageStream, now, now.Add(time.Millisecond), Attr{"events", "5"}) {
+		t.Fatal("Append to resident record failed")
+	}
+	if rec.Append("j-nothere", StageStream, now, now) {
+		t.Error("Append to unknown id reported success")
+	}
+	got, _ := rec.Get("j-000009")
+	v := got.View()
+	last := v.Spans[len(v.Spans)-1]
+	if last.Stage != "stream" || last.Attrs["events"] != "5" {
+		t.Errorf("post-mortem stream span missing: %+v", v.Spans)
+	}
+}
+
+func TestOnFinishHookObservesSpans(t *testing.T) {
+	rec := NewRecorder(4)
+	var seen []string
+	rec.OnFinish = func(r *Record) {
+		for _, sp := range r.Spans() {
+			seen = append(seen, fmt.Sprintf("%s/%s", sp.Stage, r.Outcome()))
+		}
+	}
+	j := rec.StartAt("j-000042", "t", "", time.Now())
+	now := time.Now()
+	j.AddStage(StageExecute, now, now.Add(time.Millisecond))
+	j.Finish("failed")
+	if len(seen) != 1 || seen[0] != "execute/failed" {
+		t.Errorf("OnFinish observations = %v", seen)
+	}
+}
+
+func TestDetachedRecorderIsInert(t *testing.T) {
+	var rec *Recorder
+	j := rec.StartAt("j-000001", "t", "b", time.Now())
+	if j != nil {
+		t.Fatal("detached recorder must hand out nil records")
+	}
+	// Every operation on the nil record must be a safe no-op.
+	now := time.Now()
+	j.AddStage(StageExecute, now, now)
+	j.SetCache("hit")
+	j.Log("line")
+	j.Finish("done")
+	if j.ID() != "" || j.Outcome() != "" || j.Duration() != 0 || j.Spans() != nil {
+		t.Error("nil record leaked state")
+	}
+	if v := j.View(); v.ID != "" || len(v.Spans) != 0 {
+		t.Errorf("nil record view not zero: %+v", v)
+	}
+	if rec.Len() != 0 || rec.Cap() != 0 {
+		t.Error("nil recorder reported contents")
+	}
+	if _, ok := rec.Get("x"); ok {
+		t.Error("nil recorder returned a record")
+	}
+	if rec.Recent(5) != nil {
+		t.Error("nil recorder returned views")
+	}
+	if rec.Append("x", StageStream, now, now) {
+		t.Error("nil recorder accepted an append")
+	}
+}
+
+func TestClampSeconds(t *testing.T) {
+	if got := clampSeconds(-time.Second); got != 0 {
+		t.Errorf("negative duration rendered as %g, want 0", got)
+	}
+	if got := clampSeconds(1500 * time.Millisecond); got != 1.5 {
+		t.Errorf("1.5s rendered as %g", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one entry of the catapult trace-event JSON schema
@@ -136,4 +137,76 @@ func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ExtraSlice is one caller-timed complete slice to merge into a Chrome
+// trace document as an additional process: the job service uses it to put
+// wall-clock lifecycle spans next to the solver's virtual-time timeline.
+// Times are microseconds on the extra process's own clock track (for the
+// service: microseconds since the job entered the server).
+type ExtraSlice struct {
+	Name    string
+	Cat     string
+	TID     int
+	StartUS float64
+	DurUS   float64
+	Args    map[string]any
+}
+
+// MergeChromeTrace parses a Chrome trace-event JSON document (as written by
+// WriteChromeTrace; nil/empty doc means an empty trace) and appends one
+// extra process of caller-timed slices, returning the merged document.
+//
+// The merged file intentionally carries two different clocks: the original
+// process's events are virtual microseconds (the simulated machine), the
+// extra process's are wall-clock microseconds (the service). Chrome's time
+// axis is shared, so the two tracks line up only by construction — both
+// start at zero — but that is exactly the point: one file answers "where
+// did the wall clock go?" directly underneath "where did the virtual clock
+// go?". threads names the extra process's thread tracks (tid → name);
+// slices must reference tids from it or plain unnamed tids.
+func MergeChromeTrace(doc []byte, pid int, procName string, threads map[int]string, slices []ExtraSlice) ([]byte, error) {
+	var parsed struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	parsed.DisplayTimeUnit = "ms"
+	if len(doc) > 0 {
+		if err := json.Unmarshal(doc, &parsed); err != nil {
+			return nil, fmt.Errorf("trace: parsing chrome document to merge: %w", err)
+		}
+	}
+	extra := make([]chromeEvent, 0, len(slices)+1+len(threads))
+	extra = append(extra, chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": procName}})
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		extra = append(extra, chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": threads[tid]}})
+	}
+	for _, s := range slices {
+		extra = append(extra, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", PID: pid, TID: s.TID,
+			TS: s.StartUS, Dur: s.DurUS, Args: s.Args,
+		})
+	}
+	for _, e := range extra {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return nil, fmt.Errorf("trace: encoding merged event: %w", err)
+		}
+		parsed.TraceEvents = append(parsed.TraceEvents, b)
+	}
+	out, err := json.Marshal(struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}{parsed.TraceEvents, parsed.DisplayTimeUnit})
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding merged document: %w", err)
+	}
+	return out, nil
 }

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// decodeTraceDoc parses a Chrome trace document into generic events.
+func decodeTraceDoc(t *testing.T, doc []byte) []map[string]any {
+	t.Helper()
+	var parsed struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("merged document is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", parsed.DisplayTimeUnit)
+	}
+	return parsed.TraceEvents
+}
+
+func TestMergeChromeTraceIntoEmptyDoc(t *testing.T) {
+	merged, err := MergeChromeTrace(nil, 1, "service wall clock",
+		map[int]string{0: "lifecycle"},
+		[]ExtraSlice{{Name: "execute", Cat: "service", TID: 0, StartUS: 10, DurUS: 250,
+			Args: map[string]any{"attempt": 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTraceDoc(t, merged)
+	var haveProc, haveThread, haveSlice bool
+	for _, e := range evs {
+		switch e["name"] {
+		case "process_name":
+			haveProc = e["args"].(map[string]any)["name"] == "service wall clock"
+		case "thread_name":
+			haveThread = e["args"].(map[string]any)["name"] == "lifecycle"
+		case "execute":
+			haveSlice = e["ph"] == "X" && e["ts"] == 10.0 && e["dur"] == 250.0 && e["pid"] == 1.0
+		}
+	}
+	if !haveProc || !haveThread || !haveSlice {
+		t.Errorf("merged doc missing pieces: proc=%v thread=%v slice=%v in %s",
+			haveProc, haveThread, haveSlice, merged)
+	}
+}
+
+func TestMergeChromeTracePreservesOriginalEvents(t *testing.T) {
+	base := []byte(`{"traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"overd virtual machine"}},
+{"name":"flow","cat":"compute","ph":"X","ts":5,"dur":100,"pid":0,"tid":2}
+],"displayTimeUnit":"ms"}`)
+	merged, err := MergeChromeTrace(base, 1, "service", nil,
+		[]ExtraSlice{{Name: "queue", TID: 0, StartUS: 0, DurUS: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTraceDoc(t, merged)
+	pids := map[float64]int{}
+	var haveFlow, haveQueue bool
+	for _, e := range evs {
+		pids[e["pid"].(float64)]++
+		if e["name"] == "flow" && e["pid"] == 0.0 && e["dur"] == 100.0 {
+			haveFlow = true
+		}
+		if e["name"] == "queue" && e["pid"] == 1.0 && e["dur"] == 42.0 {
+			haveQueue = true
+		}
+	}
+	if !haveFlow {
+		t.Error("original virtual-time slice lost in merge")
+	}
+	if !haveQueue {
+		t.Error("wall-clock slice missing from merge")
+	}
+	if pids[0] == 0 || pids[1] == 0 {
+		t.Errorf("merged doc should hold both clock tracks, got pids %v", pids)
+	}
+}
+
+func TestMergeChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := MergeChromeTrace([]byte("not json"), 1, "p", nil, nil); err == nil {
+		t.Fatal("garbage document accepted")
+	}
+}
