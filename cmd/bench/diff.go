@@ -148,6 +148,65 @@ func diffMetrics(old, new []Metric) []string {
 	return notes
 }
 
+// procMode reports whether a bench file carries a -procs sweep: either the
+// recorded matrix, or (for hand-assembled files) any per-result proc count.
+func procMode(doc benchFile) bool {
+	if len(doc.Procs) > 0 {
+		return true
+	}
+	for _, r := range doc.Results {
+		if r.Procs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collapseToOneProc reduces a sweep file to its 1-proc results with the
+// name suffix stripped, the shape a pre-sweep baseline file has — used when
+// -diff is handed one sweep file and one unsuffixed file.
+func collapseToOneProc(doc benchFile) benchFile {
+	out := doc
+	out.Procs = nil
+	out.Results = nil
+	for _, r := range doc.Results {
+		if r.Procs == 1 {
+			r.Name = trimProcSuffix(r.Name)
+			r.Procs = 0
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}
+
+// efficiencyLines reports, for every multi-proc result in a sweep file, the
+// wall-clock speedup over the same benchmark's 1-proc result and the
+// parallel efficiency (speedup / proc count).
+func efficiencyLines(doc benchFile) []string {
+	base := map[string]float64{} // benchmark base name -> 1-proc ns/op
+	for _, r := range doc.Results {
+		if r.Procs == 1 {
+			base[trimProcSuffix(r.Name)] = r.NsPerOp
+		}
+	}
+	var lines []string
+	for _, r := range doc.Results {
+		if r.Procs <= 1 {
+			continue
+		}
+		name := trimProcSuffix(r.Name)
+		b, ok := base[name]
+		if !ok || b <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		sp := b / r.NsPerOp
+		lines = append(lines, fmt.Sprintf(
+			"parallel efficiency %-28s %d procs: speedup %.2fx vs 1 proc (efficiency %.0f%%)",
+			name, r.Procs, sp, 100*sp/float64(r.Procs)))
+	}
+	return lines
+}
+
 func printDiff(w io.Writer, rows []diffRow) {
 	for _, r := range rows {
 		status := "ok"

@@ -10,8 +10,14 @@
 // Usage:
 //
 //	bench [-bench regex] [-scale f] [-steps n] [-benchtime 1x] [-out BENCH_5.json]
-//	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	      [-procs 1,2,4] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	bench -diff [-ns-threshold f] [-allocs-threshold f] [-bytes-threshold f] old.json new.json
+//
+// -procs sweeps the benchmarks across GOMAXPROCS values (forwarded to go
+// test -cpu): each benchmark is measured once per proc count, result names
+// keep the -N suffix end-to-end (the 1-proc run gets an explicit -1), and
+// -diff on two sweep files compares like-with-like per proc count and
+// reports a parallel-efficiency line (speedup at N procs vs 1).
 //
 // -cpuprofile and -memprofile are forwarded to go test, producing pprof
 // files for `go tool pprof` alongside the JSON — the workflow the kernel
@@ -31,18 +37,23 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 // benchFile is the BENCH_*.json document shape.
 type benchFile struct {
-	Harness   string        `json:"harness"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Scale     float64       `json:"scale"`
-	Steps     int           `json:"steps"`
-	BenchTime string        `json:"benchtime"`
-	Results   []BenchResult `json:"results"`
+	Harness   string  `json:"harness"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Scale     float64 `json:"scale"`
+	Steps     int     `json:"steps"`
+	BenchTime string  `json:"benchtime"`
+	// Procs is the GOMAXPROCS sweep matrix (-procs); absent for the
+	// historical single-proc shape where name suffixes are stripped.
+	Procs   []int         `json:"procs,omitempty"`
+	Results []BenchResult `json:"results"`
 }
 
 // benchFlags carries the raw command-line values for a measurement run;
@@ -58,6 +69,30 @@ type benchFlags struct {
 	pkg        string
 	cpuprofile string
 	memprofile string
+	procs      string
+}
+
+// parseProcs parses the -procs value (comma-separated positive ints, e.g.
+// "1,2,4") into the sweep matrix. Empty means no sweep.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	procs := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-procs %q: want comma-separated positive proc counts (e.g. 1,2,4)", s)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("-procs %q: proc count %d repeats", s, n)
+		}
+		seen[n] = true
+		procs = append(procs, n)
+	}
+	return procs, nil
 }
 
 func validateBenchFlags(f benchFlags) error {
@@ -85,6 +120,9 @@ func validateBenchFlags(f benchFlags) error {
 	if f.cpuprofile != "" && f.cpuprofile == f.memprofile {
 		return fmt.Errorf("-cpuprofile and -memprofile both write %q", f.cpuprofile)
 	}
+	if _, err := parseProcs(f.procs); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -98,6 +136,7 @@ func main() {
 	flag.StringVar(&bf.pkg, "pkg", ".", "package containing the benchmarks")
 	flag.StringVar(&bf.cpuprofile, "cpuprofile", "", "forward to go test -cpuprofile (pprof output file)")
 	flag.StringVar(&bf.memprofile, "memprofile", "", "forward to go test -memprofile (pprof output file)")
+	flag.StringVar(&bf.procs, "procs", "", "comma-separated GOMAXPROCS sweep (e.g. 1,2,4), forwarded to go test -cpu; result names keep the -N suffix")
 	diff := flag.Bool("diff", false, "compare two BENCH_*.json files (old new) instead of running benchmarks")
 	nsThreshold := flag.Float64("ns-threshold", 0.30, "-diff: relative ns/op growth that counts as a regression")
 	allocsThreshold := flag.Float64("allocs-threshold", 0.10, "-diff: relative allocs/op growth that counts as a regression")
@@ -120,9 +159,30 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Proc-suffixed sweep files compare per proc count (names match
+		// like-with-like by construction). A mixed pair is reconciled by
+		// reducing the sweep side to its 1-proc results — loudly, never by
+		// silently collapsing suffixes across different proc counts.
+		oldProc, newProc := procMode(oldDoc), procMode(newDoc)
+		if oldProc != newProc {
+			if oldProc {
+				fmt.Printf("note: %s is a -procs sweep and %s is not; comparing its 1-proc results against the unsuffixed baseline\n",
+					flag.Arg(0), flag.Arg(1))
+				oldDoc = collapseToOneProc(oldDoc)
+			} else {
+				fmt.Printf("note: %s is a -procs sweep and %s is not; comparing its 1-proc results against the unsuffixed baseline\n",
+					flag.Arg(1), flag.Arg(0))
+				newDoc = collapseToOneProc(newDoc)
+			}
+		}
 		rows, regressions := diffBench(oldDoc, newDoc,
 			thresholds{ns: *nsThreshold, allocs: *allocsThreshold, bytes: *bytesThreshold})
 		printDiff(os.Stdout, rows)
+		if oldProc && newProc {
+			for _, line := range efficiencyLines(newDoc) {
+				fmt.Println(line)
+			}
+		}
 		if regressions > 0 {
 			fail(fmt.Errorf("%d benchmark regression(s) beyond thresholds (ns %.0f%%, allocs %.0f%%, B %.0f%%)",
 				regressions, 100**nsThreshold, 100**allocsThreshold, 100**bytesThreshold))
@@ -135,8 +195,12 @@ func main() {
 		fail(err)
 	}
 
+	procs, _ := parseProcs(bf.procs) // validated above
 	args := []string{"test", "-run", "^$",
 		"-bench", bf.benchRe, "-benchmem", "-benchtime", bf.benchtime}
+	if bf.procs != "" {
+		args = append(args, "-cpu", bf.procs)
+	}
 	if bf.cpuprofile != "" {
 		args = append(args, "-cpuprofile", bf.cpuprofile)
 	}
@@ -158,7 +222,7 @@ func main() {
 		fail(fmt.Errorf("go test -bench: %w", err))
 	}
 
-	results, err := parseBenchOutput(buf.String())
+	results, err := parseBenchOutput(buf.String(), len(procs) > 0)
 	if err != nil {
 		os.Stderr.Write(buf.Bytes())
 		fail(err)
@@ -172,6 +236,7 @@ func main() {
 		Scale:     bf.scale,
 		Steps:     bf.steps,
 		BenchTime: bf.benchtime,
+		Procs:     procs,
 		Results:   results,
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -187,6 +252,9 @@ func main() {
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), bf.out)
+	for _, line := range efficiencyLines(doc) {
+		fmt.Println(line)
+	}
 	if bf.cpuprofile != "" {
 		fmt.Printf("cpu profile: go tool pprof %s\n", bf.cpuprofile)
 	}

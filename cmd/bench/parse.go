@@ -9,9 +9,14 @@ import (
 
 // BenchResult is one parsed `go test -bench` result line.
 type BenchResult struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
-	// (BenchmarkTable4_StoreSep-8 -> Table4_StoreSep).
+	// Name is the benchmark name. In the default single-proc mode the
+	// -GOMAXPROCS suffix is stripped (BenchmarkTable4_StoreSep-8 ->
+	// Table4_StoreSep); in a -procs sweep the suffix is kept — normalized
+	// so the 1-proc run carries an explicit "-1" — and Procs records it.
 	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the result was measured at (0 in the default
+	// mode, where the suffix is stripped and proc count is not tracked).
+	Procs int `json:"procs,omitempty"`
 	// Iters is the measured iteration count (b.N).
 	Iters int `json:"iters"`
 	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
@@ -29,26 +34,38 @@ type Metric struct {
 	Value float64 `json:"value"`
 }
 
-// trimProcSuffix strips the -GOMAXPROCS suffix the bench runner appends
-// (Table4_StoreSep-8 -> Table4_StoreSep). Only a trailing run of digits
+// splitProcSuffix splits the -GOMAXPROCS suffix the bench runner appends
+// (Table4_StoreSep-8 -> Table4_StoreSep, 8). Only a trailing run of digits
 // after the final hyphen qualifies: a hyphen elsewhere in the name
-// (Halo-SIMD) is part of the name, not a processor count.
-func trimProcSuffix(name string) string {
+// (Halo-SIMD) is part of the name, not a processor count. procs is 0 when
+// the name has no suffix (go test omits it at GOMAXPROCS=1).
+func splitProcSuffix(name string) (base string, procs int) {
 	i := strings.LastIndex(name, "-")
 	if i <= 0 || i+1 == len(name) {
-		return name
+		return name, 0
 	}
-	for _, c := range name[i+1:] {
-		if c < '0' || c > '9' {
-			return name
-		}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], n
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix if present.
+func trimProcSuffix(name string) string {
+	base, _ := splitProcSuffix(name)
+	return base
 }
 
 // parseBenchOutput extracts result lines from `go test -bench -benchmem`
 // output. Lines it does not recognize (logs, PASS, ok) are skipped.
-func parseBenchOutput(out string) ([]BenchResult, error) {
+//
+// keepProcs selects the -procs sweep mode: the -GOMAXPROCS name suffix is
+// kept end-to-end (normalized so the 1-proc run, which go test leaves
+// unsuffixed, carries an explicit "-1") and recorded in Procs, so a sweep
+// file holds one distinct result per (benchmark, proc count) pair. With
+// keepProcs false the suffix is stripped, the historical single-proc shape.
+func parseBenchOutput(out string, keepProcs bool) ([]BenchResult, error) {
 	var results []BenchResult
 	sc := bufio.NewScanner(strings.NewReader(out))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -66,8 +83,15 @@ func parseBenchOutput(out string) ([]BenchResult, error) {
 		if err != nil {
 			continue
 		}
-		name := trimProcSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
-		r := BenchResult{Name: name, Iters: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		base, procs := splitProcSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
+		r := BenchResult{Name: base, Iters: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		if keepProcs {
+			if procs == 0 {
+				procs = 1
+			}
+			r.Name = fmt.Sprintf("%s-%d", base, procs)
+			r.Procs = procs
+		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, unit := fields[i], fields[i+1]
 			v, err := strconv.ParseFloat(val, 64)

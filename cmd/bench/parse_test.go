@@ -18,7 +18,7 @@ ok  	overd	21.5s
 `
 
 func TestParseBenchOutput(t *testing.T) {
-	results, err := parseBenchOutput(sampleOutput)
+	results, err := parseBenchOutput(sampleOutput, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestTrimProcSuffix(t *testing.T) {
 }
 
 func TestParseBenchOutputHyphenatedName(t *testing.T) {
-	results, err := parseBenchOutput("BenchmarkHalo-SIMD-8 \t 3 \t 400 ns/op\nPASS\n")
+	results, err := parseBenchOutput("BenchmarkHalo-SIMD-8 \t 3 \t 400 ns/op\nPASS\n", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestParseBenchOutputHyphenatedName(t *testing.T) {
 }
 
 func TestParseBenchOutputNoBenchmem(t *testing.T) {
-	results, err := parseBenchOutput("BenchmarkX-4 \t 2 \t 500 ns/op\nPASS\n")
+	results, err := parseBenchOutput("BenchmarkX-4 \t 2 \t 500 ns/op\nPASS\n", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,10 +86,10 @@ func TestParseBenchOutputNoBenchmem(t *testing.T) {
 }
 
 func TestParseBenchOutputErrors(t *testing.T) {
-	if _, err := parseBenchOutput("PASS\nok  \tsomething\t1.2s\n"); err == nil {
+	if _, err := parseBenchOutput("PASS\nok  \tsomething\t1.2s\n", false); err == nil {
 		t.Error("want error when no benchmark lines present")
 	}
-	_, err := parseBenchOutput("BenchmarkY-4 \t 1 \t bogus ns/op\n")
+	_, err := parseBenchOutput("BenchmarkY-4 \t 1 \t bogus ns/op\n", false)
 	if err == nil || !strings.Contains(err.Error(), "bad value") {
 		t.Errorf("want bad-value error, got %v", err)
 	}

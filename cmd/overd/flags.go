@@ -27,6 +27,7 @@ type runFlags struct {
 	fieldOut        string
 	metricsOut      string
 	serveAddr       string
+	workers         int
 }
 
 // validated holds the parts of the config that validation resolves.
@@ -66,6 +67,9 @@ func validateRunFlags(f runFlags) (validated, error) {
 	}
 	if f.checkEvery <= 0 {
 		return v, fmt.Errorf("-check %d: the balance-check interval must be positive", f.checkEvery)
+	}
+	if f.workers < 0 {
+		return v, fmt.Errorf("-workers %d: the parallelism bound cannot be negative (0 means unbounded)", f.workers)
 	}
 	if err := overd.ValidateBalancer(f.balancer, f.fo); err != nil {
 		return v, fmt.Errorf("-balancer %v", err)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	overd -case airfoil|deltawing|storesep [-nodes n] [-machine SP2|SP]
-//	      [-steps n] [-scale f] [-fo f] [-dump] [-field out.csv]
+//	      [-steps n] [-scale f] [-fo f] [-workers k] [-dump] [-field out.csv]
 //	      [-trace out.json] [-trace-summary]
 //	      [-metrics out.prom|out.json] [-serve :9090]
 //	      [-faults plan.json] [-checkpoint-every n]
@@ -39,6 +39,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "gridpoint budget multiplier (1 = paper size)")
 	fo := flag.Float64("fo", math.Inf(1), "dynamic load-balance factor (Algorithm 2); +Inf disables")
 	checkEvery := flag.Int("check", 5, "steps between dynamic-balance checks")
+	workers := flag.Int("workers", 0, "bound on rank goroutines running simultaneously (0 = unbounded; results are bit-identical at any value)")
 	balancerName := flag.String("balancer", "", "load balancer: "+strings.Join(overd.BalancerNames(), ", ")+" (empty resolves from -fo)")
 	dump := flag.Bool("dump", false, "print the grid system and static partition, then exit")
 	fieldOut := flag.String("field", "", "write a field CSV of the given grid id after the run (format gridID:file.csv)")
@@ -84,6 +85,7 @@ func main() {
 		checkEvery: *checkEvery, checkpointEvery: *checkpointEvery,
 		faultsPath: *faultsPath, fieldOut: *fieldOut,
 		metricsOut: *metricsOut, serveAddr: *serveAddr,
+		workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,7 +121,7 @@ func main() {
 	cfg := overd.Config{
 		Case: c, Nodes: *nodes, Machine: m, Steps: *steps,
 		Fo: *fo, CheckInterval: *checkEvery, Balancer: *balancerName,
-		CheckpointEvery: *checkpointEvery,
+		CheckpointEvery: *checkpointEvery, Workers: *workers,
 	}
 	if *faultsPath != "" {
 		plan, err := overd.LoadFaultPlan(*faultsPath)

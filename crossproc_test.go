@@ -1,0 +1,203 @@
+package overd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// These tests pin the parallel-execution contract from DESIGN.md
+// ("Deterministic parallelism"): GOMAXPROCS and Config.Workers choose how
+// many rank goroutines run simultaneously on the host, and nothing else.
+// Virtual clocks, table rows, trace events and metric values are functions
+// of the configuration alone, so every artifact a run can emit must be
+// byte-identical whether the ranks time-slice on one core or race on four.
+
+// withGOMAXPROCS runs f at the given GOMAXPROCS, restoring the old value.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// runArtifacts executes one run with a trace recorder and metrics registry
+// attached and returns every observable artifact concatenated: the run's
+// result JSON, the trace summary JSON, the Chrome trace export, and the
+// Prometheus metrics exposition. Any divergence across schedules shows up
+// as a byte mismatch somewhere in this stream.
+func runArtifacts(t *testing.T, mk func() Config) []byte {
+	t.Helper()
+	rec := NewTraceRecorder()
+	reg := NewMetricsRegistry()
+	cfg := mk()
+	cfg.Trace = rec
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := EmitRunJSON(&buf, res); err != nil {
+		t.Fatalf("EmitRunJSON: %v", err)
+	}
+	sum, err := json.Marshal(rec.Summarize())
+	if err != nil {
+		t.Fatalf("marshal trace summary: %v", err)
+	}
+	buf.Write(sum)
+	buf.WriteByte('\n')
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// firstDiff points a byte mismatch at its first diverging line so failures
+// name the artifact (run JSON, summary, trace, metrics) rather than dumping
+// two multi-megabyte blobs.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n a: %.200s\n b: %.200s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}
+
+// TestCrossProcDeterminism is the full schedule-independence matrix:
+// airfoil and store-separation, every registered balancer, clean and under
+// the Table-5 straggler fault, each executed at GOMAXPROCS 1 and 4. All
+// artifacts must match byte-for-byte — the (clock, rank) and (arrival,
+// flow) tie-breaks in internal/par are what make this hold.
+func TestCrossProcDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism matrix; skipped in -short mode")
+	}
+	cases := []struct {
+		name  string
+		mk    func(float64) *Case
+		scale float64
+		nodes int
+	}{
+		{"airfoil", OscillatingAirfoil, 0.05, 12},
+		{"storesep", StoreSeparation, 0.05, 16},
+	}
+	faults := []struct {
+		name string
+		plan func() *FaultPlan
+	}{
+		{"clean", func() *FaultPlan { return nil }},
+		{"straggler", Table5FaultPlan},
+	}
+	for _, c := range cases {
+		for _, f := range faults {
+			for _, bal := range BalancerNames() {
+				bal := bal
+				t.Run(fmt.Sprintf("%s/%s/%s", c.name, f.name, bal), func(t *testing.T) {
+					mk := func() Config {
+						return Config{
+							// Rebuild the case per run: grid motion
+							// mutates it in place.
+							Case: c.mk(c.scale), Nodes: c.nodes,
+							Machine: SP2(), Steps: 4,
+							Fo: balancerSweepFo(bal), CheckInterval: 2,
+							Balancer: bal, Faults: f.plan(),
+						}
+					}
+					var at1, at4 []byte
+					withGOMAXPROCS(1, func() { at1 = runArtifacts(t, mk) })
+					withGOMAXPROCS(4, func() { at4 = runArtifacts(t, mk) })
+					if !bytes.Equal(at1, at4) {
+						t.Errorf("artifacts diverge between GOMAXPROCS 1 and 4; %s",
+							firstDiff(at1, at4))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWorkersBoundBitIdentical pins the Config.Workers contract: the run
+// -slot gate bounds host concurrency only, so every bound — serialized,
+// partial, unbounded — produces the same artifact bytes. This is what lets
+// the job service vary workers_per_job without invalidating its
+// content-addressed result cache.
+func TestWorkersBoundBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run identity check; skipped in -short mode")
+	}
+	mkAt := func(workers int) func() Config {
+		return func() Config {
+			return Config{
+				Case: StoreSeparation(0.05), Nodes: 16, Machine: SP2(),
+				Steps: 3, Fo: 5, CheckInterval: 2, Workers: workers,
+				Faults: Table5FaultPlan(),
+			}
+		}
+	}
+	var base []byte
+	withGOMAXPROCS(4, func() {
+		base = runArtifacts(t, mkAt(0))
+		for _, workers := range []int{1, 2, 5} {
+			got := runArtifacts(t, mkAt(workers))
+			if !bytes.Equal(base, got) {
+				t.Errorf("Workers=%d diverges from unbounded; %s",
+					workers, firstDiff(base, got))
+			}
+		}
+	})
+}
+
+// TestPerfPassBitIdenticalAcrossProcs re-emits a golden table subset at
+// GOMAXPROCS 2 and 4 and requires the bytes to match both the GOMAXPROCS=1
+// emission and the committed golden file — the cross-schedule version of
+// TestPerfPassBitIdentical. One table keeps the tripled runtime bounded;
+// the full sweep is covered at a single schedule by the base test and
+// across schedules (per case/balancer/fault) by TestCrossProcDeterminism.
+func TestPerfPassBitIdenticalAcrossProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table sweep; skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/tables_scale005_steps2.jsonl")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	sel, err := ParseTableSelection("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func() []byte {
+		var buf bytes.Buffer
+		if err := EmitTablesJSON(&buf, Options{Scale: 0.05, Steps: 2}, sel); err != nil {
+			t.Fatalf("EmitTablesJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	var at1 []byte
+	withGOMAXPROCS(1, func() { at1 = emit() })
+	for _, procs := range []int{2, 4} {
+		var got []byte
+		withGOMAXPROCS(procs, func() { got = emit() })
+		if !bytes.Equal(at1, got) {
+			t.Errorf("table output diverges between GOMAXPROCS 1 and %d; %s",
+				procs, firstDiff(at1, got))
+		}
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(at1), []byte("\n")) {
+		if !bytes.Contains(want, line) {
+			t.Fatalf("emitted table-4 line not found in golden: %s", line)
+		}
+	}
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// SlabDecomp uses 1-D slab subdomains instead of the prime-factor
 	// minimal-surface subdivision (the Fig. 4 ablation baseline).
 	SlabDecomp bool
+	// Workers bounds how many rank goroutines run host code simultaneously
+	// (see par.World.SetParallelism). 0 or >= Nodes means unbounded — every
+	// rank runnable at once, multiplexed over GOMAXPROCS by the Go
+	// scheduler. It is a host-side resource control only: any value yields
+	// bit-identical virtual clocks, traces, metrics and tables, which is why
+	// the job service may vary it per job without perturbing the
+	// content-addressed result cache.
+	Workers int
 	// Trace, when non-nil, records every rank's virtual-time events for
 	// wait/idle attribution, critical-path analysis, and Chrome trace
 	// export (see package trace). Nil adds no cost and changes no times.
@@ -333,6 +341,7 @@ func Run(cfg Config) (*Result, error) {
 			eng.Attach(nodes)
 		}
 		world := par.NewWorld(nodes, mach)
+		world.SetParallelism(cfg.Workers)
 		world.SetTrace(cfg.Trace)
 		world.SetMetrics(cfg.Metrics)
 		if eng != nil {
@@ -492,6 +501,12 @@ type runState struct {
 	blocks  []*flow.Block
 	solvers []*dcf.Solver
 
+	// World-shared per-rank envelope arenas, attached to every block and
+	// solver (including post-repartition rebuilds) so hot-path envelope
+	// reuse never contends across ranks at GOMAXPROCS > 1.
+	flowAr *flow.Arenas
+	dcfAr  *dcf.Arenas
+
 	dt float64
 
 	stats       []StepStats
@@ -538,6 +553,8 @@ func newRunState(cfg Config, plan *balance.Plan) *runState {
 		plan:      plan,
 		blocks:    make([]*flow.Block, n),
 		solvers:   make([]*dcf.Solver, n),
+		flowAr:    flow.NewArenas(n),
+		dcfAr:     dcf.NewArenas(n),
 		preFlops:  make([]float64, n),
 		prevClock: make([]float64, n),
 		prevWait:  make([]float64, n),
@@ -571,6 +588,7 @@ func (st *runState) buildBlocks() {
 			if c.ViscousAll {
 				blks[i].SetViscousDirs([3]bool{true, true, true})
 			}
+			blks[i].UseArenas(st.flowAr)
 			st.blocks[rk] = blks[i]
 		}
 	}

@@ -185,7 +185,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			if len(pts) == 0 {
 				continue
 			}
-			if sendReqBatch(r, dst, pts) {
+			if s.sendReqBatch(r, dst, pts) {
 				continue
 			}
 			s.LostSends++
@@ -205,7 +205,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 			if len(pts) == 0 {
 				continue
 			}
-			if sendReqBatch(r, dst, pts) {
+			if s.sendReqBatch(r, dst, pts) {
 				continue
 			}
 			s.LostSends++
@@ -265,13 +265,13 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 				}
 				replies[pt.Origin] = append(replies[pt.Origin], rep)
 			}
-			reqPool.Put(req)
+			s.putReq(req)
 		}
 		for dst, reps := range replies {
 			if len(reps) == 0 {
 				continue
 			}
-			env := repPool.Get()
+			env := s.getRep()
 			env.Results = append(env.Results[:0], reps...)
 			if r.SendReliable(dst, par.TagSearchRep, env, bytesPerReply*len(reps)) {
 				continue
@@ -322,7 +322,7 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 				dst := p.popCand()
 				outbox[dst] = append(outbox[dst], s.scratchReq(res.ID, pt, p))
 			}
-			repPool.Put(rep)
+			s.putRep(rep)
 		}
 
 		work := 0
@@ -350,10 +350,10 @@ func (s *Solver) Solve(r *par.Rank) Stats {
 	return stats
 }
 
-// sendReqBatch copies a request batch into a pooled envelope and ships it
-// on the reliable transport.
-func sendReqBatch(r *par.Rank, dst int, pts []ptReq) bool {
-	env := reqPool.Get()
+// sendReqBatch copies a request batch into a recycled envelope (this rank's
+// arena shard, or the global pool) and ships it on the reliable transport.
+func (s *Solver) sendReqBatch(r *par.Rank, dst int, pts []ptReq) bool {
+	env := s.getReq()
 	env.Pts = append(env.Pts[:0], pts...)
 	return r.SendReliable(dst, par.TagSearchReq, env, bytesPerRequest*len(pts))
 }

@@ -246,7 +246,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 			pm := m.Data.(*pipeMsg)
 			copy(cIn[lo*5:(hi+1)*5], pm.Vals[:5*(hi-lo+1)])
 			copy(dIn[lo*5:(hi+1)*5], pm.Vals[5*(hi-lo+1):])
-			pipePool.Put(pm)
+			b.putPipe(r, pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
 			base := lg.lineBase(ln)
@@ -291,7 +291,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		}
 		if nextRank >= 0 {
 			nv := hi - lo + 1
-			pm := pipePool.Get()
+			pm := b.getPipe(r)
 			pm.Dir, pm.Batch = d, bi
 			pm.Vals = append(pm.Vals[:0], cOut[lo*5:(hi+1)*5]...)
 			pm.Vals = append(pm.Vals, dOut[lo*5:(hi+1)*5]...)
@@ -306,7 +306,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 			m := r.Recv(nextRank, par.TagPipeline)
 			pm := m.Data.(*pipeMsg)
 			copy(xIn[lo*5:(hi+1)*5], pm.Vals)
-			pipePool.Put(pm)
+			b.putPipe(r, pm)
 		}
 		for ln := lo; ln <= hi; ln++ {
 			base := lg.lineBase(ln)
@@ -327,7 +327,7 @@ func (b *Block) lineSolves(r *par.Rank, d int, dt float64, lam []float64) float6
 		}
 		if prevRank >= 0 {
 			nv := hi - lo + 1
-			pm := pipePool.Get()
+			pm := b.getPipe(r)
 			pm.Dir, pm.Batch = d, bi
 			pm.Vals = append(pm.Vals[:0], xIn[lo*5:(hi+1)*5]...)
 			r.Send(prevRank, par.TagPipeline, pm, 8*5*nv)

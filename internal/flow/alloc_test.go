@@ -1,12 +1,25 @@
 package flow
 
 import (
+	"runtime"
 	"testing"
 
 	"overd/internal/gridgen"
 	"overd/internal/machine"
 	"overd/internal/par"
 )
+
+// pinOneProc pins GOMAXPROCS to 1 for the duration of the test.
+// testing.AllocsPerRun counts every allocation in the process during its
+// runs, so at GOMAXPROCS>1 a concurrently scheduled goroutine (GC worker,
+// another rank) can charge allocations to the measured hot path and flake
+// the zero-alloc assertion — the measurement needs serial execution even
+// though the measured code is parallel-safe.
+func pinOneProc(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // allocBlock builds the same isolated single-rank block the benchmarks use.
 func allocBlock() (*Block, *par.World) {
@@ -24,6 +37,7 @@ func allocBlock() (*Block, *par.World) {
 // is re-run every timestep and any per-call garbage shows up directly in
 // the wall-clock tables.
 func TestComputeRHSZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	blk, _ := allocBlock()
 	blk.ComputeRHS(0.01) // warm scratch
 	if n := testing.AllocsPerRun(10, func() {
@@ -36,6 +50,7 @@ func TestComputeRHSZeroAlloc(t *testing.T) {
 // The diagonalized ADI sweep (including the pipelined line solves and the
 // update application) must be allocation-free in steady state.
 func TestSolveADIZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	blk, w := allocBlock()
 	w.Run(func(r *par.Rank) {
 		blk.ComputeRHS(0.01)
@@ -50,6 +65,7 @@ func TestSolveADIZeroAlloc(t *testing.T) {
 
 // ApplyUpdate is a pure sweep over Q/DQ and may never allocate.
 func TestApplyUpdateZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	blk, w := allocBlock()
 	w.Run(func(r *par.Rank) {
 		blk.ComputeRHS(0.01)
@@ -65,6 +81,7 @@ func TestApplyUpdateZeroAlloc(t *testing.T) {
 // Halo pack/unpack reuse envelope buffers; with a warm buffer the row-wise
 // bulk copies must not allocate.
 func TestHaloPackUnpackZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	blk, _ := allocBlock()
 	buf := blk.packFace(nil, 0, 0)
 	data := append([]float64(nil), buf...)
@@ -82,6 +99,7 @@ func TestHaloPackUnpackZeroAlloc(t *testing.T) {
 
 // The Baldwin-Lomax pass reuses per-line scratch from the block.
 func TestComputeTurbulenceZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	blk, _ := allocBlock()
 	blk.ComputeTurbulence() // warm scratch
 	if n := testing.AllocsPerRun(10, func() {

@@ -39,7 +39,7 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 			}
 			posts[nposts] = post{dim, side, nbr}
 			nposts++
-			fm := facePool.Get()
+			fm := b.getFace(r)
 			fm.vals = b.packFace(fm.vals[:0], dim, side)
 			// Tag encodes the receiving face so a 2-rank periodic ring
 			// can distinguish its two connections to the same peer.
@@ -62,14 +62,14 @@ func (b *Block) ExchangeHalo(r *par.Rank) {
 			if m, ok := r.RecvTimeout(p.nbr.Rank, tag, 2*r.Model().LatencySec); ok {
 				fm := m.Data.(*faceMsg)
 				b.unpackFace(p.dim, p.side, fm.vals)
-				facePool.Put(fm)
+				b.putFace(r, fm)
 			}
 			continue
 		}
 		m := r.Recv(p.nbr.Rank, tag)
 		fm := m.Data.(*faceMsg)
 		b.unpackFace(p.dim, p.side, fm.vals)
-		facePool.Put(fm)
+		b.putFace(r, fm)
 	}
 }
 

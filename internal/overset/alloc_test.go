@@ -1,15 +1,29 @@
 package overset
 
 import (
+	"runtime"
 	"testing"
 
 	"overd/internal/geom"
 	"overd/internal/gridgen"
 )
 
+// pinOneProc pins GOMAXPROCS to 1 for the duration of the test.
+// testing.AllocsPerRun counts every allocation in the process during its
+// runs, so at GOMAXPROCS>1 a concurrently scheduled goroutine can charge
+// allocations to the measured hot path and flake the zero-alloc assertion
+// — the measurement needs serial execution even though the measured code
+// is parallel-safe.
+func pinOneProc(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // The donor stencil walk (cell inversion, trilinear Newton, hole checks) is
 // the inner loop of every connectivity solve and must not allocate.
 func TestFindDonorZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
 	probe := geom.Vec3{X: 2.4, Y: 1.1}
 	cold := FindDonor(g, 0, probe, [3]int{0, 0, 0})
@@ -36,6 +50,7 @@ func TestFindDonorZeroAlloc(t *testing.T) {
 
 // The subdomain-limited walk used by the distributed solver is equally hot.
 func TestFindDonorLimitedZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	g := gridgen.Annulus(0, "ring", 128, 32, 0, 0, 1, 4)
 	probe := geom.Vec3{X: 2.4, Y: 1.1}
 	box := g.Full()
@@ -53,6 +68,7 @@ func TestFindDonorLimitedZeroAlloc(t *testing.T) {
 
 // Hole-map rebuilds reuse the state and corner-lattice buffers.
 func TestHoleMapRebuildZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	hm := NewHoleMap(NewAirfoilCutter(0.02), 24)
 	if n := testing.AllocsPerRun(5, func() {
 		hm.Rebuild(24)

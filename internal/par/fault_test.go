@@ -296,6 +296,7 @@ func TestTryRecvAnyOrderAcrossSenders(t *testing.T) {
 // The reliable path with no injector is the plain send: zero allocations on
 // the unfaulted hot path.
 func TestSendReliableUnfaultedNoAllocs(t *testing.T) {
+	pinOneProc(t)
 	w := testWorld(2)
 	w.Run(func(r *Rank) {
 		if r.ID == 0 {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"overd/internal/machine"
 	"overd/internal/trace"
@@ -127,6 +128,23 @@ func (e *RankFailure) Crashed() (Crash, bool) {
 	return c, ok
 }
 
+// mailboxState is the mutable state of one rank's inbox, split out so
+// mailbox can pad it to a cache-line multiple: the inbox array is
+// contiguous, and without padding a sender appending to rank r's buf would
+// false-share with rank r+1's receiver scanning its own head under true
+// parallelism.
+type mailboxState struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	buf  []Msg // FIFO: buf[head:] are the queued messages
+	head int
+	// waiting is set (under mu) while the receiver is blocked in cond.Wait,
+	// so put can skip the cond-var signal — a futex wake syscall on Linux —
+	// for the common case of a receiver that is running, not parked.
+	waiting  bool
+	poisoned bool
+}
+
 // mailbox is one rank's unbounded physical-delivery queue: many senders,
 // one receiver. Unlike a fixed-capacity channel it never blocks a sender
 // and costs only its high-water mark in memory — a world of n ranks starts
@@ -134,19 +152,24 @@ func (e *RankFailure) Crashed() (Crash, bool) {
 // receiver's blocking wait observes poison (a peer panic) through the same
 // condition variable, so a failure still unblocks the whole world.
 type mailbox struct {
-	mu       sync.Mutex
-	cond     sync.Cond
-	buf      []Msg // FIFO: buf[head:] are the queued messages
-	head     int
-	poisoned bool
+	mailboxState
+	_ [(cacheLine - unsafe.Sizeof(mailboxState{})%cacheLine) % cacheLine]byte
 }
 
-// put enqueues m. Never blocks.
+// cacheLine is the false-sharing granularity the padded structures round to.
+const cacheLine = 64
+
+// put enqueues m. Never blocks. The cond-var signal is issued only when the
+// receiver is actually parked in wait: a missed signal is impossible because
+// waiting is set under mu before cond.Wait atomically releases it.
 func (mb *mailbox) put(m Msg) {
 	mb.mu.Lock()
 	mb.buf = append(mb.buf, m)
+	wake := mb.waiting
 	mb.mu.Unlock()
-	mb.cond.Signal()
+	if wake {
+		mb.cond.Signal()
+	}
 }
 
 func (mb *mailbox) takeLocked() (Msg, bool) {
@@ -172,8 +195,11 @@ func (mb *mailbox) take() (Msg, bool) {
 }
 
 // wait blocks until a message is available or the world is poisoned;
-// ok == false means poison.
-func (mb *mailbox) wait() (Msg, bool) {
+// ok == false means poison. When the world has a parallelism gate, the
+// receiver hands its run slot back before parking and re-acquires it after
+// waking — strictly outside mb.mu, so a sender holding a slot can never
+// deadlock against a receiver holding the mailbox lock.
+func (mb *mailbox) wait(w *World) (Msg, bool) {
 	mb.mu.Lock()
 	for {
 		if m, ok := mb.takeLocked(); ok {
@@ -184,7 +210,22 @@ func (mb *mailbox) wait() (Msg, bool) {
 			mb.mu.Unlock()
 			return Msg{}, false
 		}
+		mb.waiting = true
+		if w.gate == nil {
+			mb.cond.Wait()
+			mb.waiting = false
+			continue
+		}
+		w.gateRelease()
 		mb.cond.Wait()
+		mb.waiting = false
+		mb.mu.Unlock()
+		if !w.gateAcquire() {
+			// done closed: the world is being poisoned (this mailbox's own
+			// flag may lag by a few instructions). Report poison directly.
+			return Msg{}, false
+		}
+		mb.mu.Lock()
 	}
 }
 
@@ -236,6 +277,52 @@ type World struct {
 	// met, when non-nil, holds the attached metrics registry's prefetched
 	// handles (see SetMetrics). Nil costs one pointer test per operation.
 	met *worldMetrics
+
+	// gate, when non-nil, is a counting semaphore bounding how many rank
+	// goroutines run simultaneously (see SetParallelism). Nil — the default
+	// — costs one pointer test per blocking operation and nothing on the
+	// non-blocking hot paths.
+	gate chan struct{}
+}
+
+// SetParallelism bounds the number of rank goroutines running host code
+// simultaneously to k. It must be called before Run. k <= 0 or k >= Size()
+// removes the bound (every rank runnable at once, the default); the Go
+// scheduler still multiplexes runnable ranks over GOMAXPROCS.
+//
+// The gate is a host-side resource control — the workers_per_job hint the
+// job service threads down so one tenant's wide world cannot monopolize the
+// machine's cores. It never touches a virtual clock: ranks hand their run
+// slot back whenever they park (mailbox wait, barrier wait) and re-acquire
+// it on wake, so any k produces bit-identical clocks, traces and metrics.
+func (w *World) SetParallelism(k int) {
+	if k <= 0 || k >= w.n {
+		w.gate = nil
+		return
+	}
+	w.gate = make(chan struct{}, k)
+}
+
+// gateAcquire claims a run slot, or reports false if the world died (done
+// closed by poisonAll) — the only way the gate can ever be unsatisfiable.
+func (w *World) gateAcquire() bool {
+	select {
+	case w.gate <- struct{}{}:
+		return true
+	case <-w.done:
+		return false
+	}
+}
+
+// gateRelease returns the caller's run slot. The default arm tolerates the
+// teardown path where a rank that already gave up its slot panics through a
+// deferred release: over-freeing into a dying world is harmless because
+// every acquire fails fast once done is closed.
+func (w *World) gateRelease() {
+	select {
+	case <-w.gate:
+	default:
+	}
 }
 
 // SetFaults attaches a message-loss injector before Run. Pass a non-nil
@@ -356,6 +443,16 @@ func (w *World) RunErr(body func(r *Rank)) ([]*Rank, error) {
 					w.poisonAll()
 				}
 			}()
+			if w.gate != nil {
+				// Claim a run slot before executing any rank code. The
+				// deferred release runs first on unwind (LIFO), so a
+				// panicking rank frees its slot before the recover above
+				// poisons the world.
+				if !w.gateAcquire() {
+					panic("par: world poisoned before rank start")
+				}
+				defer w.gateRelease()
+			}
 			body(r)
 		}(ranks[i])
 	}
@@ -770,7 +867,7 @@ func (r *Rank) Recv(from int, tag Tag) Msg {
 // blockingRecv waits for the next physical delivery, panicking with a
 // who-was-waiting-on-what diagnostic if the world is poisoned first.
 func (r *Rank) blockingRecv(from int, tag Tag) {
-	m, ok := r.w.inbox[r.ID].wait()
+	m, ok := r.w.inbox[r.ID].wait(r.w)
 	if !ok {
 		panic(fmt.Sprintf(
 			"par: rank %d: inbox closed (world poisoned by a peer panic) while receiving %s from %s",
@@ -907,7 +1004,7 @@ func (r *Rank) barrierSync() {
 	if r.w.met != nil {
 		r.w.met.barrier.Add1(r.ID, int(r.phase), 1)
 	}
-	maxClock, maxRank := r.w.bar.sync(r.Clock, r.ID)
+	maxClock, maxRank := r.w.bar.sync(r.Clock, r.ID, r.w)
 	if wait := maxClock - r.Clock; wait > 0 {
 		if r.tr != nil {
 			r.emit(trace.KindBarrier, r.Clock, wait, TagCollective, maxRank, 0, 0)
@@ -1045,8 +1142,11 @@ func (b *barrier) init(n int) {
 // clock passed by any rank in this generation and the rank that passed it.
 // Equal clocks tie-break to the lowest rank id — never to physical call
 // order, which would make wait attribution (and traced event streams)
-// scheduler-dependent.
-func (b *barrier) sync(clock float64, rank int) (float64, int) {
+// scheduler-dependent. When the world has a parallelism gate, each waiter
+// hands its run slot back before parking — otherwise k-1 parked waiters
+// could starve the one rank still computing toward the rendezvous — and
+// re-acquires it after release, strictly outside b.mu.
+func (b *barrier) sync(clock float64, rank int, w *World) (float64, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -1068,7 +1168,20 @@ func (b *barrier) sync(clock float64, rank int) (float64, int) {
 	}
 	gen := b.gen
 	for gen == b.gen && !b.poisoned {
+		if w.gate == nil {
+			b.cond.Wait()
+			continue
+		}
+		w.gateRelease()
 		b.cond.Wait()
+		b.mu.Unlock()
+		ok := w.gateAcquire()
+		b.mu.Lock()
+		if !ok {
+			// done closed: the world is being poisoned (this barrier's own
+			// flag may lag by a few instructions).
+			panic("par: barrier poisoned by peer rank panic")
+		}
 	}
 	if b.poisoned {
 		panic("par: barrier poisoned by peer rank panic")

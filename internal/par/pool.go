@@ -10,6 +10,14 @@ import "sync"
 // envelope types own their internal buffers (slices reused via append(x[:0]))
 // runs alloc-free at steady state.
 //
+// Pool is backed by sync.Pool, which is safe for concurrent use by all ranks
+// at any GOMAXPROCS — but its per-P caches mean a Get on one scheduler
+// processor does not reliably see a Put made on another, so the zero-alloc
+// guarantee only holds pinned to one proc. Hot paths that need contention-free
+// reuse under true parallelism use Arena instead; Pool remains the fallback
+// for envelopes exchanged outside a world context (tests, the adaptive
+// scheme) where no per-rank shard index exists.
+//
 // Envelopes that are never received — dropped by fault injection or stranded
 // by a crash-recovery teardown — are simply collected by the GC; the pool
 // does not require every Get to be matched by a Put.
@@ -37,4 +45,99 @@ func (p *Pool[T]) Put(x *T) {
 	if x != nil {
 		p.p.Put(x)
 	}
+}
+
+// arenaShardCap bounds each rank's private free list. Protocols with
+// balanced envelope flows (halo exchange, pipelined sweeps on interior
+// ranks) never come near it; unbalanced flows (request/reply protocols,
+// where requesters' envelopes pile up on servers) spill the excess to the
+// shared overflow list, where the starved side reclaims them.
+const arenaShardCap = 64
+
+// arenaShard is one rank's private free list, padded so adjacent shards in
+// the contiguous shard array never share a cache line (a Put on rank r must
+// not invalidate rank r+1's list head).
+type arenaShard[T any] struct {
+	free []*T
+	_    [64 - 24%64]byte
+}
+
+// Arena is a per-rank sharded envelope free list for hot-path reuse under
+// true parallelism (GOMAXPROCS > 1). Each rank owns one shard, touched only
+// by that rank's goroutine, so the fast path — Get from and Put to your own
+// shard — is lock-free, allocation-free at steady state, and immune to the
+// per-P cache misses that make sync.Pool's reuse probabilistic on multicore
+// hosts. Envelopes migrate between ranks by design (the sender Gets, the
+// receiver Puts into its OWN shard); when a flow is unbalanced, full shards
+// spill to a mutex-guarded overflow list that empty shards refill from, so
+// steady-state reuse survives arbitrarily lopsided traffic at the cost of
+// occasional (never per-message) lock operations.
+//
+// Like Pool, an Arena changes host allocation behavior only: virtual clocks,
+// message bytes and arrival times never depend on where an envelope came
+// from. Get and Put for rank i must be called only from rank i's goroutine.
+type Arena[T any] struct {
+	shards []arenaShard[T]
+
+	ovMu sync.Mutex
+	ov   []*T
+}
+
+// Init sizes the arena for an n-rank world. It must be called before the
+// world runs; calling it again resets the arena (dropping cached envelopes
+// to the GC, which is safe at any point between runs).
+func (a *Arena[T]) Init(n int) {
+	a.shards = make([]arenaShard[T], n)
+	a.ovMu.Lock()
+	a.ov = nil
+	a.ovMu.Unlock()
+}
+
+// Get returns a recycled envelope for the given rank, refilling from the
+// shared overflow list (one lock op) before allocating a fresh one. Internal
+// buffers keep their capacity; callers must reset lengths before filling.
+func (a *Arena[T]) Get(rank int) *T {
+	sh := &a.shards[rank]
+	if n := len(sh.free); n > 0 {
+		x := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return x
+	}
+	if x := a.getOverflow(); x != nil {
+		return x
+	}
+	return new(T)
+}
+
+// getOverflow pops one envelope from the shared overflow list. Kept out of
+// Get's inlinable fast path.
+func (a *Arena[T]) getOverflow() *T {
+	a.ovMu.Lock()
+	defer a.ovMu.Unlock()
+	n := len(a.ov)
+	if n == 0 {
+		return nil
+	}
+	x := a.ov[n-1]
+	a.ov[n-1] = nil
+	a.ov = a.ov[:n-1]
+	return x
+}
+
+// Put returns an envelope for reuse by the given rank (the caller's own rank
+// — for a received envelope, the receiver's, not the sender's). The caller
+// must not touch it afterwards.
+func (a *Arena[T]) Put(rank int, x *T) {
+	if x == nil {
+		return
+	}
+	sh := &a.shards[rank]
+	if len(sh.free) < arenaShardCap {
+		sh.free = append(sh.free, x)
+		return
+	}
+	a.ovMu.Lock()
+	a.ov = append(a.ov, x)
+	a.ovMu.Unlock()
 }

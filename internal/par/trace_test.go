@@ -246,6 +246,7 @@ func TestWaitTimeAccounting(t *testing.T) {
 // with no recorder attached, Compute, Elapse and a cross-rank Send/Recv pair
 // allocate nothing on the steady-state hot path.
 func TestUntracedHotPathNoAllocs(t *testing.T) {
+	pinOneProc(t)
 	w := NewWorld(2, traceModel())
 	w.Run(func(r *Rank) {
 		if r.ID == 0 {

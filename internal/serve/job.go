@@ -76,6 +76,13 @@ type Job struct {
 	// would exceed it). 0 means unlimited. Excluded from the canonical
 	// form for the same reason as Deadline.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Workers bounds how many of this job's rank goroutines run host code
+	// simultaneously (see overd.Config.Workers). 0 means unbounded. Like
+	// Deadline it is excluded from the canonical form: parallelism is a
+	// host-side resource knob, and the runtime guarantees any value yields
+	// byte-identical results — jobs differing only here share one cache
+	// entry by construction.
+	Workers int `json:"workers_per_job,omitempty"`
 
 	// Tenant is the fairness bucket the job is scheduled under. Filled
 	// from the X-Overd-Tenant header when absent; excluded from the
@@ -256,6 +263,9 @@ func (j Job) NormalizeLimits(lim Limits) (Job, error) {
 	if n.MaxSteps > 0 && n.MaxSteps < n.Steps {
 		return n, fmt.Errorf("job: max_steps %d is below the %d steps the run needs; it would always be cancelled", n.MaxSteps, n.Steps)
 	}
+	if n.Workers < 0 {
+		return n, fmt.Errorf("job: workers_per_job %d: the parallelism bound cannot be negative (0 means unbounded)", n.Workers)
+	}
 	return n, nil
 }
 
@@ -271,13 +281,15 @@ func foRuntime(fo float64) float64 {
 
 // Canonical returns the canonical JSON bytes of the job. It must be called
 // on a normalized job; field order is the struct declaration order, which
-// encoding/json emits deterministically. Tenant, Deadline and MaxSteps are
-// excluded: they say who wants the result and how long they'll wait, not
-// what the result is, so jobs differing only there share one cache entry.
+// encoding/json emits deterministically. Tenant, Deadline, MaxSteps and
+// Workers are excluded: they say who wants the result, how long they'll
+// wait, and how many cores to burn — not what the result is — so jobs
+// differing only there share one cache entry.
 func (j Job) Canonical() []byte {
 	j.Tenant = ""
 	j.Deadline = 0
 	j.MaxSteps = 0
+	j.Workers = 0
 	b, err := json.Marshal(j)
 	if err != nil {
 		// Job has no cyclic or non-marshalable fields; this is unreachable.

@@ -59,6 +59,9 @@ func RunJob(ctx context.Context, job Job, progress func(Event)) (*Artifacts, err
 		Balancer: job.Balancer,
 		Faults:   job.Faults, CheckpointEvery: job.CheckpointEvery,
 		Trace: rec, Metrics: reg,
+		// Host-side parallelism bound; excluded from the cache key because
+		// the runtime guarantees it cannot change a single artifact byte.
+		Workers: job.Workers,
 	}
 	// The cancellation hook. Each poll marks one completed step, so the
 	// monotonic count doubles as the max_steps budget meter (it keeps

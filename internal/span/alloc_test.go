@@ -1,9 +1,22 @@
 package span
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
+
+// pinOneProc pins GOMAXPROCS to 1 for the duration of the test.
+// testing.AllocsPerRun counts every allocation in the process during its
+// runs, so at GOMAXPROCS>1 a concurrently scheduled goroutine can charge
+// allocations to the measured hot path and flake the zero-alloc assertion
+// — the measurement needs serial execution even though the measured code
+// is parallel-safe.
+func pinOneProc(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // TestDetachedSpanLayerZeroAlloc pins the package's zero-cost contract: a
 // detached recorder (nil *Recorder, nil *Record) must not allocate on any
@@ -18,6 +31,7 @@ import (
 // TestServeBitIdenticalWithSpans (internal/serve) proves the stronger
 // property that an *attached* recorder leaves the artifacts byte-identical.
 func TestDetachedSpanLayerZeroAlloc(t *testing.T) {
+	pinOneProc(t)
 	var rec *Recorder
 	t0 := time.Now()
 	if n := testing.AllocsPerRun(100, func() {
